@@ -1,0 +1,81 @@
+"""Shared table-formatting helpers for the benchmark suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DesignSpec, SizingFlow, correlation_table
+
+#: Paper correlation tables (Tables II, IV, VI) for side-by-side printing.
+PAPER_CORRELATIONS = {
+    "5T-OTA": {
+        "M1": {"gm": 0.982, "gds": 0.993, "cds": 0.962, "cgs": 0.964},
+        "M3": {"gm": 0.999, "gds": 0.991, "cds": 0.997, "cgs": 0.998},
+        "M5": {"gm": 0.999, "gds": 0.997, "cds": 0.997, "cgs": 0.997},
+    },
+    "CM-OTA": {
+        "M1": {"gm": 0.811, "gds": 0.838, "cds": 0.871, "cgs": 0.875},
+        "M3": {"gm": 0.798, "gds": 0.683, "cds": 0.878, "cgs": 0.883},
+        "M5": {"gm": 0.817, "gds": 0.867, "cds": 0.601, "cgs": 0.760},
+        "M6": {"gm": 0.893, "gds": 0.803, "cds": 0.881, "cgs": 0.895},
+        "M8": {"gm": 0.912, "gds": 0.914, "cds": 0.891, "cgs": 0.892},
+    },
+    "2S-OTA": {
+        "M1": {"gm": 0.942, "gds": 0.936, "cds": 0.876, "cgs": 0.879},
+        "M3": {"gm": 0.988, "gds": 0.945, "cds": 0.913, "cgs": 0.915},
+        "M5": {"gm": 0.928, "gds": 0.989, "cds": 0.918, "cgs": 0.922},
+        "M6": {"gm": 0.856, "gds": 0.881, "cds": 0.843, "cgs": 0.798},
+        "M7": {"gm": 0.892, "gds": 0.887, "cds": 0.785, "cgs": 0.880},
+    },
+}
+
+
+def correlation_lines(title: str, topology, prediction_set) -> tuple[list[str], dict]:
+    """Format a Tables II/IV/VI style correlation table."""
+    table = correlation_table(prediction_set)
+    paper = PAPER_CORRELATIONS[topology.name]
+    lines = [title, "", f"{'group':6s} {'role':24s} {'gm':>7s} {'gds':>7s} {'Cds':>7s} {'Cgs':>7s}"]
+    for group in topology.groups:
+        row = table[group.name]
+        lines.append(
+            f"{group.name:6s} {group.role:24s} "
+            f"{row['gm']:7.3f} {row['gds']:7.3f} {row['cds']:7.3f} {row['cgs']:7.3f}"
+        )
+        ref = paper[group.name]
+        lines.append(
+            f"{'':6s} {'(paper)':24s} "
+            f"{ref['gm']:7.3f} {ref['gds']:7.3f} {ref['cds']:7.3f} {ref['cgs']:7.3f}"
+        )
+    lines.append("")
+    lines.append(
+        f"designs: {prediction_set.total}, unparseable decodes: {prediction_set.parse_failures}"
+    )
+    return lines, table
+
+
+def optimization_lines(title: str, flow: SizingFlow, records, n_designs: int = 3):
+    """Format a Tables III/V/VII style target-vs-optimized table."""
+    lines = [
+        title,
+        "",
+        f"{'gain tgt':>9s} {'gain opt':>9s} {'UGF tgt [MHz]':>14s} {'UGF opt':>9s} "
+        f"{'BW tgt [MHz]':>13s} {'BW opt':>9s} {'ok':>4s} {'sims':>5s}",
+    ]
+    results = []
+    for record in records[:n_designs]:
+        spec = DesignSpec(record.gain_db, record.f3db_hz, record.ugf_hz)
+        result = flow.size(spec)
+        results.append(result)
+        m = result.metrics
+        lines.append(
+            f"{spec.gain_db:9.2f} {m.gain_db if m else float('nan'):9.2f} "
+            f"{spec.ugf_hz / 1e6:14.2f} {(m.ugf_hz if m else float('nan')) / 1e6:9.2f} "
+            f"{spec.f3db_hz / 1e6:13.3f} {(m.f3db_hz if m else float('nan')) / 1e6:9.3f} "
+            f"{str(result.success):>4s} {result.spice_simulations:>5d}"
+        )
+    return lines, results
+
+
+def mean_abs_corr(table: dict) -> float:
+    values = [v for row in table.values() for v in row.values() if np.isfinite(v)]
+    return float(np.mean(values)) if values else float("nan")

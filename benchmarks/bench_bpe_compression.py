@@ -1,0 +1,40 @@
+"""Sec. III-C: restricted-BPE compression of DP-SFG sequences.
+
+The paper reports a 3.77x sequence-length compression of BPE over
+character-level tokenization (CLT).  This bench measures the ratio on our
+corpus of encoder/decoder sequences across all three topologies.
+"""
+
+from repro.core.pipeline import BENCHMARK_CONFIG
+
+from conftest import write_result
+
+
+def test_bpe_compression_ratio(benchmark, artifact):
+    corpus_lines = []
+    for name, records in artifact.train_records.items():
+        builder = artifact.model.builder(name)
+        for record in records[:80]:
+            corpus_lines.append(builder.encoder_text(record.gain_db, record.f3db_hz, record.ugf_hz))
+            corpus_lines.append(builder.decoder_text(record.device_params))
+
+    bpe = artifact.model.bpe
+    ratio = bpe.compression_ratio(corpus_lines)
+
+    sample = corpus_lines[1]
+    lines = [
+        "Sec. III-C -- CLT vs restricted BPE",
+        "",
+        f"corpus lines: {len(corpus_lines)}  learned merges: {len(bpe.merges)}",
+        f"compression ratio (CLT tokens / BPE tokens): {ratio:.2f}x   (paper: 3.77x)",
+        "",
+        "sample decoder line:",
+        "  " + sample[:120],
+        "tokenized:",
+        "  " + " | ".join(bpe.encode(sample)[:24]),
+    ]
+    write_result("bpe_compression", lines)
+
+    assert ratio > 2.0  # the paper's qualitative claim: BPE >> CLT
+
+    benchmark(lambda: bpe.encode(sample))

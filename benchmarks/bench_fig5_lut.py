@@ -1,0 +1,48 @@
+"""Fig. 5 / Sec. III-D: LUT characterization and spline accuracy.
+
+Regenerates the characterization sweep (0-1.2 V, 60 mV grid, Wref=700 nm)
+and quantifies the cubic-spline interpolation error at off-grid points --
+the property that lets the paper keep the LUT coarse.  The benchmarked
+operation is one interpolated 5-output LUT query.
+"""
+
+import numpy as np
+
+from repro.devices import EKVModel, NMOS_65NM, PMOS_65NM
+from repro.lut import build_lut
+
+from conftest import write_result
+
+
+def test_fig5_lut_characterization(benchmark):
+    lines = ["Fig. 5 -- LUT characterization and interpolation accuracy", ""]
+    rng = np.random.default_rng(0)
+    luts = {}
+    for tech in (NMOS_65NM, PMOS_65NM):
+        lut = build_lut(tech)
+        luts[tech.name] = lut
+        model = EKVModel(tech)
+        errors = {name: [] for name in ("id", "gm", "gds", "cds", "cgs")}
+        for _ in range(200):
+            vgs = float(rng.uniform(0.15, 1.15))
+            vds = float(rng.uniform(0.1, 1.15))
+            direct = model.evaluate_all(vgs, vds, lut.reference_width, lut.length)
+            for name in errors:
+                reference = float(direct[name]) / lut.reference_width
+                interpolated = float(lut.query(name, vgs, vds))
+                scale = max(abs(reference), 1e-12)
+                errors[name].append(abs(interpolated - reference) / scale)
+        lines.append(
+            f"{tech.name}: grid {len(lut.vgs_grid)}x{len(lut.vds_grid)}, "
+            f"Wref={lut.reference_width * 1e9:.0f}nm"
+        )
+        for name, errs in errors.items():
+            lines.append(
+                f"  {name:4s}: median rel err {np.median(errs):.2e}, "
+                f"p95 {np.percentile(errs, 95):.2e}"
+            )
+        assert np.median(errors["gm"]) < 0.01
+    write_result("fig5_lut", lines)
+
+    lut = luts[NMOS_65NM.name]
+    benchmark(lambda: lut.query_all(0.537, 0.621))

@@ -1,0 +1,40 @@
+"""Fig. 7: predicted vs simulation-based gm and gds for the 5T-OTA.
+
+Prints the scatter series (desired, predicted) per device for gm and gds
+and their correlation coefficients; the paper's figure shows the points
+hugging the 45-degree line.  The benchmarked operation is one transformer
+inference (spec -> device parameters).
+"""
+
+import numpy as np
+
+from repro.core import DesignSpec
+
+from conftest import write_result
+
+
+def test_fig7_gm_gds_scatter(benchmark, artifact, predictions):
+    prediction_set = predictions.get("5T-OTA")
+    lines = ["Fig. 7 -- 5T-OTA predicted vs desired gm, gds", ""]
+    for param, unit, scale in (("gm", "mS", 1e3), ("gds", "uS", 1e6)):
+        lines.append(f"{param} scatter (desired, predicted) in {unit}:")
+        for group in ("M1", "M3", "M5"):
+            desired, predicted = prediction_set.arrays(group, param)
+            corr = float(np.corrcoef(desired, predicted)[0, 1]) if len(desired) > 1 else float("nan")
+            pairs = "  ".join(
+                f"({d * scale:.2f},{p * scale:.2f})" for d, p in list(zip(desired, predicted))[:8]
+            )
+            lines.append(f"  {group}: r={corr:.3f}  first points: {pairs}")
+        lines.append("")
+    failures = prediction_set.parse_failures
+    lines.append(f"designs evaluated: {prediction_set.total}, unparseable decodes: {failures}")
+    write_result("fig7_scatter", lines)
+
+    # The dominant parameters must correlate strongly along the 45-deg line.
+    desired, predicted = prediction_set.arrays("M3", "gm")
+    assert len(desired) >= 10
+    assert float(np.corrcoef(desired, predicted)[0, 1]) > 0.6
+
+    record = artifact.val_records["5T-OTA"][0]
+    spec = DesignSpec(record.gain_db, record.f3db_hz, record.ugf_hz)
+    benchmark(lambda: artifact.model.predict_params("5T-OTA", spec))

@@ -1,0 +1,54 @@
+"""Table I: dataset information per topology.
+
+Reports the observed specification ranges of the generated datasets plus
+the forward-path / cycle counts of each topology's DP-SFG, side by side
+with the paper's numbers.  The benchmarked operation is one full design
+measurement (DC + AC + metric extraction), the unit of dataset generation.
+"""
+
+from conftest import write_result
+
+PAPER = {
+    "5T-OTA": dict(gain="18-23", bw="7-54", ugf="80-871", paths=9, cycles=4),
+    "CM-OTA": dict(gain="19-25", bw="17.5-86", ugf="57-1185", paths=26, cycles=5),
+    "2S-OTA": dict(gain="28-54", bw="0.01-0.32", ugf="1.8-370", paths=2, cycles=11),
+}
+
+
+def test_table1_dataset_info(benchmark, artifact, topologies):
+    lines = [
+        "Table I -- dataset information (ours vs paper)",
+        "",
+        f"{'topology':8s} {'designs':>8s} {'gain [dB]':>16s} {'3dB BW [MHz]':>18s} "
+        f"{'UGF [MHz]':>18s} {'#paths':>7s} {'#cycles':>8s}",
+    ]
+    for name, topology in topologies.items():
+        dataset = artifact.datasets[name]
+        ranges = dataset.metric_ranges()
+        inventory = topology.path_inventory()
+        gain = f"{ranges['gain_db'][0]:.1f}-{ranges['gain_db'][1]:.1f}"
+        bw = f"{ranges['f3db_hz'][0] / 1e6:.2f}-{ranges['f3db_hz'][1] / 1e6:.2f}"
+        ugf = f"{ranges['ugf_hz'][0] / 1e6:.0f}-{ranges['ugf_hz'][1] / 1e6:.0f}"
+        lines.append(
+            f"{name:8s} {len(dataset):>8d} {gain:>16s} {bw:>18s} {ugf:>18s} "
+            f"{inventory.n_forward_paths:>7d} {inventory.n_cycles:>8d}"
+        )
+        paper = PAPER[name]
+        lines.append(
+            f"{'(paper)':8s} {'':>8s} {paper['gain']:>16s} {paper['bw']:>18s} "
+            f"{paper['ugf']:>18s} {paper['paths']:>7d} {paper['cycles']:>8d}"
+        )
+    write_result("table1_dataset", lines)
+
+    # Shape assertions: the 2S-OTA has the highest gain and the lowest
+    # bandwidth; the CM-OTA reaches the highest UGF.
+    r5 = artifact.datasets["5T-OTA"].metric_ranges()
+    rcm = artifact.datasets["CM-OTA"].metric_ranges()
+    r2s = artifact.datasets["2S-OTA"].metric_ranges()
+    assert r2s["gain_db"][1] > r5["gain_db"][1]
+    assert r2s["f3db_hz"][1] < r5["f3db_hz"][0]
+    assert rcm["ugf_hz"][1] > r5["ugf_hz"][1]
+
+    topology = topologies["5T-OTA"]
+    widths = artifact.datasets["5T-OTA"].records[0].widths
+    benchmark(lambda: topology.measure(widths))

@@ -1,0 +1,32 @@
+"""Table II: correlation coefficients for the 5T-OTA.
+
+Pearson correlation between transformer-predicted device parameters and
+the simulation-based validation values, per matched device group -- our
+version of the paper's Table II.  The benchmarked operation is the
+correlation computation over the cached prediction set.
+"""
+
+import numpy as np
+
+from conftest import write_result
+from _tables import correlation_lines, mean_abs_corr
+
+
+def test_table2_correlations_5t(benchmark, topologies, predictions):
+    topology = topologies["5T-OTA"]
+    prediction_set = predictions.get("5T-OTA")
+    lines, table = correlation_lines(
+        "Table II -- 5T-OTA correlation coefficients (ours vs paper)",
+        topology,
+        prediction_set,
+    )
+    write_result("table2_corr_5t", lines)
+
+    # Shape: predictions must correlate positively overall; the dominant
+    # differential-pair gm is the paper's strongest row.
+    assert mean_abs_corr(table) > 0.4
+    dp_gm = table["M3"]["gm"]
+    assert dp_gm > 0.5
+
+    desired, predicted = prediction_set.arrays("M3", "gm")
+    benchmark(lambda: np.corrcoef(desired, predicted)[0, 1])

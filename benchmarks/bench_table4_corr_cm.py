@@ -1,0 +1,32 @@
+"""Table IV: correlation coefficients for the CM-OTA.
+
+Pearson correlation between transformer-predicted device parameters and
+the simulation-based validation values, per matched device group -- our
+version of the paper's Table IV.  The benchmarked operation is the
+correlation computation over the cached prediction set.
+"""
+
+import numpy as np
+
+from conftest import write_result
+from _tables import correlation_lines, mean_abs_corr
+
+
+def test_table4_correlations_cm(benchmark, topologies, predictions):
+    topology = topologies["CM-OTA"]
+    prediction_set = predictions.get("CM-OTA")
+    lines, table = correlation_lines(
+        "Table IV -- CM-OTA correlation coefficients (ours vs paper)",
+        topology,
+        prediction_set,
+    )
+    write_result("table4_corr_cm", lines)
+
+    # Shape: predictions must correlate positively overall; the dominant
+    # differential-pair gm is the paper's strongest row.
+    assert mean_abs_corr(table) > 0.3
+    dp_gm = table["M3"]["gm"]
+    assert dp_gm > 0.4
+
+    desired, predicted = prediction_set.arrays("M3", "gm")
+    benchmark(lambda: np.corrcoef(desired, predicted)[0, 1])

@@ -1,0 +1,30 @@
+"""Table V: target vs optimized performance for the CM-OTA.
+
+Runs the full Fig. 3 sizing flow on three unseen validation specifications
+and reports target vs achieved metrics -- our version of the paper's
+Table V.  The benchmarked operation is one full sizing call.
+"""
+
+from repro.core import DesignSpec, SizingFlow
+
+from conftest import write_result
+from _tables import optimization_lines
+
+
+def test_table5_target_vs_optimized_cm(benchmark, artifact, topologies):
+    topology = topologies["CM-OTA"]
+    flow = SizingFlow(topology, artifact.model)
+    records = artifact.val_records["CM-OTA"]
+    lines, results = optimization_lines(
+        "Table V -- CM-OTA target vs optimized", flow, records, n_designs=3
+    )
+    successes = sum(r.success for r in results)
+    lines.append("")
+    lines.append(f"{successes}/3 specifications met")
+    write_result("table5_opt_cm", lines)
+
+    assert successes >= 1
+
+    record = records[3]
+    spec = DesignSpec(record.gain_db, record.f3db_hz, record.ugf_hz)
+    benchmark.pedantic(lambda: flow.size(spec), rounds=1, iterations=1)

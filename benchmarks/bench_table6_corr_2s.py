@@ -1,0 +1,35 @@
+"""Table VI: correlation coefficients for the 2S-OTA.
+
+Pearson correlation between transformer-predicted device parameters and
+the simulation-based validation values, per matched device group -- our
+version of the paper's Table VI.  The benchmarked operation is the
+correlation computation over the cached prediction set.
+"""
+
+import numpy as np
+
+from conftest import write_result
+from _tables import correlation_lines, mean_abs_corr
+
+
+def test_table6_correlations_2s(benchmark, topologies, predictions):
+    topology = topologies["2S-OTA"]
+    prediction_set = predictions.get("2S-OTA")
+    lines, table = correlation_lines(
+        "Table VI -- 2S-OTA correlation coefficients (ours vs paper)",
+        topology,
+        prediction_set,
+    )
+    write_result("table6_corr_2s", lines)
+
+    # At CPU scale the 2S-OTA prediction collapses (five width degrees of
+    # freedom against three specs is weakly identifiable with ~500 training
+    # designs; the paper resolves it with 8k designs and a 720-d model), so
+    # the assertions here are structural: the table is produced and a
+    # usable fraction of decodes parses.  EXPERIMENTS.md discusses this
+    # honestly as the main scale-induced gap.
+    assert prediction_set.total - prediction_set.parse_failures >= 10
+    assert all(len(row) == 4 for row in table.values())
+
+    desired, predicted = prediction_set.arrays("M3", "gm")
+    benchmark(lambda: np.corrcoef(desired, predicted)[0, 1])

@@ -1,0 +1,91 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark that needs the trained model shares one artifact, trained
+once with :data:`repro.core.pipeline.BENCHMARK_CONFIG` and cached under
+``benchmarks/.artifact_cache`` (pre-buildable with
+``python scripts/build_bench_artifact.py``).
+
+Each bench writes its reproduced table/figure rows to
+``benchmarks/results/<name>.txt`` (pytest captures stdout by default) and
+also prints them, so running with ``-s`` shows them live.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import predict_over_records
+from repro.core.pipeline import BENCHMARK_CONFIG, train_sizing_model
+from repro.topologies import topology_by_name
+
+CACHE_DIR = Path(__file__).resolve().parent / ".artifact_cache"
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Validation designs used per topology for prediction-quality benches.
+N_VALIDATION = 60
+
+
+def _active_config():
+    """Benchmark pipeline config; ``REPRO_BENCH_PROFILE=tiny`` switches to a
+    minutes-scale configuration for smoke-testing the bench suite itself
+    (quality assertions are expected to fail at that scale)."""
+    import os
+
+    if os.environ.get("REPRO_BENCH_PROFILE") == "tiny":
+        from dataclasses import replace
+
+        return replace(
+            BENCHMARK_CONFIG,
+            designs_per_topology=(("5T-OTA", 40), ("CM-OTA", 30), ("2S-OTA", 30)),
+            epochs=2,
+            d_model=32,
+            n_heads=4,
+            d_ff=48,
+        )
+    return BENCHMARK_CONFIG
+
+
+@pytest.fixture(scope="session")
+def artifact():
+    """The trained sizing model plus datasets (cached on disk)."""
+    return train_sizing_model(_active_config(), cache_dir=CACHE_DIR)
+
+
+@pytest.fixture(scope="session")
+def topologies():
+    return {name: topology_by_name(name) for name, _ in BENCHMARK_CONFIG.designs_per_topology}
+
+
+class _PredictionCache:
+    """Session-level cache of validation predictions per topology."""
+
+    def __init__(self, artifact, topologies):
+        self._artifact = artifact
+        self._topologies = topologies
+        self._cache = {}
+
+    def get(self, name: str):
+        if name not in self._cache:
+            records = self._artifact.val_records[name][:N_VALIDATION]
+            self._cache[name] = predict_over_records(
+                self._artifact.model, self._topologies[name], records
+            )
+        return self._cache[name]
+
+
+@pytest.fixture(scope="session")
+def predictions(artifact, topologies):
+    return _PredictionCache(artifact, topologies)
+
+
+def write_result(name: str, lines) -> str:
+    """Write result lines to ``benchmarks/results/<name>.txt`` and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n===== {name} =====")
+    print(text)
+    return text

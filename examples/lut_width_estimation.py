@@ -1,0 +1,50 @@
+"""Stage III in isolation: LUT characterization and Algorithm 1.
+
+Characterizes NMOS/PMOS lookup tables (Fig. 5), prints a slice of the
+gm/Id design chart, and demonstrates the width-estimation round trip:
+true width -> device parameters -> recovered width.
+
+Usage::
+
+    python examples/lut_width_estimation.py
+"""
+
+import numpy as np
+
+from repro.devices import EKVModel, NMOS_65NM, PMOS_65NM
+from repro.lut import DeviceParams, build_lut, estimate_width
+
+
+def main() -> None:
+    print("characterizing LUTs (Wref=700 nm, L=180 nm, 60 mV grid) ...")
+    luts = {tech.name: build_lut(tech) for tech in (NMOS_65NM, PMOS_65NM)}
+
+    lut = luts[NMOS_65NM.name]
+    print("\ngm/Id versus Vgs at Vds = 0.6 V (NMOS):")
+    for vgs in np.arange(0.25, 0.95, 0.1):
+        print(f"  Vgs={vgs:.2f} V : gm/Id = {float(lut.gm_over_id(vgs, 0.6)):6.2f} 1/V")
+
+    print("\nAlgorithm 1 round trip (NMOS):")
+    model = EKVModel(NMOS_65NM)
+    rng = np.random.default_rng(0)
+    print(f"  {'true W':>10s} {'Vgs':>6s} {'Vds':>6s} {'estimated W':>12s} {'error':>8s}")
+    for _ in range(8):
+        width = float(rng.uniform(1e-6, 40e-6))
+        vgs = float(rng.uniform(0.35, 0.8))
+        vds = float(rng.uniform(0.25, 1.0))
+        values = model.evaluate_all(vgs, vds, width, 180e-9)
+        params = DeviceParams(
+            gm=float(values["gm"]),
+            gds=float(values["gds"]),
+            cds=float(values["cds"]),
+            cgs=float(values["cgs"]),
+            id=float(values["id"]),
+        )
+        estimate = estimate_width(params, lut)
+        error = abs(estimate.width - width) / width
+        print(f"  {width * 1e6:8.2f}um {vgs:6.2f} {vds:6.2f} "
+              f"{estimate.width * 1e6:10.2f}um {100 * error:7.3f}%")
+
+
+if __name__ == "__main__":
+    main()

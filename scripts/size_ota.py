@@ -1,0 +1,68 @@
+"""Command-line OTA sizing against a trained model bundle.
+
+Examples::
+
+    # use the benchmark artifact cache (train it first if absent)
+    python scripts/size_ota.py --topology 5T-OTA \\
+        --gain-db 25 --bw-mhz 5 --ugf-mhz 80
+
+    # use a specific saved bundle directory
+    python scripts/size_ota.py --bundle path/to/bundle --topology CM-OTA \\
+        --gain-db 24 --bw-mhz 15 --ugf-mhz 250
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import DesignSpec, SizingFlow, SizingModel
+from repro.core.pipeline import BENCHMARK_CONFIG, train_sizing_model
+from repro.topologies import topology_by_name
+
+DEFAULT_CACHE = Path(__file__).resolve().parent.parent / "benchmarks" / ".artifact_cache"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="Size an OTA with the trained transformer+LUT flow")
+    parser.add_argument("--topology", required=True, choices=["5T-OTA", "CM-OTA", "2S-OTA"])
+    parser.add_argument("--gain-db", type=float, required=True, help="minimum gain in dB")
+    parser.add_argument("--bw-mhz", type=float, required=True, help="minimum 3dB bandwidth in MHz")
+    parser.add_argument("--ugf-mhz", type=float, required=True, help="minimum unity-gain frequency in MHz")
+    parser.add_argument("--bundle", type=Path, default=None, help="saved SizingModel directory")
+    parser.add_argument("--max-iterations", type=int, default=6, help="copilot iteration cap")
+    parser.add_argument("--spice-out", type=Path, default=None,
+                        help="write the fully sized netlist as a SPICE deck")
+    args = parser.parse_args(argv)
+
+    if args.bundle is not None:
+        model = SizingModel.load(args.bundle)
+    else:
+        print("loading (or training) the benchmark artifact ...", file=sys.stderr)
+        model = train_sizing_model(BENCHMARK_CONFIG, cache_dir=DEFAULT_CACHE).model
+
+    topology = topology_by_name(args.topology)
+    flow = SizingFlow(topology, model)
+    spec = DesignSpec(args.gain_db, args.bw_mhz * 1e6, args.ugf_mhz * 1e6)
+    result = flow.size(spec, max_iterations=args.max_iterations)
+
+    print(f"success: {result.success}  iterations: {result.iterations}  "
+          f"SPICE simulations: {result.spice_simulations}  time: {result.wall_time_s:.2f}s")
+    if result.widths:
+        for group, width in result.widths.items():
+            devices = ",".join(topology.group(group).devices)
+            print(f"  W({devices}) = {width * 1e6:.3f} um")
+    if result.metrics:
+        m = result.metrics
+        print(f"achieved: gain={m.gain_db:.2f} dB  BW={m.f3db_hz / 1e6:.3f} MHz  "
+              f"UGF={m.ugf_hz / 1e6:.1f} MHz")
+    if args.spice_out is not None and result.widths:
+        from repro.spice import to_spice
+
+        deck = to_spice(topology.build(result.widths), title=f"sized {args.topology}")
+        args.spice_out.write_text(deck)
+        print(f"wrote SPICE deck to {args.spice_out}")
+    return 0 if result.success else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""repro: reproduction of "Accelerating OTA Circuit Design: Transistor
+Sizing Based on a Transformer Model and Precomputed Lookup Tables"
+(DATE 2025).
+
+Subpackages
+-----------
+``devices``
+    EKV-style MOSFET compact model (the foundry-model substitute).
+``spice``
+    From-scratch SPICE substrate: nonlinear DC (Newton on MNA), small-signal
+    AC analysis, metric extraction, characterization/ICMR sweeps.
+``dpsfg``
+    Driving-point signal flow graphs: construction from netlists, path and
+    cycle enumeration, Mason's gain formula, Fig. 4 sequence serialization.
+``nlp``
+    Engineering-notation formatting, character-level tokenization and the
+    paper's restricted byte-pair encoding.
+``transformer``
+    From-scratch numpy encoder-decoder transformer with full backprop,
+    weighted cross-entropy, Adam, and KV-cached greedy decoding.
+``lut``
+    Precomputed per-unit-width lookup tables and the gm/Id width estimator
+    (Algorithm 1).
+``topologies``
+    The 5T-OTA / CM-OTA / 2S-OTA netlist generators and the active-inductor
+    example circuit.
+``datagen``
+    Dataset generation (sampling, region/ICMR filters) and sequence-pair
+    corpus assembly.
+``core``
+    The end-to-end sizing flow (Stages I-IV), training pipeline, margin
+    allocation and evaluation utilities.
+``baselines``
+    SPICE-in-the-loop comparison optimizers (SA, PSO, DE) for Table IX.
+"""
+
+__version__ = "1.0.0"
+
+from .core import DesignSpec, SizingFlow, SizingModel, train_sizing_model
+from .topologies import CurrentMirrorOTA, FiveTransistorOTA, TwoStageOTA, topology_by_name
+
+__all__ = [
+    "DesignSpec",
+    "SizingFlow",
+    "SizingModel",
+    "train_sizing_model",
+    "CurrentMirrorOTA",
+    "FiveTransistorOTA",
+    "TwoStageOTA",
+    "topology_by_name",
+    "__version__",
+]

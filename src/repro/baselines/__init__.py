@@ -1,0 +1,15 @@
+"""SPICE-in-the-loop sizing baselines for the Table IX comparison."""
+
+from .common import BaselineResult, Objective, SearchSpace
+from .de import differential_evolution
+from .pso import particle_swarm
+from .sa import simulated_annealing
+
+__all__ = [
+    "BaselineResult",
+    "Objective",
+    "SearchSpace",
+    "differential_evolution",
+    "particle_swarm",
+    "simulated_annealing",
+]

@@ -1,0 +1,154 @@
+"""The trained sizing model bundle: transformer + tokenizer + LUTs.
+
+Everything the inference path needs, packaged for persistence: after the
+one-time training phase the bundle is saved to a directory and reloaded for
+sizing sessions, mirroring the paper's deployment model (all SPICE cost in
+training; inference uses only the transformer and the precomputed LUTs).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..datagen.dataset import TokenizedCorpus
+from ..datagen.serialize import ParsedParams, SequenceBuilder, SequenceConfig, SequenceFormat
+from ..lut import LookupTable
+from ..nlp import RestrictedBPE, Vocabulary
+from ..topologies import OTATopology, topology_by_name
+from ..transformer import Transformer
+from .specs import DesignSpec
+
+__all__ = ["SizingModel"]
+
+
+@dataclass
+class SizingModel:
+    """Trained artifacts of Stages I-III."""
+
+    transformer: Transformer
+    bpe: RestrictedBPE
+    vocab: Vocabulary
+    sequence_config: SequenceConfig
+    builders: dict[str, SequenceBuilder]
+    luts: dict[str, LookupTable]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_corpus(
+        cls,
+        transformer: Transformer,
+        corpus: TokenizedCorpus,
+        luts: dict[str, LookupTable],
+    ) -> "SizingModel":
+        any_builder = next(iter(corpus.builders.values()))
+        return cls(
+            transformer=transformer,
+            bpe=corpus.bpe,
+            vocab=corpus.vocab,
+            sequence_config=any_builder.config,
+            builders=dict(corpus.builders),
+            luts=luts,
+        )
+
+    def builder(self, topology_name: str) -> SequenceBuilder:
+        if topology_name not in self.builders:
+            topology = topology_by_name(topology_name)
+            self.builders[topology_name] = SequenceBuilder(topology, self.sequence_config)
+        return self.builders[topology_name]
+
+    def lut_for(self, topology: OTATopology, group_name: str) -> LookupTable:
+        tech = topology.group(group_name).tech
+        if tech.name not in self.luts:
+            raise KeyError(f"no LUT for technology {tech.name!r}")
+        return self.luts[tech.name]
+
+    # ------------------------------------------------------------------
+    # Inference (Stages I + II)
+    # ------------------------------------------------------------------
+    def predict_params(
+        self, topology_name: str, spec: DesignSpec, max_len: Optional[int] = None
+    ) -> tuple[ParsedParams, str]:
+        """Specs -> encoder sequence -> transformer -> parsed parameters.
+
+        Returns the parsed per-device parameters and the raw decoded text
+        (useful for inspection and failure analysis).
+        """
+        builder = self.builder(topology_name)
+        encoder_text = builder.encoder_text(spec.gain_db, spec.f3db_hz, spec.ugf_hz)
+        source_ids = self.vocab.encode(self.bpe.encode(encoder_text))
+        src = np.asarray([source_ids], dtype=np.int64)
+        src_pad = np.zeros_like(src, dtype=bool)
+        decoded = self.transformer.greedy_decode(
+            src, src_pad, self.vocab.bos_id, self.vocab.eos_id, max_len=max_len
+        )[0]
+        text = self.vocab.decode_to_text(decoded)
+        return builder.parse_decoder_text(text), text
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: Union[str, Path]) -> None:
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        self.transformer.save(path / "transformer.npz")
+        meta = {
+            "merges": [list(pair) for pair in self.bpe.merges],
+            "num_merges": self.bpe.num_merges,
+            "vocab": self.vocab.id_to_token,
+            "sequence_config": {
+                "decoder_format": self.sequence_config.decoder_format.value,
+                "encoder_max_paths": self.sequence_config.encoder_max_paths,
+                "specs_per_path": self.sequence_config.specs_per_path,
+                "include_paths_in_encoder": self.sequence_config.include_paths_in_encoder,
+            },
+            "topologies": sorted(self.builders),
+            "luts": sorted(self.luts),
+        }
+        (path / "bundle.json").write_text(json.dumps(meta))
+        for tech_name, lut in self.luts.items():
+            lut.save(path / f"lut_{tech_name}.npz")
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "SizingModel":
+        path = Path(directory)
+        meta = json.loads((path / "bundle.json").read_text())
+        transformer = Transformer.load(path / "transformer.npz")
+
+        bpe = RestrictedBPE(num_merges=meta["num_merges"])
+        bpe.merges = [tuple(pair) for pair in meta["merges"]]
+        bpe._merge_ranks = {pair: rank for rank, pair in enumerate(bpe.merges)}
+
+        vocab = Vocabulary()
+        for token in meta["vocab"]:
+            vocab.add(token)
+
+        config_meta = meta["sequence_config"]
+        sequence_config = SequenceConfig(
+            decoder_format=SequenceFormat(config_meta["decoder_format"]),
+            encoder_max_paths=config_meta["encoder_max_paths"],
+            specs_per_path=config_meta["specs_per_path"],
+            include_paths_in_encoder=config_meta["include_paths_in_encoder"],
+        )
+        builders = {
+            name: SequenceBuilder(topology_by_name(name), sequence_config)
+            for name in meta["topologies"]
+        }
+        luts = {
+            tech_name: LookupTable.load(path / f"lut_{tech_name}.npz")
+            for tech_name in meta["luts"]
+        }
+        return cls(
+            transformer=transformer,
+            bpe=bpe,
+            vocab=vocab,
+            sequence_config=sequence_config,
+            builders=builders,
+            luts=luts,
+        )

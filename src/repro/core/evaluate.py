@@ -1,0 +1,160 @@
+"""Evaluation utilities: correlations, sizing studies, runtime accounting.
+
+Regenerates the paper's evaluation quantities:
+
+* Fig. 7 scatter data and Tables II/IV/VI -- correlation coefficients
+  between transformer-predicted device parameters and the validation
+  (simulation-based) values, per device group and parameter;
+* Tables III/V/VII -- target-vs-optimized metrics via the full flow;
+* Table VIII -- success-rate and runtime statistics of a sizing study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..datagen.dataset import DesignRecord
+from ..topologies import OTATopology
+from .bundle import SizingModel
+from .flow import SizingFlow, SizingResult
+from .specs import DesignSpec
+
+__all__ = [
+    "PredictionSet",
+    "predict_over_records",
+    "correlation_table",
+    "SizingStudy",
+    "run_sizing_study",
+]
+
+PARAM_KEYS = ("gm", "gds", "cds", "cgs")
+
+
+@dataclass
+class PredictionSet:
+    """Aligned predicted/desired device parameters over validation designs.
+
+    ``predicted[group][param]`` and ``desired[group][param]`` are equal-
+    length lists; designs whose decoded output was unparseable are skipped
+    and counted in ``parse_failures``.
+    """
+
+    topology_name: str
+    predicted: dict[str, dict[str, list[float]]]
+    desired: dict[str, dict[str, list[float]]]
+    parse_failures: int = 0
+    total: int = 0
+
+    def arrays(self, group: str, param: str) -> tuple[np.ndarray, np.ndarray]:
+        return (
+            np.asarray(self.desired[group][param]),
+            np.asarray(self.predicted[group][param]),
+        )
+
+
+def predict_over_records(
+    model: SizingModel,
+    topology: OTATopology,
+    records: Sequence[DesignRecord],
+) -> PredictionSet:
+    """Run inference for every record's specs; align with true parameters.
+
+    This is the paper's validation protocol: the encoder sequence is built
+    from the held-out design's *measured* metrics, so the recorded device
+    parameters are a ground-truth the prediction should match (Fig. 7).
+    """
+    groups = [g.name for g in topology.groups]
+    predicted = {g: {p: [] for p in PARAM_KEYS} for g in groups}
+    desired = {g: {p: [] for p in PARAM_KEYS} for g in groups}
+    failures = 0
+    for record in records:
+        spec = DesignSpec(record.gain_db, record.f3db_hz, record.ugf_hz)
+        parsed, _ = model.predict_params(topology.name, spec)
+        if not parsed.complete:
+            failures += 1
+            continue
+        for group in groups:
+            for param in PARAM_KEYS:
+                predicted[group][param].append(parsed.values[group][param])
+                desired[group][param].append(record.device_params[group][param])
+    return PredictionSet(
+        topology_name=topology.name,
+        predicted=predicted,
+        desired=desired,
+        parse_failures=failures,
+        total=len(records),
+    )
+
+
+def correlation_table(predictions: PredictionSet) -> dict[str, dict[str, float]]:
+    """Pearson correlation per (device group, parameter) -- Tables II/IV/VI."""
+    table: dict[str, dict[str, float]] = {}
+    for group, params in predictions.predicted.items():
+        table[group] = {}
+        for param in PARAM_KEYS:
+            desired, predicted = predictions.arrays(group, param)
+            if len(desired) < 2 or np.std(desired) == 0 or np.std(predicted) == 0:
+                table[group][param] = float("nan")
+                continue
+            table[group][param] = float(np.corrcoef(desired, predicted)[0, 1])
+    return table
+
+
+@dataclass
+class SizingStudy:
+    """Aggregate outcome of sizing many specs (Table VIII row)."""
+
+    topology_name: str
+    results: list[SizingResult] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    @property
+    def single_iteration_successes(self) -> int:
+        return sum(1 for r in self.results if r.single_simulation)
+
+    @property
+    def multi_iteration_successes(self) -> int:
+        return sum(1 for r in self.results if r.success and not r.single_simulation)
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for r in self.results if not r.success)
+
+    @property
+    def success_rate(self) -> float:
+        return (self.total - self.failures) / max(self.total, 1)
+
+    def average_time(self, multi_only: bool = False) -> float:
+        if multi_only:
+            times = [r.wall_time_s for r in self.results if r.success and not r.single_simulation]
+        else:
+            times = [r.wall_time_s for r in self.results if r.single_simulation]
+        return float(np.mean(times)) if times else float("nan")
+
+    def average_iterations_multi(self) -> float:
+        iterations = [
+            r.iterations for r in self.results if r.success and not r.single_simulation
+        ]
+        return float(np.mean(iterations)) if iterations else float("nan")
+
+    def average_spice_simulations(self) -> float:
+        return float(np.mean([r.spice_simulations for r in self.results]))
+
+
+def run_sizing_study(
+    flow: SizingFlow,
+    specs: Sequence[DesignSpec],
+    max_iterations: int = 6,
+    rel_tol: float = 0.0,
+) -> SizingStudy:
+    """Size every spec and collect Table VIII statistics."""
+    study = SizingStudy(topology_name=flow.topology.name)
+    for spec in specs:
+        study.results.append(flow.size(spec, max_iterations=max_iterations, rel_tol=rel_tol))
+    return study

@@ -1,0 +1,182 @@
+"""The end-to-end sizing flow (Fig. 3): Stages I-IV glued together.
+
+``SizingFlow.size`` takes a specification and produces a fully sized
+netlist:
+
+* Stage I/II -- the spec is serialized, tokenized and translated by the
+  transformer into device parameters;
+* Stage III -- Algorithm 1 converts parameters to widths through the LUTs;
+* Stage IV -- one SPICE verification; on a shortfall, the copilot loop
+  tightens the requested spec (margin allocation) and re-runs inference.
+
+The flow counts verification SPICE simulations explicitly: the headline
+claim of the paper is that >90% of designs need exactly one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..lut import DeviceParams, estimate_width
+from ..spice import ConvergenceError, PerformanceMetrics
+from ..topologies import OTATopology
+from .bundle import SizingModel
+from .margin import tighten_spec
+from .specs import DesignSpec
+
+__all__ = ["SizingFlow", "SizingResult", "IterationTrace"]
+
+
+@dataclass
+class IterationTrace:
+    """Diagnostics of one copilot iteration."""
+
+    requested_spec: DesignSpec
+    decoded_text: str
+    parsed_ok: bool
+    widths: Optional[dict[str, float]]
+    metrics: Optional[PerformanceMetrics]
+    satisfied: bool
+
+
+@dataclass
+class SizingResult:
+    """Outcome of one sizing request."""
+
+    success: bool
+    spec: DesignSpec
+    widths: Optional[dict[str, float]]
+    metrics: Optional[PerformanceMetrics]
+    iterations: int
+    spice_simulations: int
+    wall_time_s: float
+    trace: list[IterationTrace] = field(default_factory=list)
+
+    @property
+    def single_simulation(self) -> bool:
+        """True when the very first verification already satisfied specs."""
+        return self.success and self.spice_simulations == 1
+
+
+class SizingFlow:
+    """Sizes one OTA topology against specifications using a trained model."""
+
+    def __init__(
+        self,
+        topology: OTATopology,
+        model: SizingModel,
+        width_bounds: tuple[float, float] = (0.1e-6, 200e-6),
+        max_candidate_spread: float = 5.0,
+    ):
+        self.topology = topology
+        self.model = model
+        self.width_bounds = width_bounds
+        #: Reject an inference whose Algorithm-1 width candidates disagree
+        #: by more than this relative spread: wildly inconsistent predicted
+        #: parameters cannot describe any physical device, so re-inferring
+        #: beats verifying a garbage design.
+        self.max_candidate_spread = max_candidate_spread
+
+    # ------------------------------------------------------------------
+    def widths_from_params(
+        self, parsed_values: dict[str, dict[str, float]]
+    ) -> Optional[dict[str, float]]:
+        """Stage III: translate per-group device parameters into widths.
+
+        Returns ``None`` when the predicted parameters are physically
+        inconsistent (width candidates disagree beyond
+        :attr:`max_candidate_spread`), signalling the caller to retry
+        inference instead of wasting a verification simulation.
+        """
+        widths: dict[str, float] = {}
+        for group in self.topology.groups:
+            params = parsed_values[group.name]
+            tech = group.tech
+            # gm/Id can never exceed the weak-inversion limit 1/(n*Ut); a
+            # prediction above it is a transcription error on Id -- repair
+            # it rather than letting Algorithm 1 chase an impossible point.
+            gm_id_max = 0.95 / (tech.n_slope * tech.ut)
+            id_value = max(params["id"], params["gm"] / gm_id_max)
+            device_params = DeviceParams(
+                gm=params["gm"],
+                gds=params["gds"],
+                cds=params["cds"],
+                cgs=params["cgs"],
+                id=id_value,
+            )
+            lut = self.model.lut_for(self.topology, group.name)
+            estimate = estimate_width(device_params, lut, vdd=self.topology.vdd)
+            if estimate.spread() > self.max_candidate_spread:
+                return None
+            low, high = self.width_bounds
+            widths[group.name] = float(min(max(estimate.width, low), high))
+        return widths
+
+    # ------------------------------------------------------------------
+    def size(
+        self,
+        spec: DesignSpec,
+        max_iterations: int = 6,
+        rel_tol: float = 0.0,
+    ) -> SizingResult:
+        """Run the full Fig. 3 flow for one specification."""
+        start = time.perf_counter()
+        trace: list[IterationTrace] = []
+        spice_count = 0
+        request = spec
+        best: Optional[tuple[dict[str, float], PerformanceMetrics]] = None
+
+        for iteration in range(1, max_iterations + 1):
+            parsed, decoded_text = self.model.predict_params(self.topology.name, request)
+            if not parsed.complete:
+                trace.append(
+                    IterationTrace(request, decoded_text, False, None, None, False)
+                )
+                # Unparseable output: nudge the request and retry inference.
+                request = request.scaled({"gain_db": 1.01, "f3db_hz": 1.02, "ugf_hz": 1.02})
+                continue
+
+            widths = self.widths_from_params(parsed.values)
+            if widths is None:
+                trace.append(IterationTrace(request, decoded_text, True, None, None, False))
+                request = request.scaled({"gain_db": 1.01, "f3db_hz": 1.02, "ugf_hz": 1.02})
+                continue
+            try:
+                measurement = self.topology.measure(widths)
+            except ConvergenceError:
+                trace.append(IterationTrace(request, decoded_text, True, widths, None, False))
+                request = request.scaled({"gain_db": 1.01, "f3db_hz": 1.02, "ugf_hz": 1.02})
+                continue
+            spice_count += 1
+            metrics = measurement.metrics
+            satisfied = spec.satisfied(metrics, rel_tol=rel_tol)
+            trace.append(IterationTrace(request, decoded_text, True, widths, metrics, satisfied))
+            if best is None:
+                best = (widths, metrics)
+            if satisfied:
+                return SizingResult(
+                    success=True,
+                    spec=spec,
+                    widths=widths,
+                    metrics=metrics,
+                    iterations=iteration,
+                    spice_simulations=spice_count,
+                    wall_time_s=time.perf_counter() - start,
+                    trace=trace,
+                )
+            best = (widths, metrics)
+            request = tighten_spec(request, spec, metrics)
+
+        final_widths, final_metrics = best if best is not None else (None, None)
+        return SizingResult(
+            success=False,
+            spec=spec,
+            widths=final_widths,
+            metrics=final_metrics,
+            iterations=len(trace),
+            spice_simulations=spice_count,
+            wall_time_s=time.perf_counter() - start,
+            trace=trace,
+        )

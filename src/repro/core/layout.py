@@ -1,0 +1,102 @@
+"""Layout-in-the-loop parasitic updates without SPICE (Sec. I claim).
+
+The paper notes its framework "is flexible enough to be used within a
+layout optimization loop: after sizing, a layout engine updates parasitics,
+updating the parasitic values in the DP-SFG.  Our model ... can then be
+re-invoked without further SPICE simulations."
+
+The physics that makes this work: layout parasitics are capacitive, and
+capacitances do not move the DC operating point.  So once a sized design
+has been verified (one DC+AC simulation), any parasitic update only changes
+*passive* values in the linearized circuit -- the DP-SFG built from the
+existing operating point can be re-evaluated through Mason's gain formula,
+no simulator in the loop.
+
+:func:`evaluate_with_parasitics` implements exactly that: it reuses a
+:class:`~repro.topologies.base.MeasurementResult`'s operating point, adds
+extracted wiring capacitances, and recomputes gain / 3 dB BW / UGF from the
+DP-SFG transfer function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..dpsfg import build_dpsfg, transfer_function
+from ..spice import PerformanceMetrics, crossing_frequency, default_frequency_grid
+from ..topologies import MeasurementResult, OTATopology
+
+__all__ = ["ParasiticEstimate", "evaluate_with_parasitics"]
+
+
+@dataclass(frozen=True)
+class ParasiticEstimate:
+    """Layout-extracted wiring capacitances.
+
+    ``node_caps`` maps circuit nodes to added capacitance-to-ground (F);
+    ``coupling_caps`` maps node pairs to added coupling capacitance (F).
+    """
+
+    node_caps: Mapping[str, float] = field(default_factory=dict)
+    coupling_caps: Mapping[tuple[str, str], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for value in list(self.node_caps.values()) + list(self.coupling_caps.values()):
+            if value < 0:
+                raise ValueError("parasitic capacitances must be non-negative")
+
+
+def evaluate_with_parasitics(
+    topology: OTATopology,
+    measurement: MeasurementResult,
+    parasitics: ParasiticEstimate,
+    frequencies: Optional[np.ndarray] = None,
+) -> PerformanceMetrics:
+    """Re-evaluate metrics after a layout parasitic update -- no SPICE.
+
+    Parameters
+    ----------
+    topology:
+        The sized design's topology (identifies the output node).
+    measurement:
+        The verification measurement of the sized design; its DC operating
+        point (unchanged by added capacitance) supplies the small-signal
+        device parameters.
+    parasitics:
+        Extracted wiring capacitances to graft onto the netlist.
+    frequencies:
+        Evaluation grid (defaults to the simulator's standard grid).
+
+    Returns
+    -------
+    PerformanceMetrics
+        Gain / f3dB / UGF of the parasitic-laden design, computed purely
+        from the DP-SFG via Mason's gain formula.
+    """
+    circuit = measurement.circuit.copy()
+    for index, (node, value) in enumerate(sorted(parasitics.node_caps.items())):
+        if value > 0:
+            circuit.add_capacitor(f"CPAR{index}", node, "0", value)
+    for index, ((node_a, node_b), value) in enumerate(
+        sorted(parasitics.coupling_caps.items())
+    ):
+        if value > 0:
+            circuit.add_capacitor(f"CPARX{index}", node_a, node_b, value)
+
+    small_signals = {
+        name: op.small_signal for name, op in measurement.dc.operating_points.items()
+    }
+    sfg = build_dpsfg(circuit, topology.output_node, small_signals)
+
+    freqs = default_frequency_grid() if frequencies is None else np.asarray(frequencies, dtype=float)
+    response = transfer_function(sfg, freqs)
+    magnitude_db = 20.0 * np.log10(np.maximum(np.abs(response), 1e-20))
+    gain_db = float(magnitude_db[0])
+    return PerformanceMetrics(
+        gain_db=gain_db,
+        f3db_hz=crossing_frequency(freqs, magnitude_db, gain_db - 3.0),
+        ugf_hz=crossing_frequency(freqs, magnitude_db, 0.0),
+    )

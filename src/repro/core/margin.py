@@ -1,0 +1,56 @@
+"""Specification margin allocation (Stage IV, Sec. III-E).
+
+When the one verification SPICE simulation reveals a shortfall, the paper's
+"copilot" mode re-invokes the fast inference path with *tighter*
+specifications: a 10% gain shortfall becomes a 10% (plus padding) tighter
+gain request, until the original specification is met.
+"""
+
+from __future__ import annotations
+
+from ..spice import PerformanceMetrics
+from .specs import DesignSpec
+
+__all__ = ["tighten_spec"]
+
+
+def tighten_spec(
+    request: DesignSpec,
+    original: DesignSpec,
+    measured: PerformanceMetrics,
+    padding: float = 0.03,
+    max_factor: float = 1.5,
+) -> DesignSpec:
+    """Tighten the *requested* spec to close the measured shortfall.
+
+    Parameters
+    ----------
+    request:
+        The spec most recently handed to the inference path (it may already
+        be tighter than the designer's original).
+    original:
+        The designer's true requirement; shortfalls are measured against it.
+    measured:
+        Metrics of the verification simulation.
+    padding:
+        Extra relative margin stacked on each shortfall so the next attempt
+        overshoots slightly rather than landing on the edge.
+    max_factor:
+        Cap on the cumulative tightening relative to the original spec,
+        keeping requests inside the plausible training distribution.
+    """
+    misses = original.miss_fractions(measured)
+    factors: dict[str, float] = {}
+    for name, miss in misses.items():
+        if miss <= 0.0:
+            factors[name] = 1.0
+            continue
+        factors[name] = 1.0 + miss + padding
+    tightened = request.scaled(factors)
+    # Cap cumulative tightening against the original request.
+    capped = DesignSpec(
+        gain_db=min(tightened.gain_db, original.gain_db * max_factor),
+        f3db_hz=min(tightened.f3db_hz, original.f3db_hz * max_factor),
+        ugf_hz=min(tightened.ugf_hz, original.ugf_hz * max_factor),
+    )
+    return capped

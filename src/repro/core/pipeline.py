@@ -1,0 +1,311 @@
+"""One-call training pipeline: datasets -> corpus -> transformer -> bundle.
+
+This is the "one-time training phase" of the paper condensed into a single
+entry point with disk caching, used by the examples and by every benchmark
+that needs a trained model.  The cache key hashes the full configuration,
+so benches sharing a configuration train exactly once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..datagen import (
+    DesignFilter,
+    OTADataset,
+    SequenceConfig,
+    SequenceFormat,
+    build_corpus,
+    generate_dataset,
+)
+from ..devices import NMOS_65NM, PMOS_65NM
+from ..lut import build_lut
+from ..nlp import Vocabulary
+from ..topologies import topology_by_name
+from ..transformer import (
+    Trainer,
+    Transformer,
+    TransformerConfig,
+    WeightedCrossEntropy,
+    numeric_token_weights,
+)
+from .bundle import SizingModel
+
+__all__ = ["PipelineConfig", "PipelineArtifacts", "train_sizing_model", "BENCHMARK_CONFIG"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Configuration of the full training pipeline.
+
+    The defaults are CPU-budget versions of the paper's setup (which used
+    17k/25k/8k designs, a 720-d/12-head transformer and 40 epochs on an
+    L40S GPU).  The *ratios* are preserved: the 5T-OTA contributes the
+    most data per unique device, and one model serves all topologies.
+    """
+
+    designs_per_topology: tuple[tuple[str, int], ...] = (
+        ("5T-OTA", 500),
+        ("CM-OTA", 350),
+        ("2S-OTA", 350),
+    )
+    seed: int = 0
+    train_fraction: float = 0.8
+    num_merges: int = 200
+    decoder_format: str = "param_assignments"
+    encoder_max_paths: Optional[int] = None
+    include_paths_in_encoder: bool = True
+    d_model: int = 96
+    n_heads: int = 8
+    n_encoder_layers: int = 2
+    n_decoder_layers: int = 2
+    d_ff: int = 192
+    dropout: float = 0.05
+    epochs: int = 30
+    learning_rate: float = 5e-4
+    batch_size: int = 32
+    max_len: int = 1024
+    dtype: str = "float64"
+
+    def cache_key(self) -> str:
+        payload = json.dumps(asdict(self), sort_keys=True, default=str)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+#: The configuration used by the benchmark suite (scaled-down analogue of
+#: the paper's 17k/25k/8k-design, 720-d, 40-epoch GPU run -- see DESIGN.md).
+#: All benchmarks share this config so the one-time training phase runs
+#: exactly once and is cached on disk.
+BENCHMARK_CONFIG = PipelineConfig(
+    designs_per_topology=(
+        ("5T-OTA", 800),
+        ("CM-OTA", 500),
+        ("2S-OTA", 500),
+    ),
+    seed=0,
+    num_merges=1200,
+    encoder_max_paths=1,
+    d_model=96,
+    n_heads=8,
+    n_encoder_layers=2,
+    n_decoder_layers=2,
+    d_ff=192,
+    dropout=0.05,
+    epochs=40,
+    learning_rate=1e-3,
+    batch_size=32,
+    dtype="float32",
+)
+
+
+@dataclass
+class PipelineArtifacts:
+    """Everything the training pipeline produces."""
+
+    model: SizingModel
+    datasets: dict[str, OTADataset]
+    train_records: dict[str, list]
+    val_records: dict[str, list]
+    training_seconds: float
+    history_train_loss: list[float] = field(default_factory=list)
+    history_val_loss: list[float] = field(default_factory=list)
+    history_val_accuracy: list[float] = field(default_factory=list)
+
+
+def train_sizing_model(
+    config: Optional[PipelineConfig] = None,
+    cache_dir: Optional[Path] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> PipelineArtifacts:
+    """Run (or load from cache) the one-time training phase.
+
+    With ``cache_dir`` set, a finished run is stored under a key derived
+    from ``config`` and reloaded on subsequent calls.
+    """
+    config = config or PipelineConfig()
+    say = log or (lambda message: None)
+
+    cache_path: Optional[Path] = None
+    if cache_dir is not None:
+        cache_path = Path(cache_dir) / config.cache_key()
+        if (cache_path / "bundle.json").exists():
+            say(f"loading cached sizing model from {cache_path}")
+            return _load_artifacts(cache_path, config)
+
+    rng = np.random.default_rng(config.seed)
+
+    # ------------------------------------------------------------------
+    # Stage 0: dataset generation (the SPICE-heavy part).
+    datasets: dict[str, OTADataset] = {}
+    for name, count in config.designs_per_topology:
+        topology = topology_by_name(name)
+        say(f"generating {count} designs for {name} ...")
+        dataset = generate_dataset(
+            topology,
+            count,
+            rng,
+            design_filter=DesignFilter(topology, icmr_margin=0.05),
+        )
+        say(
+            f"  {name}: {len(dataset)} accepted / {dataset.stats.attempted} attempted "
+            f"({100 * dataset.stats.acceptance_rate:.1f}%)"
+        )
+        datasets[name] = dataset
+
+    # ------------------------------------------------------------------
+    # Stage I: serialization + tokenization.
+    sequence_config = SequenceConfig(
+        decoder_format=SequenceFormat(config.decoder_format),
+        encoder_max_paths=config.encoder_max_paths,
+        include_paths_in_encoder=config.include_paths_in_encoder,
+    )
+    split_rng = np.random.default_rng(config.seed + 1)
+    train_records: dict[str, list] = {}
+    val_records: dict[str, list] = {}
+    train_datasets = []
+    for name, dataset in datasets.items():
+        train, val = dataset.split(config.train_fraction, split_rng)
+        train_records[name] = train
+        val_records[name] = val
+        train_datasets.append(OTADataset(topology_name=name, records=train + val))
+    corpus = build_corpus(train_datasets, sequence_config, num_merges=config.num_merges)
+
+    # Re-tokenize the split separately so pairs match the records.
+    def pairs_for(records_by_topology: dict[str, list]):
+        from ..transformer import SequencePair
+
+        pairs = []
+        for name, records in records_by_topology.items():
+            builder = corpus.builders[name]
+            for record in records:
+                enc = builder.encoder_text(record.gain_db, record.f3db_hz, record.ugf_hz)
+                dec = builder.decoder_text(record.device_params)
+                pairs.append(
+                    SequencePair(
+                        source=corpus.encode_text(enc), target=corpus.encode_text(dec)
+                    )
+                )
+        return pairs
+
+    train_pairs = pairs_for(train_records)
+    val_pairs = pairs_for(val_records)
+    say(f"corpus: vocab={len(corpus.vocab)} train={len(train_pairs)} val={len(val_pairs)}")
+
+    # ------------------------------------------------------------------
+    # Stage II: transformer training.
+    model_config = TransformerConfig(
+        vocab_size=len(corpus.vocab),
+        d_model=config.d_model,
+        n_heads=config.n_heads,
+        n_encoder_layers=config.n_encoder_layers,
+        n_decoder_layers=config.n_decoder_layers,
+        d_ff=config.d_ff,
+        dropout=config.dropout,
+        max_len=config.max_len,
+        seed=config.seed,
+        dtype=config.dtype,
+    )
+    transformer = Transformer(model_config)
+    class_weights = numeric_token_weights(corpus.vocab, numeric_weight=1.2)
+    loss_fn = WeightedCrossEntropy(class_weights=class_weights, pad_id=corpus.vocab.pad_id)
+    trainer = Trainer(
+        transformer,
+        loss_fn,
+        pad_id=corpus.vocab.pad_id,
+        bos_id=corpus.vocab.bos_id,
+        eos_id=corpus.vocab.eos_id,
+        lr=config.learning_rate,
+        batch_size=config.batch_size,
+        seed=config.seed,
+    )
+    start = time.perf_counter()
+    history = trainer.fit(
+        train_pairs,
+        val_pairs,
+        epochs=config.epochs,
+        callback=lambda epoch, hist: say(
+            f"  epoch {epoch:3d}: train {hist.train_loss[-1]:.4f} "
+            f"val {hist.val_loss[-1]:.4f} acc {hist.val_accuracy[-1]:.3f}"
+        ),
+    )
+    training_seconds = time.perf_counter() - start
+    say(f"training finished in {training_seconds:.1f}s")
+
+    # ------------------------------------------------------------------
+    # Stage III: precomputed LUTs.
+    luts = {
+        NMOS_65NM.name: build_lut(NMOS_65NM),
+        PMOS_65NM.name: build_lut(PMOS_65NM),
+    }
+
+    model = SizingModel.from_corpus(transformer, corpus, luts)
+    artifacts = PipelineArtifacts(
+        model=model,
+        datasets=datasets,
+        train_records=train_records,
+        val_records=val_records,
+        training_seconds=training_seconds,
+        history_train_loss=history.train_loss,
+        history_val_loss=history.val_loss,
+        history_val_accuracy=history.val_accuracy,
+    )
+    if cache_path is not None:
+        _save_artifacts(cache_path, artifacts)
+        say(f"cached sizing model to {cache_path}")
+    return artifacts
+
+
+# ----------------------------------------------------------------------
+# Cache I/O
+# ----------------------------------------------------------------------
+def _save_artifacts(path: Path, artifacts: PipelineArtifacts) -> None:
+    path.mkdir(parents=True, exist_ok=True)
+    artifacts.model.save(path)
+    for name, dataset in artifacts.datasets.items():
+        dataset.save(path / f"dataset_{name}.json")
+    split_meta = {
+        "train": {name: [r.to_json() for r in records] for name, records in artifacts.train_records.items()},
+        "val": {name: [r.to_json() for r in records] for name, records in artifacts.val_records.items()},
+        "training_seconds": artifacts.training_seconds,
+        "history_train_loss": artifacts.history_train_loss,
+        "history_val_loss": artifacts.history_val_loss,
+        "history_val_accuracy": artifacts.history_val_accuracy,
+    }
+    (path / "splits.json").write_text(json.dumps(split_meta))
+
+
+def _load_artifacts(path: Path, config: PipelineConfig) -> PipelineArtifacts:
+    from ..datagen.dataset import DesignRecord
+
+    model = SizingModel.load(path)
+    datasets: dict[str, OTADataset] = {}
+    for name, _ in config.designs_per_topology:
+        dataset_file = path / f"dataset_{name}.json"
+        if dataset_file.exists():
+            datasets[name] = OTADataset.load(dataset_file)
+    splits = json.loads((path / "splits.json").read_text())
+    train_records = {
+        name: [DesignRecord.from_json(r) for r in records]
+        for name, records in splits["train"].items()
+    }
+    val_records = {
+        name: [DesignRecord.from_json(r) for r in records]
+        for name, records in splits["val"].items()
+    }
+    return PipelineArtifacts(
+        model=model,
+        datasets=datasets,
+        train_records=train_records,
+        val_records=val_records,
+        training_seconds=float(splits["training_seconds"]),
+        history_train_loss=list(splits.get("history_train_loss", [])),
+        history_val_loss=list(splits.get("history_val_loss", [])),
+        history_val_accuracy=list(splits.get("history_val_accuracy", [])),
+    )

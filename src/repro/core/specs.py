@@ -1,0 +1,76 @@
+"""Performance specifications and satisfaction checks.
+
+The paper's specification vector is (gain, 3 dB bandwidth, UGF), all
+treated as *minimum* requirements: Tables III/V/VII report success when the
+optimized circuit meets or exceeds every target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..spice import PerformanceMetrics
+
+__all__ = ["DesignSpec"]
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """Minimum targets for the three OTA metrics."""
+
+    gain_db: float
+    f3db_hz: float
+    ugf_hz: float
+
+    def __post_init__(self) -> None:
+        if self.gain_db <= 0 or self.f3db_hz <= 0 or self.ugf_hz <= 0:
+            raise ValueError(f"spec targets must be positive: {self}")
+
+    # ------------------------------------------------------------------
+    def satisfied(self, metrics: PerformanceMetrics, rel_tol: float = 0.0) -> bool:
+        """True when every measured metric meets its minimum target.
+
+        ``rel_tol`` loosens each target by a relative fraction (useful for
+        "within 1%" success accounting).
+        """
+        if not metrics.is_valid():
+            return False
+        return (
+            metrics.gain_db >= self.gain_db * (1.0 - rel_tol)
+            and metrics.f3db_hz >= self.f3db_hz * (1.0 - rel_tol)
+            and metrics.ugf_hz >= self.ugf_hz * (1.0 - rel_tol)
+        )
+
+    def miss_fractions(self, metrics: PerformanceMetrics) -> dict[str, float]:
+        """Relative shortfall per metric (0 when the target is met)."""
+        def shortfall(target: float, value: float) -> float:
+            if not (value == value):  # NaN
+                return 1.0
+            return max(0.0, (target - value) / target)
+
+        return {
+            "gain_db": shortfall(self.gain_db, metrics.gain_db),
+            "f3db_hz": shortfall(self.f3db_hz, metrics.f3db_hz),
+            "ugf_hz": shortfall(self.ugf_hz, metrics.ugf_hz),
+        }
+
+    def scaled(self, factors: dict[str, float]) -> "DesignSpec":
+        """Return a spec with each target multiplied by its factor."""
+        return DesignSpec(
+            gain_db=self.gain_db * factors.get("gain_db", 1.0),
+            f3db_hz=self.f3db_hz * factors.get("f3db_hz", 1.0),
+            ugf_hz=self.ugf_hz * factors.get("ugf_hz", 1.0),
+        )
+
+    @classmethod
+    def from_metrics(cls, metrics: PerformanceMetrics, slack: float = 0.0) -> "DesignSpec":
+        """Spec targeting a measured design's metrics (optionally derated).
+
+        ``slack`` derates each target by a relative fraction, which makes
+        achievable validation specs from held-out designs.
+        """
+        return cls(
+            gain_db=metrics.gain_db * (1.0 - slack),
+            f3db_hz=metrics.f3db_hz * (1.0 - slack),
+            ugf_hz=metrics.ugf_hz * (1.0 - slack),
+        )

@@ -1,0 +1,31 @@
+"""Dataset generation: sampling, filtering, serialization, tokenization."""
+
+from .dataset import (
+    DesignRecord,
+    GenerationStats,
+    OTADataset,
+    TokenizedCorpus,
+    build_corpus,
+    generate_dataset,
+)
+from .filters import DesignFilter, FilterDecision, SpecRange
+from .sampler import grid_sampler, random_sampler
+from .serialize import ParsedParams, SequenceBuilder, SequenceConfig, SequenceFormat
+
+__all__ = [
+    "DesignRecord",
+    "GenerationStats",
+    "OTADataset",
+    "TokenizedCorpus",
+    "build_corpus",
+    "generate_dataset",
+    "DesignFilter",
+    "FilterDecision",
+    "SpecRange",
+    "grid_sampler",
+    "random_sampler",
+    "ParsedParams",
+    "SequenceBuilder",
+    "SequenceConfig",
+    "SequenceFormat",
+]

@@ -1,0 +1,258 @@
+"""Labeled dataset generation and tokenized corpus assembly (Sec. IV-A/B).
+
+``generate_dataset`` runs the paper's pipeline for one topology: sample
+widths under matching constraints, simulate (DC + AC), apply the acceptance
+filters, and record the three performance metrics plus the per-device
+parameters of every accepted design.
+
+``build_corpus`` then turns several topology datasets into one tokenized
+sequence corpus (the paper trains a *single* transformer across all three
+OTA topologies) with a shared restricted-BPE tokenizer and vocabulary.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..nlp import RestrictedBPE, Vocabulary
+from ..spice import ConvergenceError
+from ..topologies import OTATopology, topology_by_name
+from ..transformer import SequencePair
+from .filters import DesignFilter, FilterDecision
+from .sampler import random_sampler
+from .serialize import SequenceBuilder, SequenceConfig
+
+__all__ = [
+    "DesignRecord",
+    "OTADataset",
+    "GenerationStats",
+    "generate_dataset",
+    "TokenizedCorpus",
+    "build_corpus",
+]
+
+
+@dataclass(frozen=True)
+class DesignRecord:
+    """One accepted design: widths, metrics and device parameters."""
+
+    widths: dict[str, float]
+    gain_db: float
+    f3db_hz: float
+    ugf_hz: float
+    device_params: dict[str, dict[str, float]]
+
+    def to_json(self) -> dict:
+        return {
+            "widths": self.widths,
+            "gain_db": self.gain_db,
+            "f3db_hz": self.f3db_hz,
+            "ugf_hz": self.ugf_hz,
+            "device_params": self.device_params,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "DesignRecord":
+        return cls(
+            widths={k: float(v) for k, v in data["widths"].items()},
+            gain_db=float(data["gain_db"]),
+            f3db_hz=float(data["f3db_hz"]),
+            ugf_hz=float(data["ugf_hz"]),
+            device_params={
+                dev: {k: float(v) for k, v in params.items()}
+                for dev, params in data["device_params"].items()
+            },
+        )
+
+
+@dataclass
+class GenerationStats:
+    """Bookkeeping of the generation run (acceptance funnel)."""
+
+    attempted: int = 0
+    convergence_failures: int = 0
+    rejections: dict[str, int] = field(default_factory=dict)
+    accepted: int = 0
+
+    def reject(self, reason: str) -> None:
+        self.rejections[reason] = self.rejections.get(reason, 0) + 1
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / max(self.attempted, 1)
+
+
+@dataclass
+class OTADataset:
+    """All accepted designs of one topology plus generation stats."""
+
+    topology_name: str
+    records: list[DesignRecord]
+    stats: GenerationStats = field(default_factory=GenerationStats)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def metric_ranges(self) -> dict[str, tuple[float, float]]:
+        """Observed min/max of each metric (our Table I rows)."""
+        gains = [r.gain_db for r in self.records]
+        bws = [r.f3db_hz for r in self.records]
+        ugfs = [r.ugf_hz for r in self.records]
+        return {
+            "gain_db": (min(gains), max(gains)),
+            "f3db_hz": (min(bws), max(bws)),
+            "ugf_hz": (min(ugfs), max(ugfs)),
+        }
+
+    def split(self, train_fraction: float, rng: np.random.Generator) -> tuple[list[DesignRecord], list[DesignRecord]]:
+        """Shuffled train/validation split (the paper uses 80:20)."""
+        order = np.arange(len(self.records))
+        rng.shuffle(order)
+        cut = int(round(train_fraction * len(order)))
+        train = [self.records[i] for i in order[:cut]]
+        val = [self.records[i] for i in order[cut:]]
+        return train, val
+
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "topology": self.topology_name,
+            "records": [r.to_json() for r in self.records],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "OTADataset":
+        data = json.loads(Path(path).read_text())
+        return cls(
+            topology_name=data["topology"],
+            records=[DesignRecord.from_json(r) for r in data["records"]],
+        )
+
+
+def generate_dataset(
+    topology: OTATopology,
+    n_designs: int,
+    rng: np.random.Generator,
+    design_filter: Optional[DesignFilter] = None,
+    max_attempts: Optional[int] = None,
+) -> OTADataset:
+    """Generate ``n_designs`` accepted designs for one topology.
+
+    Follows Sec. IV-A: sample widths (matching enforced), simulate,
+    filter (regions / ICMR / spec window), record metrics and the device
+    parameters of the representative device of each matched group.
+    """
+    if design_filter is None:
+        design_filter = DesignFilter(topology)
+    limit = max_attempts if max_attempts is not None else 50 * n_designs
+    stats = GenerationStats()
+    records: list[DesignRecord] = []
+    sampler = random_sampler(topology, rng)
+    for widths in sampler:
+        if len(records) >= n_designs or stats.attempted >= limit:
+            break
+        stats.attempted += 1
+        try:
+            result = topology.measure(widths)
+        except ConvergenceError:
+            stats.convergence_failures += 1
+            continue
+        decision: FilterDecision = design_filter(widths, result)
+        if not decision.accepted:
+            stats.reject(decision.reason)
+            continue
+        stats.accepted += 1
+        device_params = {
+            group.name: dict(result.device_params[group.name])
+            for group in topology.groups
+        }
+        records.append(
+            DesignRecord(
+                widths=dict(widths),
+                gain_db=result.metrics.gain_db,
+                f3db_hz=result.metrics.f3db_hz,
+                ugf_hz=result.metrics.ugf_hz,
+                device_params=device_params,
+            )
+        )
+    return OTADataset(topology_name=topology.name, records=records, stats=stats)
+
+
+@dataclass
+class TokenizedCorpus:
+    """Shared tokenizer/vocabulary plus per-topology sequence pairs."""
+
+    bpe: RestrictedBPE
+    vocab: Vocabulary
+    builders: dict[str, SequenceBuilder]
+    pairs_by_topology: dict[str, list[SequencePair]]
+
+    def all_pairs(self) -> list[SequencePair]:
+        collected: list[SequencePair] = []
+        for name in sorted(self.pairs_by_topology):
+            collected.extend(self.pairs_by_topology[name])
+        return collected
+
+    def encode_text(self, text: str) -> tuple[int, ...]:
+        return tuple(self.vocab.encode(self.bpe.encode(text)))
+
+    def decode_ids(self, ids: Sequence[int]) -> str:
+        return self.vocab.decode_to_text(ids)
+
+
+def build_corpus(
+    datasets: Sequence[OTADataset],
+    sequence_config: Optional[SequenceConfig] = None,
+    num_merges: int = 200,
+    topologies: Optional[dict[str, OTATopology]] = None,
+) -> TokenizedCorpus:
+    """Tokenize several topology datasets into one training corpus.
+
+    A single BPE tokenizer and vocabulary are trained across all
+    topologies, mirroring the paper's single multi-topology model.
+    """
+    config = sequence_config or SequenceConfig()
+    builders: dict[str, SequenceBuilder] = {}
+    raw_texts: dict[str, list[tuple[str, str]]] = {}
+    for dataset in datasets:
+        if topologies and dataset.topology_name in topologies:
+            topology = topologies[dataset.topology_name]
+        else:
+            topology = topology_by_name(dataset.topology_name)
+        builder = SequenceBuilder(topology, config)
+        builders[dataset.topology_name] = builder
+        texts: list[tuple[str, str]] = []
+        for record in dataset.records:
+            encoder = builder.encoder_text(record.gain_db, record.f3db_hz, record.ugf_hz)
+            decoder = builder.decoder_text(record.device_params)
+            texts.append((encoder, decoder))
+        raw_texts[dataset.topology_name] = texts
+
+    corpus_lines: list[str] = []
+    for texts in raw_texts.values():
+        for encoder, decoder in texts:
+            corpus_lines.append(encoder)
+            corpus_lines.append(decoder)
+
+    bpe = RestrictedBPE(num_merges=num_merges)
+    bpe.train(corpus_lines)
+    vocab = bpe.build_vocabulary(corpus_lines)
+
+    pairs_by_topology: dict[str, list[SequencePair]] = {}
+    for name, texts in raw_texts.items():
+        pairs = [
+            SequencePair(
+                source=tuple(vocab.encode(bpe.encode(encoder))),
+                target=tuple(vocab.encode(bpe.encode(decoder))),
+            )
+            for encoder, decoder in texts
+        ]
+        pairs_by_topology[name] = pairs
+
+    return TokenizedCorpus(bpe=bpe, vocab=vocab, builders=builders, pairs_by_topology=pairs_by_topology)

@@ -1,0 +1,102 @@
+"""Design acceptance filters for dataset generation (Sec. IV-A).
+
+The paper filters the swept designs through four checks before admitting
+them to the training set:
+
+1. matching constraints -- enforced by construction (per-group widths);
+2. an ICMR sweep: the nominal input common mode must sit inside the range
+   where every device stays saturated;
+3. region-of-operation: current mirrors in strong inversion, differential
+   pairs in weak inversion (checked via the EKV inversion coefficient);
+4. a specification-range window (the paper's Table I ranges; ours are
+   calibrated to this simulator and reported by the Table I bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..spice import ConvergenceError, PerformanceMetrics, icmr_sweep
+from ..topologies import MeasurementResult, OTATopology
+
+__all__ = ["SpecRange", "DesignFilter", "FilterDecision"]
+
+
+@dataclass(frozen=True)
+class SpecRange:
+    """Acceptance window for the three metrics (Table I columns)."""
+
+    gain_db: tuple[float, float]
+    f3db_hz: tuple[float, float]
+    ugf_hz: tuple[float, float]
+
+    def contains(self, metrics: PerformanceMetrics) -> bool:
+        if not metrics.is_valid():
+            return False
+        checks = (
+            (self.gain_db, metrics.gain_db),
+            (self.f3db_hz, metrics.f3db_hz),
+            (self.ugf_hz, metrics.ugf_hz),
+        )
+        return all(low <= value <= high for (low, high), value in checks)
+
+
+@dataclass(frozen=True)
+class FilterDecision:
+    """Outcome of filtering one candidate design."""
+
+    accepted: bool
+    reason: str
+
+
+class DesignFilter:
+    """Applies the Sec. IV-A acceptance checks to measured designs."""
+
+    def __init__(
+        self,
+        topology: OTATopology,
+        spec_range: Optional[SpecRange] = None,
+        check_regions: bool = True,
+        check_icmr: bool = True,
+        icmr_points: int = 5,
+        icmr_margin: float = 0.1,
+    ):
+        self.topology = topology
+        self.spec_range = spec_range
+        self.check_regions = check_regions
+        self.check_icmr = check_icmr
+        self.icmr_points = icmr_points
+        self.icmr_margin = icmr_margin
+
+    def __call__(self, widths: Mapping[str, float], result: MeasurementResult) -> FilterDecision:
+        """Decide whether an already-measured design enters the dataset."""
+        if not result.metrics.is_valid():
+            return FilterDecision(False, "unresolved metrics")
+        if self.check_regions and not self.topology.regions_ok(result.dc):
+            return FilterDecision(False, "region-of-operation violation")
+        if self.spec_range is not None and not self.spec_range.contains(result.metrics):
+            return FilterDecision(False, "outside specification range")
+        if self.check_icmr and not self._icmr_ok(result):
+            return FilterDecision(False, "Vcm outside ICMR")
+        return FilterDecision(True, "accepted")
+
+    def _icmr_ok(self, result: MeasurementResult) -> bool:
+        """Sweep Vcm around nominal and require saturation throughout.
+
+        A design whose devices fall out of saturation within ``icmr_margin``
+        volts of the nominal common mode has no usable input range.
+        """
+        vcm = self.topology.vcm
+        values = np.linspace(vcm - self.icmr_margin, vcm + self.icmr_margin, self.icmr_points)
+        try:
+            sweep = icmr_sweep(
+                result.circuit,
+                vcm_sources=list(self.topology.input_sources),
+                vcm_values=values,
+            )
+        except ConvergenceError:
+            return False
+        return bool(sweep.all_saturated.all())

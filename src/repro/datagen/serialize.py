@@ -1,0 +1,274 @@
+"""Sequence serialization: designs <-> transformer text (Stage I glue).
+
+Builds the encoder/decoder text pairs of Sec. IV-A:
+
+* the **encoder** text carries the topology's DP-SFG paths (symbolic device
+  parameters -- identical for every design of a topology) plus the
+  performance specification values of the design;
+* the **decoder** text carries the same information with concrete device
+  parameter values (Fig. 4's lower half).
+
+Two decoder formats are supported (see DESIGN.md):
+
+* ``FULL_PATHS`` -- the paper's faithful format: every DP-SFG path rendered
+  with substituted engineering-notation values, plus a trailing drain-
+  current block (Algorithm 1 needs ``Id``, which does not appear in edge
+  weights);
+* ``PARAM_ASSIGNMENTS`` -- a compact equivalent listing one
+  ``<param><device>=<value>`` assignment per unique device parameter; same
+  information, ~5x shorter targets, the default under CPU budgets.
+
+The parser inverts either format back into per-device parameter values.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping, Optional
+
+from ..dpsfg import render_sequences
+from ..nlp.numformat import (
+    VALUE_PATTERN,
+    format_capacitance,
+    format_conductance,
+    format_current,
+    format_engineering,
+    parse_engineering,
+)
+from ..topologies import OTATopology
+
+__all__ = ["SequenceFormat", "SequenceConfig", "SequenceBuilder", "ParsedParams"]
+
+#: Device parameters in decoder order, with their formatting/units.
+_PARAM_ORDER = ("gm", "gds", "Cds", "Cgs", "Id")
+_PARAM_UNITS = {"gm": "S", "gds": "S", "Cds": "F", "Cgs": "F", "Id": "A"}
+_FORMATTERS = {
+    "gm": format_conductance,
+    "gds": format_conductance,
+    "Cds": format_capacitance,
+    "Cgs": format_capacitance,
+    "Id": format_current,
+}
+
+#: One ``gmM1=2.50mS`` style assignment.
+_ASSIGNMENT = re.compile(
+    r"(?P<param>gm|gds|Cds|Cgs|Id)(?P<device>[A-Za-z]+\d*)="
+    r"(?P<value>-?\d+(?:\.\d+)?[afpnumkMG]?(?:S|F|A))"
+)
+#: Device-parameter occurrences inside symbolic path text.
+_SYMBOLIC_PARAM = re.compile(r"(?P<param>gm|gds|Cds|Cgs)(?P<device>[A-Za-z]+\d*)")
+
+
+class SequenceFormat(Enum):
+    """Decoder target format."""
+
+    FULL_PATHS = "full_paths"
+    PARAM_ASSIGNMENTS = "param_assignments"
+
+
+@dataclass(frozen=True)
+class SequenceConfig:
+    """Knobs of the circuit-to-sequence mapping.
+
+    ``encoder_max_paths`` truncates the forward-path list in the encoder
+    text (a CPU-budget knob; ``None`` keeps every path, the paper's
+    configuration).  ``specs_per_path`` replicates the specification block
+    after every path line as in Fig. 4 instead of once at the head.
+    """
+
+    decoder_format: SequenceFormat = SequenceFormat.PARAM_ASSIGNMENTS
+    encoder_max_paths: Optional[int] = None
+    specs_per_path: bool = False
+    include_paths_in_encoder: bool = True
+
+
+@dataclass
+class ParsedParams:
+    """Decoder output parsed back into per-device parameter values (SI)."""
+
+    values: dict[str, dict[str, float]] = field(default_factory=dict)
+    complete: bool = True
+    missing: list[str] = field(default_factory=list)
+
+    def device(self, name: str) -> dict[str, float]:
+        return self.values[name]
+
+
+class SequenceBuilder:
+    """Builds and parses encoder/decoder texts for one topology."""
+
+    def __init__(self, topology: OTATopology, config: Optional[SequenceConfig] = None):
+        self.topology = topology
+        self.config = config or SequenceConfig()
+        self._symbolic_lines = render_sequences(
+            topology.symbolic_dpsfg(),
+            env=None,
+            inventory=topology.path_inventory(),
+            max_paths=self.config.encoder_max_paths,
+        )
+
+    # ------------------------------------------------------------------
+    # Specs
+    # ------------------------------------------------------------------
+    @staticmethod
+    def format_specs(gain_db: float, f3db_hz: float, ugf_hz: float) -> str:
+        """Render the specification block, e.g.
+        ``gain=20.1dB bw=13.3MHz ugf=119MHz``."""
+        return (
+            f"gain={format_engineering(gain_db, 'dB')} "
+            f"bw={format_engineering(f3db_hz, 'Hz')} "
+            f"ugf={format_engineering(ugf_hz, 'Hz')}"
+        )
+
+    # ------------------------------------------------------------------
+    # Encoder
+    # ------------------------------------------------------------------
+    def encoder_text(self, gain_db: float, f3db_hz: float, ugf_hz: float) -> str:
+        """Symbolic paths + specs for one query (upper half of Fig. 4)."""
+        specs = self.format_specs(gain_db, f3db_hz, ugf_hz)
+        head = f"<{self.topology.name}> {specs}"
+        if not self.config.include_paths_in_encoder:
+            return head
+        if self.config.specs_per_path:
+            body = " ; ".join(f"{line} {specs}" for line in self._symbolic_lines)
+        else:
+            body = " ; ".join(self._symbolic_lines)
+        return f"{head} | {body}"
+
+    # ------------------------------------------------------------------
+    # Decoder
+    # ------------------------------------------------------------------
+    def decoder_text(self, device_params: Mapping[str, Mapping[str, float]]) -> str:
+        """Target text for one design.
+
+        ``device_params`` maps each *representative* device (group name) to
+        its ``{"gm","gds","cds","cgs","id"}`` values in SI units.
+        """
+        if self.config.decoder_format is SequenceFormat.PARAM_ASSIGNMENTS:
+            return self._assignments_text(device_params)
+        return self._full_paths_text(device_params)
+
+    def _assignments_text(self, device_params: Mapping[str, Mapping[str, float]]) -> str:
+        chunks: list[str] = []
+        for group in self.topology.groups:
+            params = device_params[group.name]
+            parts = [
+                f"{name}{group.name}={_FORMATTERS[name](params[name.lower()])}"
+                for name in _PARAM_ORDER
+            ]
+            chunks.append(" ".join(parts))
+        return " ; ".join(chunks)
+
+    def _template_params(self) -> list[tuple[str, str]]:
+        """Device-parameter occurrences in the symbolic path text, in order."""
+        template = " ; ".join(self._symbolic_lines)
+        return [
+            (m.group("param"), m.group("device"))
+            for m in _SYMBOLIC_PARAM.finditer(template)
+        ]
+
+    def _full_paths_text(self, device_params: Mapping[str, Mapping[str, float]]) -> str:
+        env: dict[str, float] = {}
+        device_to_group = self.topology.device_to_group()
+        for device, group_name in device_to_group.items():
+            params = device_params[group_name]
+            env[f"gm{device}"] = params["gm"]
+            env[f"gds{device}"] = params["gds"]
+            env[f"Cds{device}"] = params["cds"]
+            env[f"Cgs{device}"] = params["cgs"]
+        lines = render_sequences(
+            self.topology.symbolic_dpsfg(),
+            env=env,
+            inventory=self.topology.path_inventory(),
+            max_paths=self.config.encoder_max_paths,
+        )
+        # Trailing completeness block: drain currents for every group, plus
+        # any parameter that never shows up in the path text (e.g. the gm
+        # and Cgs of a tail device whose gate sits at a DC bias node and
+        # therefore contributes no small-signal edge).
+        present: set[tuple[str, str]] = set()
+        for param, device in self._template_params():
+            group = device_to_group.get(device)
+            if group is not None:
+                present.add((param, group))
+        tail_parts: list[str] = []
+        for group in self.topology.groups:
+            params = device_params[group.name]
+            for name in _PARAM_ORDER:
+                if name == "Id" or (name, group.name) not in present:
+                    tail_parts.append(
+                        f"{name}{group.name}={_FORMATTERS[name](params[name.lower()])}"
+                    )
+        return " ; ".join(lines) + " | " + " ".join(tail_parts)
+
+    # ------------------------------------------------------------------
+    # Parsing decoder output
+    # ------------------------------------------------------------------
+    def parse_decoder_text(self, text: str) -> ParsedParams:
+        """Invert :meth:`decoder_text` (either format) into SI values."""
+        if self.config.decoder_format is SequenceFormat.PARAM_ASSIGNMENTS:
+            parsed = self._parse_assignments(text)
+        else:
+            parsed = self._parse_full_paths(text)
+        required = [
+            (group.name, name) for group in self.topology.groups for name in _PARAM_ORDER
+        ]
+        missing = [
+            f"{name}{group}" for group, name in required
+            if name.lower() not in parsed.values.get(group, {})
+        ]
+        parsed.missing = missing
+        parsed.complete = not missing
+        return parsed
+
+    def _parse_assignments(self, text: str) -> ParsedParams:
+        device_to_group = self.topology.device_to_group()
+        result = ParsedParams()
+        for match in _ASSIGNMENT.finditer(text):
+            device = match.group("device")
+            group = device_to_group.get(device)
+            if group is None:
+                continue
+            value, unit = parse_engineering(match.group("value"))
+            param = match.group("param")
+            if unit != _PARAM_UNITS[param] or value <= 0:
+                continue
+            result.values.setdefault(group, {})[param.lower()] = value
+        return result
+
+    def _parse_full_paths(self, text: str) -> ParsedParams:
+        device_to_group = self.topology.device_to_group()
+        result = ParsedParams()
+        # The completeness block after '|' parses like assignments.
+        body, _, tail_block = text.partition("|")
+        for match in _ASSIGNMENT.finditer(tail_block):
+            device = match.group("device")
+            group = device_to_group.get(device)
+            if group is None:
+                continue
+            value, unit = parse_engineering(match.group("value"))
+            param = match.group("param")
+            if unit == _PARAM_UNITS[param] and value > 0:
+                result.values.setdefault(group, {})[param.lower()] = value
+
+        # Align symbolic parameter occurrences with predicted values in
+        # order of appearance; the first occurrence of each parameter wins.
+        # Values are taken in magnitude -- a ``-gm`` edge weight renders as
+        # a negative value, but the sign is structural, not part of the
+        # parameter.
+        template_params = self._template_params()
+        predicted_values = [m.group(0) for m in VALUE_PATTERN.finditer(body)]
+        for (param, device), value_text in zip(template_params, predicted_values):
+            group = device_to_group.get(device)
+            if group is None:
+                continue
+            try:
+                value, unit = parse_engineering(value_text)
+            except ValueError:
+                continue
+            if unit != _PARAM_UNITS[param] or value == 0:
+                continue
+            result.values.setdefault(group, {}).setdefault(param.lower(), abs(value))
+        return result

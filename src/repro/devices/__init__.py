@@ -1,0 +1,20 @@
+"""Device substrate: EKV-style MOSFET compact model and instances."""
+
+from .ekv import EKVModel, SmallSignal, interp_f, interp_f_prime
+from .mosfet import MOSFET, OperatingPoint
+from .params import NMOS_65NM, PMOS_65NM, TEMPERATURE_K, THERMAL_VOLTAGE, VDD, TechParams
+
+__all__ = [
+    "EKVModel",
+    "SmallSignal",
+    "interp_f",
+    "interp_f_prime",
+    "MOSFET",
+    "OperatingPoint",
+    "NMOS_65NM",
+    "PMOS_65NM",
+    "TechParams",
+    "VDD",
+    "TEMPERATURE_K",
+    "THERMAL_VOLTAGE",
+]

@@ -1,0 +1,31 @@
+"""Driving-point signal flow graphs: build, enumerate, evaluate, serialize."""
+
+from .builder import DPSFG, build_dpsfg, device_param_names
+from .expr import Atom, LinComb, Reciprocal, Weight, capacitance, conductance, one, transconductance
+from .mason import MasonEvaluator, transfer_function
+from .paths import PathInventory, cycles, enumerate_paths, forward_paths
+from .sequence import render_cycle, render_path, render_sequences, render_weight
+
+__all__ = [
+    "DPSFG",
+    "build_dpsfg",
+    "device_param_names",
+    "Atom",
+    "LinComb",
+    "Reciprocal",
+    "Weight",
+    "capacitance",
+    "conductance",
+    "one",
+    "transconductance",
+    "MasonEvaluator",
+    "transfer_function",
+    "PathInventory",
+    "cycles",
+    "enumerate_paths",
+    "forward_paths",
+    "render_cycle",
+    "render_path",
+    "render_sequences",
+    "render_weight",
+]

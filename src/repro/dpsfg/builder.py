@@ -1,0 +1,267 @@
+"""Construction of driving-point signal flow graphs from netlists.
+
+Implements Sec. III-B of the paper (Steps 0-3), formalizing the approach of
+Ochoa and Schmid & Huber:
+
+* **Step 0** -- bookkeeping: classify nodes into ground, *driven* (connected
+  to a voltage source; their small-signal voltage is known) and *internal*.
+* **Step 1** -- each internal node ``k`` gets an auxiliary source pair: a
+  current vertex ``I<k>`` and a voltage vertex ``V<k>`` connected by the
+  driving-point impedance ``z_k = 1 / (sum of passive admittances at k)``.
+* **Step 2** -- every passive branch (resistor, capacitor, device ``gds``,
+  ``Cgs``, ``Cds``) between nodes ``a`` and ``b`` adds coupling edges
+  ``V<a> -> I<b>`` and ``V<b> -> I<a>`` weighted by the branch admittance.
+* **Step 3** -- every transistor transconductance adds ``+-gm`` edges from
+  the gate and source voltage vertices into the drain and source current
+  vertices.
+
+Excitations (AC-driven voltage sources, AC current sources) become source
+vertices; the designated output node gets a ``Vout`` vertex.  Edge weights
+are the symbolic expressions of :mod:`repro.dpsfg.expr`, so the same graph
+serves both sequence serialization (symbolic or value-substituted) and
+numeric evaluation through Mason's formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import networkx as nx
+
+from ..devices import SmallSignal
+from ..spice.netlist import GROUND, Circuit
+from .expr import LinComb, Reciprocal, Weight, capacitance, conductance, one, transconductance
+
+__all__ = ["DPSFG", "build_dpsfg", "device_param_names"]
+
+
+def device_param_names(device_name: str) -> dict[str, str]:
+    """Parameter names for one device, in the paper's naming style.
+
+    >>> device_param_names("M1")["gm"]
+    'gmM1'
+    """
+    return {
+        "gm": f"gm{device_name}",
+        "gds": f"gds{device_name}",
+        "cds": f"Cds{device_name}",
+        "cgs": f"Cgs{device_name}",
+    }
+
+
+@dataclass
+class DPSFG:
+    """A driving-point signal flow graph plus evaluation context.
+
+    Attributes
+    ----------
+    graph:
+        Directed graph whose edges carry ``weight`` attributes of type
+        :class:`~repro.dpsfg.expr.Weight`.
+    excitations:
+        Source vertex name -> small-signal amplitude.
+    output:
+        Name of the output vertex (``"Vout"``).
+    values:
+        Known numeric values for symbolic parameters (passives always;
+        device parameters only when the graph was built from an operating
+        point).
+    internal_nodes:
+        Circuit node names that received auxiliary ``I``/``V`` vertex pairs.
+    """
+
+    graph: nx.DiGraph
+    excitations: dict[str, complex]
+    output: str
+    values: dict[str, float] = field(default_factory=dict)
+    internal_nodes: list[str] = field(default_factory=list)
+
+    def weight(self, tail: str, head: str) -> Weight:
+        return self.graph.edges[tail, head]["weight"]
+
+    def parameter_names(self) -> set[str]:
+        """All symbolic parameter names appearing on any edge."""
+        names: set[str] = set()
+        for _, _, data in self.graph.edges(data=True):
+            names.update(data["weight"].parameter_names())
+        return names
+
+    def merged_env(self, env: Optional[Mapping[str, float]] = None) -> dict[str, float]:
+        merged = dict(self.values)
+        if env:
+            merged.update(env)
+        return merged
+
+
+class _GraphAccumulator:
+    """Accumulates parallel edges by summing their linear combinations."""
+
+    def __init__(self) -> None:
+        self.graph = nx.DiGraph()
+
+    def add(self, tail: str, head: str, weight: Weight) -> None:
+        if isinstance(weight, Reciprocal):
+            if self.graph.has_edge(tail, head):
+                raise ValueError(f"duplicate impedance edge {tail}->{head}")
+            self.graph.add_edge(tail, head, weight=weight)
+            return
+        if self.graph.has_edge(tail, head):
+            existing = self.graph.edges[tail, head]["weight"]
+            if isinstance(existing, Reciprocal):
+                raise ValueError(f"cannot merge admittance into impedance edge {tail}->{head}")
+            combined = (existing + weight).collect()
+            if combined.is_empty():
+                self.graph.remove_edge(tail, head)
+            else:
+                self.graph.edges[tail, head]["weight"] = combined
+        else:
+            collected = weight.collect()
+            if not collected.is_empty():
+                self.graph.add_edge(tail, head, weight=collected)
+
+
+def build_dpsfg(
+    circuit: Circuit,
+    output_node: str,
+    small_signals: Optional[Mapping[str, SmallSignal]] = None,
+) -> DPSFG:
+    """Build the DP-SFG of ``circuit`` (Steps 0-3 of Sec. III-B).
+
+    Parameters
+    ----------
+    circuit:
+        The netlist.  Voltage sources must have one grounded terminal; a
+        source with ``ac == 0`` acts as a small-signal ground, one with
+        ``ac != 0`` becomes an excitation vertex.
+    output_node:
+        Circuit node observed as the output; must be an internal node.
+    small_signals:
+        Optional mapping from device name to its operating-point
+        :class:`~repro.devices.SmallSignal`.  When given, the numeric device
+        parameter values are recorded in :attr:`DPSFG.values` so sequences
+        can be rendered with substituted values (Fig. 4, lower half) and the
+        graph can be evaluated without an extra environment.  When omitted
+        the graph is purely symbolic in the device parameters.
+    """
+    # ------------------------------------------------------------------
+    # Step 0: node classification.
+    values: dict[str, float] = {}
+    driven_amplitude: dict[str, complex] = {}
+    for source in circuit.vsources:
+        if source.pos != GROUND and source.neg != GROUND:
+            raise ValueError(
+                f"DP-SFG requires grounded voltage sources; {source.name} is floating"
+            )
+        node = source.pos if source.pos != GROUND else source.neg
+        sign = 1.0 if source.pos != GROUND else -1.0
+        driven_amplitude[node] = complex(sign * source.ac)
+
+    internal = [n for n in circuit.nodes() if n not in driven_amplitude]
+    if output_node not in internal:
+        raise ValueError(f"output node {output_node!r} must be an internal node")
+
+    def v_vertex(node: str) -> Optional[str]:
+        """Voltage vertex for a node: None for small-signal grounds."""
+        if node == GROUND:
+            return None
+        if node in driven_amplitude:
+            return f"V{node}" if driven_amplitude[node] != 0 else None
+        return f"V{node}"
+
+    # ------------------------------------------------------------------
+    # Collect passive branches: (node_a, node_b, admittance LinComb).
+    branches: list[tuple[str, str, LinComb]] = []
+    for res in circuit.resistors:
+        values[res.name] = res.conductance
+        branches.append((res.node1, res.node2, conductance(res.name)))
+    for cap in circuit.capacitors:
+        values[cap.name] = cap.capacitance
+        branches.append((cap.node1, cap.node2, capacitance(cap.name)))
+    for device in circuit.mosfets:
+        names = device_param_names(device.name)
+        branches.append((device.drain, device.source, conductance(names["gds"])))
+        branches.append((device.drain, device.source, capacitance(names["cds"])))
+        branches.append((device.gate, device.source, capacitance(names["cgs"])))
+        if small_signals is not None:
+            small = small_signals[device.name]
+            values[names["gm"]] = small.gm
+            values[names["gds"]] = small.gds
+            values[names["cds"]] = small.cds
+            values[names["cgs"]] = small.cgs
+
+    acc = _GraphAccumulator()
+
+    # ------------------------------------------------------------------
+    # Step 1: auxiliary source pairs with driving-point impedances.
+    for node in internal:
+        z_terms = LinComb(())
+        for node_a, node_b, admittance in branches:
+            if node in (node_a, node_b) and node_a != node_b:
+                z_terms = z_terms + admittance
+        if z_terms.is_empty():
+            raise ValueError(f"internal node {node!r} has no admittance to anywhere")
+        acc.add(f"I{node}", f"V{node}", Reciprocal(z_terms.collect()))
+
+    # ------------------------------------------------------------------
+    # Step 2: coupling edges from passive branches.
+    for node_a, node_b, admittance in branches:
+        if node_a == node_b:
+            continue
+        for src, dst in ((node_a, node_b), (node_b, node_a)):
+            if dst in driven_amplitude or dst == GROUND:
+                continue  # current into a voltage-pinned node is absorbed
+            tail = v_vertex(src)
+            if tail is not None:
+                acc.add(tail, f"I{dst}", admittance)
+
+    # ------------------------------------------------------------------
+    # Step 3: transconductance edges.
+    for device in circuit.mosfets:
+        gm_name = device_param_names(device.name)["gm"]
+        # Current into the drain node: -gm*Vg + gm*Vs.
+        # Current into the source node: +gm*Vg - gm*Vs.
+        for target, gate_sign in ((device.drain, -1.0), (device.source, 1.0)):
+            if target in driven_amplitude or target == GROUND:
+                continue
+            gate_tail = v_vertex(device.gate)
+            if gate_tail is not None:
+                acc.add(gate_tail, f"I{target}", transconductance(gm_name, gate_sign))
+            source_tail = v_vertex(device.source)
+            if source_tail is not None:
+                acc.add(source_tail, f"I{target}", transconductance(gm_name, -gate_sign))
+
+    # ------------------------------------------------------------------
+    # Excitations.
+    excitations: dict[str, complex] = {}
+    for node, amplitude in driven_amplitude.items():
+        if amplitude != 0:
+            excitations[f"V{node}"] = amplitude
+    for source in circuit.isources:
+        if source.ac == 0:
+            continue
+        vertex = source.name
+        excitations[vertex] = complex(source.ac)
+        # Convention: the AC amplitude is the current pushed INTO ``neg``.
+        if source.neg != GROUND and source.neg not in driven_amplitude:
+            acc.add(vertex, f"I{source.neg}", one())
+        if source.pos != GROUND and source.pos not in driven_amplitude:
+            acc.add(vertex, f"I{source.pos}", -one())
+
+    # Output vertex.  The paper's Fig. 2(b) adds a distinct ``Vout`` vertex
+    # fed by the output node's auxiliary voltage through a unit edge.  When
+    # the output node is itself named ``out`` its auxiliary vertex already
+    # *is* ``Vout``; adding the unit edge would create a spurious self-loop,
+    # so the auxiliary vertex doubles as the sink in that case.
+    output_vertex = f"V{output_node}"
+    if output_vertex != "Vout":
+        acc.add(output_vertex, "Vout", one())
+        output_vertex = "Vout"
+
+    return DPSFG(
+        graph=acc.graph,
+        excitations=excitations,
+        output=output_vertex,
+        values=values,
+        internal_nodes=internal,
+    )

@@ -1,0 +1,171 @@
+"""Symbolic edge-weight expressions for DP-SFG graphs.
+
+DP-SFG edge weights are small symbolic admittance expressions in the complex
+frequency ``s`` (Sec. II-B, Fig. 2):
+
+* driving-point impedances ``z = 1/(sC1 + g1 + ...)``,
+* coupling admittances ``sC1 + g1 + ...``, and
+* transconductance gains ``+-gm``.
+
+Three atom kinds cover everything: conductances (evaluate to ``g``),
+capacitances (evaluate to ``s*C`` and render with a leading ``s``), and
+constants.  Expressions are linear combinations of atoms, optionally wrapped
+in a reciprocal.  Each expression can
+
+* ``evaluate(s, env)`` numerically for Mason's formula, and
+* ``render(env)`` into the paper's string format -- symbolic when ``env``
+  lacks the parameter (``gdsM0``), substituted when it has it (``101uS``),
+  reproducing Fig. 4's decoder-sequence style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Union
+
+from ..nlp.numformat import format_capacitance, format_conductance
+
+__all__ = ["Atom", "LinComb", "Reciprocal", "Weight", "one", "conductance", "capacitance", "transconductance"]
+
+Env = Mapping[str, float]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One named parameter: a conductance, capacitance or constant.
+
+    ``kind`` is one of ``"g"`` (conductance / transconductance, unit S),
+    ``"c"`` (capacitance, enters edge weights as ``s*C``) or ``"const"``
+    (dimensionless constant with ``value`` fixed at construction).
+    """
+
+    name: str
+    kind: str
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("g", "c", "const"):
+            raise ValueError(f"unknown atom kind {self.kind!r}")
+
+    def evaluate(self, s: complex, env: Optional[Env]) -> complex:
+        if self.kind == "const":
+            return complex(self.value)
+        if env is None or self.name not in env:
+            raise KeyError(f"no value for parameter {self.name!r}")
+        if self.kind == "c":
+            return s * env[self.name]
+        return complex(env[self.name])
+
+    def render(self, env: Optional[Env] = None) -> str:
+        if self.kind == "const":
+            value = self.value
+            return str(int(value)) if float(value).is_integer() else f"{value:g}"
+        if env is not None and self.name in env:
+            if self.kind == "c":
+                return "s" + format_capacitance(env[self.name])
+            return format_conductance(env[self.name])
+        return ("s" + self.name) if self.kind == "c" else self.name
+
+
+@dataclass(frozen=True)
+class LinComb:
+    """Signed sum of atoms, e.g. ``sC + sCgsM1 - gmM1``."""
+
+    terms: tuple[tuple[float, Atom], ...]
+
+    @staticmethod
+    def of(*terms: tuple[float, Atom]) -> "LinComb":
+        return LinComb(tuple(terms))
+
+    def __add__(self, other: "LinComb") -> "LinComb":
+        return LinComb(self.terms + other.terms).collect()
+
+    def __neg__(self) -> "LinComb":
+        return LinComb(tuple((-coef, atom) for coef, atom in self.terms))
+
+    def collect(self) -> "LinComb":
+        """Merge duplicate atoms, dropping zero-coefficient terms."""
+        merged: dict[Atom, float] = {}
+        order: list[Atom] = []
+        for coef, atom in self.terms:
+            if atom not in merged:
+                merged[atom] = 0.0
+                order.append(atom)
+            merged[atom] += coef
+        kept = tuple((merged[a], a) for a in order if merged[a] != 0.0)
+        return LinComb(kept)
+
+    def is_empty(self) -> bool:
+        return not self.collect().terms
+
+    def evaluate(self, s: complex, env: Optional[Env]) -> complex:
+        return sum(
+            (coef * atom.evaluate(s, env) for coef, atom in self.terms),
+            start=complex(0.0),
+        )
+
+    def parameter_names(self) -> set[str]:
+        return {atom.name for _, atom in self.terms if atom.kind != "const"}
+
+    def render(self, env: Optional[Env] = None) -> str:
+        if not self.terms:
+            return "0"
+        pieces: list[str] = []
+        for index, (coef, atom) in enumerate(self.terms):
+            body = atom.render(env)
+            if coef == 1.0:
+                token = body
+            elif coef == -1.0:
+                token = "-" + body
+            else:
+                token = f"{coef:g}*{body}"
+            if index == 0:
+                pieces.append(token)
+            elif token.startswith("-"):
+                pieces.append(token)
+            else:
+                pieces.append("+" + token)
+        return "".join(pieces)
+
+
+@dataclass(frozen=True)
+class Reciprocal:
+    """Reciprocal of a linear combination: the DPI weights ``1/(...)``."""
+
+    inner: LinComb
+
+    def evaluate(self, s: complex, env: Optional[Env]) -> complex:
+        denominator = self.inner.evaluate(s, env)
+        if denominator == 0:
+            raise ZeroDivisionError(f"DPI denominator vanished: {self.inner.render(env)}")
+        return 1.0 / denominator
+
+    def parameter_names(self) -> set[str]:
+        return self.inner.parameter_names()
+
+    def render(self, env: Optional[Env] = None) -> str:
+        return f"1/({self.inner.render(env)})"
+
+
+#: An edge weight is either a linear combination or its reciprocal.
+Weight = Union[LinComb, Reciprocal]
+
+
+def one() -> LinComb:
+    """The unit edge weight, rendered as ``1``."""
+    return LinComb.of((1.0, Atom("1", "const", 1.0)))
+
+
+def conductance(name: str) -> LinComb:
+    """A single conductance atom, e.g. ``gdsM1`` or ``G``."""
+    return LinComb.of((1.0, Atom(name, "g")))
+
+
+def capacitance(name: str) -> LinComb:
+    """A single capacitive admittance atom, rendered ``s<name>``."""
+    return LinComb.of((1.0, Atom(name, "c")))
+
+
+def transconductance(name: str, sign: float = 1.0) -> LinComb:
+    """A signed transconductance atom, e.g. ``-gmM1``."""
+    return LinComb.of((sign, Atom(name, "g")))

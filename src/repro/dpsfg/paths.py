@@ -1,0 +1,78 @@
+"""Forward-path and cycle enumeration on DP-SFG graphs.
+
+The paper processes the final DP-SFG with NetworkX: Johnson's algorithm for
+all cycles and depth-first search for all forward paths (Sec. III-B).  This
+module wraps those calls and canonicalizes the results so serialization is
+deterministic:
+
+* forward paths are sorted by (length, vertex tuple),
+* cycles are rotated so the lexicographically smallest vertex comes first
+  and sorted the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from .builder import DPSFG
+
+__all__ = ["PathInventory", "enumerate_paths", "forward_paths", "cycles"]
+
+
+def forward_paths(sfg: DPSFG, source: str) -> list[list[str]]:
+    """All simple paths from one excitation vertex to the output vertex."""
+    if source not in sfg.excitations:
+        raise KeyError(f"{source!r} is not an excitation vertex of this DP-SFG")
+    if source not in sfg.graph or sfg.output not in sfg.graph:
+        return []
+    found = nx.all_simple_paths(sfg.graph, source, sfg.output)
+    return sorted((list(p) for p in found), key=lambda p: (len(p), tuple(p)))
+
+
+def cycles(sfg: DPSFG) -> list[list[str]]:
+    """All simple cycles (loops), canonically rotated and sorted."""
+    raw = nx.simple_cycles(sfg.graph)
+    canonical = [_rotate_min(list(cycle)) for cycle in raw]
+    return sorted(canonical, key=lambda c: (len(c), tuple(c)))
+
+
+def _rotate_min(cycle: list[str]) -> list[str]:
+    """Rotate a cycle so its lexicographically smallest vertex leads."""
+    pivot = min(range(len(cycle)), key=lambda i: cycle[i])
+    return cycle[pivot:] + cycle[:pivot]
+
+
+@dataclass
+class PathInventory:
+    """All forward paths (per excitation) and cycles of one DP-SFG.
+
+    This is the quantity Table I reports per topology (``#forward paths``
+    and ``#cycles``).
+    """
+
+    sfg: DPSFG
+    paths_by_source: dict[str, list[list[str]]]
+    loop_list: list[list[str]]
+
+    @property
+    def n_forward_paths(self) -> int:
+        return sum(len(paths) for paths in self.paths_by_source.values())
+
+    @property
+    def n_cycles(self) -> int:
+        return len(self.loop_list)
+
+    def all_forward_paths(self) -> list[list[str]]:
+        """Forward paths across all excitations, in deterministic order."""
+        collected: list[list[str]] = []
+        for source in sorted(self.paths_by_source):
+            collected.extend(self.paths_by_source[source])
+        return collected
+
+
+def enumerate_paths(sfg: DPSFG) -> PathInventory:
+    """Enumerate forward paths from every excitation, plus all cycles."""
+    per_source = {source: forward_paths(sfg, source) for source in sorted(sfg.excitations)}
+    return PathInventory(sfg=sfg, paths_by_source=per_source, loop_list=cycles(sfg))

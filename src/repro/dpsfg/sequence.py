@@ -1,0 +1,78 @@
+"""Serialization of DP-SFG paths into transformer-friendly sequences.
+
+Reproduces the Fig. 4 format: each forward path or cycle becomes one line of
+alternating vertex names and edge weights, e.g. ::
+
+    Iin 1 I1 1/(sC+sCdsM0+sCgsM0+gdsM0) V1 1 Vout
+    I1 1/(sC+sCdsM0+sCgsM0+gdsM0) V1 -gmM0 I1
+
+When an environment with device-parameter values is supplied, the weights
+are rendered with substituted engineering-notation values (the lower half of
+Fig. 4), e.g. ``1/(sC+s1.10fF+s900aF+101uS)``.  Parameters absent from the
+environment (like the load capacitance ``C``) stay symbolic, exactly as the
+paper keeps ``sC`` symbolic in its example.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from .builder import DPSFG
+from .expr import LinComb, Reciprocal
+from .paths import PathInventory, enumerate_paths
+
+__all__ = ["render_weight", "render_path", "render_cycle", "render_sequences"]
+
+Env = Mapping[str, float]
+
+
+def render_weight(sfg: DPSFG, tail: str, head: str, env: Optional[Env]) -> str:
+    """Render one edge weight; multi-term sums are parenthesized."""
+    weight = sfg.weight(tail, head)
+    text = weight.render(env)
+    if isinstance(weight, LinComb) and len(weight.collect().terms) > 1:
+        return f"({text})"
+    return text
+
+
+def render_path(sfg: DPSFG, path: Sequence[str], env: Optional[Env] = None) -> str:
+    """Render an open path as ``v0 w01 v1 w12 v2 ...``."""
+    pieces: list[str] = []
+    for index, vertex in enumerate(path):
+        pieces.append(vertex)
+        if index < len(path) - 1:
+            pieces.append(render_weight(sfg, vertex, path[index + 1], env))
+    return " ".join(pieces)
+
+
+def render_cycle(sfg: DPSFG, cycle: Sequence[str], env: Optional[Env] = None) -> str:
+    """Render a cycle as a closed walk returning to its first vertex."""
+    closed = list(cycle) + [cycle[0]]
+    return render_path(sfg, closed, env)
+
+
+def render_sequences(
+    sfg: DPSFG,
+    env: Optional[Env] = None,
+    inventory: Optional[PathInventory] = None,
+    max_paths: Optional[int] = None,
+) -> list[str]:
+    """All path/cycle lines of a DP-SFG in deterministic order.
+
+    Forward paths come first (sorted per excitation), then cycles -- the
+    order Fig. 4 uses.  ``max_paths`` optionally truncates the forward-path
+    list (the paper notes that for large graphs "it is possible to devise
+    other string representations"; truncation is our budget knob, applied
+    to forward paths only so every loop stays visible).
+    """
+    if inventory is None:
+        inventory = enumerate_paths(sfg)
+    lines: list[str] = []
+    paths = inventory.all_forward_paths()
+    if max_paths is not None:
+        paths = paths[:max_paths]
+    for path in paths:
+        lines.append(render_path(sfg, path, env))
+    for cycle in inventory.loop_list:
+        lines.append(render_cycle(sfg, cycle, env))
+    return lines

@@ -1,0 +1,13 @@
+"""Precomputed lookup tables and gm/Id width estimation (Stage III)."""
+
+from .table import LUT_OUTPUTS, LookupTable, build_lut
+from .width_estimator import DeviceParams, WidthEstimate, estimate_width
+
+__all__ = [
+    "LUT_OUTPUTS",
+    "LookupTable",
+    "build_lut",
+    "DeviceParams",
+    "WidthEstimate",
+    "estimate_width",
+]

@@ -1,0 +1,31 @@
+"""Tokenization: engineering-notation values, CLT, restricted BPE."""
+
+from .bpe import RestrictedBPE, Segment, segment_text
+from .numformat import (
+    format_capacitance,
+    format_conductance,
+    format_current,
+    format_engineering,
+    parse_engineering,
+    parse_value,
+)
+from .tokenizer import BOS, EOS, PAD, UNK, Vocabulary, char_detokenize, char_tokenize
+
+__all__ = [
+    "RestrictedBPE",
+    "Segment",
+    "segment_text",
+    "format_capacitance",
+    "format_conductance",
+    "format_current",
+    "format_engineering",
+    "parse_engineering",
+    "parse_value",
+    "BOS",
+    "EOS",
+    "PAD",
+    "UNK",
+    "Vocabulary",
+    "char_detokenize",
+    "char_tokenize",
+]

@@ -1,0 +1,197 @@
+"""Restricted byte-pair encoding (Sec. III-C).
+
+Standard BPE iteratively merges the most frequent adjacent token pair.  The
+paper *restricts* the merges so the transformer can still predict numeric
+values digit by digit:
+
+* identifier-like text merges freely -- ``gmP1``, ``gdsM0``, unit suffixes
+  like ``mS``/``aF`` become single tokens;
+* **purely numeric strings stay character-level**: for ``2.5mS`` the tokens
+  ``2``, ``.``, ``5`` are kept separate while ``mS`` is merged.
+
+The distinction between a *value* digit run and an *identifier* digit (the
+``1`` in ``P1``) is lexical: device names end in an uppercase letter plus
+index (``M0``, ``P1``), so a digit run preceded by an uppercase letter is
+identifier-like and may merge, while any other digit run (after an
+operator, after the lowercase Laplace ``s`` of ``s541aF``, or at a span
+start) is a numeric literal and is protected.  Whitespace is ordinary
+mergeable text (as in GPT-style BPE), which lets the constant symbolic
+path block of a topology collapse into a handful of long tokens.
+
+Implementation notes: sequences are segmented once into *spans* (maximal
+runs between whitespace, split into protected/unprotected parts); BPE
+training and encoding operate on the multiset of distinct unprotected spans,
+which is small because all the variability of a dataset lives in the
+protected numeric spans.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from .tokenizer import Vocabulary
+
+__all__ = ["Segment", "segment_text", "RestrictedBPE"]
+
+#: A numeric literal: digit run (with optional decimal part / leading sign)
+#: not preceded by an uppercase letter (device index), digit or dot.
+_NUMBER = re.compile(r"(?<![A-Z0-9.])-?\d+(?:\.\d+)?")
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One segment of a sequence: ``protected`` segments never merge."""
+
+    text: str
+    protected: bool
+
+
+def segment_text(text: str) -> list[Segment]:
+    """Split ``text`` into numeric (protected) and free segments.
+
+    Concatenating the segment texts reproduces the input exactly, which is
+    what makes BPE decoding lossless.
+    """
+    segments: list[Segment] = []
+    cursor = 0
+    for match in _NUMBER.finditer(text):
+        if match.start() > cursor:
+            segments.append(Segment(text[cursor : match.start()], protected=False))
+        segments.append(Segment(match.group(0), protected=True))
+        cursor = match.end()
+    if cursor < len(text):
+        segments.append(Segment(text[cursor:], protected=False))
+    return segments
+
+
+class RestrictedBPE:
+    """Trainable restricted byte-pair encoder.
+
+    Usage::
+
+        bpe = RestrictedBPE(num_merges=200)
+        bpe.train(corpus_lines)
+        tokens = bpe.encode("32 gmP1 -16 1/(gdsM0+...)")
+        assert bpe.decode(tokens) == "32 gmP1 -16 1/(gdsM0+...)"
+    """
+
+    def __init__(self, num_merges: int = 200):
+        if num_merges < 0:
+            raise ValueError("num_merges must be non-negative")
+        self.num_merges = num_merges
+        self.merges: list[tuple[str, str]] = []
+        self._merge_ranks: dict[tuple[str, str], int] = {}
+        self._span_cache: dict[str, tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train(self, corpus: Iterable[str]) -> None:
+        """Learn merges from a corpus of sequence lines."""
+        span_counts: Counter[str] = Counter()
+        for line in corpus:
+            for segment in segment_text(line):
+                if not segment.protected and len(segment.text) > 1:
+                    span_counts[segment.text] += 1
+
+        # Work on distinct spans with multiplicities (classic BPE trick).
+        span_tokens: dict[str, list[str]] = {span: list(span) for span in span_counts}
+
+        self.merges = []
+        for _ in range(self.num_merges):
+            pair_counts: Counter[tuple[str, str]] = Counter()
+            for span, tokens in span_tokens.items():
+                weight = span_counts[span]
+                for left, right in zip(tokens, tokens[1:]):
+                    pair_counts[(left, right)] += weight
+            if not pair_counts:
+                break
+            # Deterministic tie-break: highest count, then lexicographic.
+            best_pair, best_count = max(
+                pair_counts.items(), key=lambda item: (item[1], item[0])
+            )
+            if best_count < 2:
+                break
+            self.merges.append(best_pair)
+            for span in span_tokens:
+                span_tokens[span] = _apply_merge(span_tokens[span], best_pair)
+
+        self._merge_ranks = {pair: rank for rank, pair in enumerate(self.merges)}
+        self._span_cache = {}
+
+    # ------------------------------------------------------------------
+    # Encoding / decoding
+    # ------------------------------------------------------------------
+    def _encode_span(self, span: str) -> tuple[str, ...]:
+        cached = self._span_cache.get(span)
+        if cached is not None:
+            return cached
+        tokens = list(span)
+        while len(tokens) > 1:
+            ranked = [
+                (self._merge_ranks[pair], pair)
+                for pair in zip(tokens, tokens[1:])
+                if pair in self._merge_ranks
+            ]
+            if not ranked:
+                break
+            _, pair = min(ranked)
+            tokens = _apply_merge(tokens, pair)
+        result = tuple(tokens)
+        self._span_cache[span] = result
+        return result
+
+    def encode(self, text: str) -> list[str]:
+        """Tokenize ``text`` with the learned merges.
+
+        Protected segments (numbers, whitespace runs) are emitted as
+        character-level tokens; free segments get the learned merges.
+        """
+        tokens: list[str] = []
+        for segment in segment_text(text):
+            if segment.protected:
+                tokens.extend(segment.text)
+            else:
+                tokens.extend(self._encode_span(segment.text))
+        return tokens
+
+    @staticmethod
+    def decode(tokens: Sequence[str]) -> str:
+        """Concatenate tokens back into text (BPE merges are lossless)."""
+        return "".join(tokens)
+
+    def build_vocabulary(self, corpus: Iterable[str]) -> Vocabulary:
+        """Vocabulary of every token the encoder emits on ``corpus``."""
+        seen: dict[str, None] = {}
+        for line in corpus:
+            for token in self.encode(line):
+                seen.setdefault(token, None)
+        return Vocabulary.from_tokens(sorted(seen))
+
+    def compression_ratio(self, corpus: Iterable[str]) -> float:
+        """Mean CLT-length / BPE-length over the corpus (paper: 3.77x)."""
+        total_chars = 0
+        total_tokens = 0
+        for line in corpus:
+            total_chars += len(line)
+            total_tokens += len(self.encode(line))
+        if total_tokens == 0:
+            return 1.0
+        return total_chars / total_tokens
+
+
+def _apply_merge(tokens: list[str], pair: tuple[str, str]) -> list[str]:
+    """Replace every adjacent occurrence of ``pair`` with its concatenation."""
+    merged: list[str] = []
+    i = 0
+    while i < len(tokens):
+        if i + 1 < len(tokens) and tokens[i] == pair[0] and tokens[i + 1] == pair[1]:
+            merged.append(tokens[i] + tokens[i + 1])
+            i += 2
+        else:
+            merged.append(tokens[i])
+            i += 1
+    return merged

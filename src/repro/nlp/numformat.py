@@ -1,0 +1,127 @@
+"""Engineering-notation formatting and parsing of device parameter values.
+
+The paper's sequences carry device parameters as short engineering-notation
+strings such as ``2.5mS``, ``567uS``, ``541aF`` or ``0.7aF`` (Fig. 4 and the
+BPE example in Sec. III-C).  This module renders SI values into that format
+with three significant digits and parses them back.  We use ASCII ``u`` for
+micro (the paper prints a Greek mu).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Optional
+
+__all__ = [
+    "format_engineering",
+    "parse_engineering",
+    "format_conductance",
+    "format_capacitance",
+    "format_current",
+    "VALUE_PATTERN",
+]
+
+#: SI prefixes from atto to giga, keyed by decimal exponent.
+_PREFIXES = {
+    -18: "a",
+    -15: "f",
+    -12: "p",
+    -9: "n",
+    -6: "u",
+    -3: "m",
+    0: "",
+    3: "k",
+    6: "M",
+    9: "G",
+}
+_PREFIX_EXPONENTS = {v: k for k, v in _PREFIXES.items()}
+
+#: Regex matching one engineering-notation value with unit, e.g. ``2.5mS``.
+VALUE_PATTERN = re.compile(
+    r"(?P<mantissa>-?\d+(?:\.\d+)?)(?P<prefix>[afpnumkMG]?)(?P<unit>[SFAV]|Hz|dB)"
+)
+
+
+def format_engineering(value: float, unit: str, digits: int = 3) -> str:
+    """Render ``value`` with an SI prefix and ``digits`` significant digits.
+
+    >>> format_engineering(2.5e-3, "S")
+    '2.50mS'
+    >>> format_engineering(5.41e-13, "F")
+    '541fF'
+    """
+    if not math.isfinite(value):
+        raise ValueError(f"cannot format non-finite value {value!r}")
+    if value == 0.0:
+        return f"0{unit}"
+    sign = "-" if value < 0 else ""
+    magnitude = abs(value)
+    exponent = int(math.floor(math.log10(magnitude) / 3.0) * 3)
+    exponent = max(min(exponent, 9), -18)
+    mantissa = magnitude / 10.0**exponent
+    # Keep the mantissa in [1, 1000); rounding can push e.g. 999.7 -> 1000,
+    # in which case the exponent bumps and the mantissa is re-rounded (a
+    # second pass never cascades because the new mantissa is ~1).
+    mantissa_str = _round_significant(mantissa, digits)
+    if float(mantissa_str) >= 1000.0 and exponent < 9:
+        exponent += 3
+        mantissa_str = _round_significant(magnitude / 10.0**exponent, digits)
+    if float(mantissa_str) >= 1.0:
+        # Rounding a sub-1 mantissa up to 1.0 changes its digit budget.
+        mantissa_str = _round_significant(float(mantissa_str), digits)
+    return f"{sign}{mantissa_str}{_PREFIXES[exponent]}{unit}"
+
+
+def _round_significant(mantissa: float, digits: int) -> str:
+    """Format a mantissa to ``digits`` significant digits.
+
+    Normally the mantissa is in [1, 1000); values below 1 occur when the
+    exponent clamps at the smallest prefix (e.g. ``0.700aF``, which also
+    appears in the paper's Fig. 4 example).
+    """
+    if mantissa >= 100.0:
+        decimals = max(digits - 3, 0)
+    elif mantissa >= 10.0:
+        decimals = max(digits - 2, 0)
+    elif mantissa >= 1.0:
+        decimals = max(digits - 1, 0)
+    else:
+        decimals = digits
+    return f"{mantissa:.{decimals}f}"
+
+
+def parse_engineering(text: str) -> tuple[float, str]:
+    """Parse one engineering-notation value; returns ``(value, unit)``.
+
+    >>> parse_engineering("2.50mS")
+    (0.0025, 'S')
+    """
+    match = VALUE_PATTERN.fullmatch(text.strip())
+    if match is None:
+        raise ValueError(f"not an engineering-notation value: {text!r}")
+    mantissa = float(match.group("mantissa"))
+    prefix = match.group("prefix")
+    exponent = _PREFIX_EXPONENTS.get(prefix, 0)
+    return mantissa * 10.0**exponent, match.group("unit")
+
+
+def parse_value(text: str) -> float:
+    """Parse an engineering-notation value, discarding the unit."""
+    value, _ = parse_engineering(text)
+    return value
+
+
+def format_conductance(value: float) -> str:
+    """Conductance/transconductance in siemens, e.g. ``101uS``."""
+    return format_engineering(value, "S")
+
+
+def format_capacitance(value: float) -> str:
+    """Capacitance in farads, e.g. ``541aF``."""
+    return format_engineering(value, "F")
+
+
+def format_current(value: float) -> str:
+    """Current in amperes, e.g. ``16.0uA``."""
+    return format_engineering(value, "A")

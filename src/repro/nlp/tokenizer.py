@@ -1,0 +1,109 @@
+"""Character-level tokenization (CLT) and the shared vocabulary.
+
+CLT is the paper's baseline tokenizer (Sec. III-C): every character of a
+DP-SFG sequence is one token.  It is simple but produces long sequences;
+the restricted BPE in :mod:`repro.nlp.bpe` compresses them (the paper
+reports 3.77x).
+
+The :class:`Vocabulary` maps tokens to integer ids with the four special
+tokens every sequence model needs (pad / begin / end / unknown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["PAD", "BOS", "EOS", "UNK", "SPECIAL_TOKENS", "Vocabulary", "char_tokenize", "char_detokenize"]
+
+PAD = "<pad>"
+BOS = "<bos>"
+EOS = "<eos>"
+UNK = "<unk>"
+SPECIAL_TOKENS = (PAD, BOS, EOS, UNK)
+
+
+def char_tokenize(text: str) -> list[str]:
+    """Character-level tokenization: each character is one token."""
+    return list(text)
+
+
+def char_detokenize(tokens: Sequence[str]) -> str:
+    """Inverse of :func:`char_tokenize` (specials are dropped)."""
+    return "".join(token for token in tokens if token not in SPECIAL_TOKENS)
+
+
+@dataclass
+class Vocabulary:
+    """Bidirectional token <-> id mapping with special tokens first."""
+
+    token_to_id: dict[str, int] = field(default_factory=dict)
+    id_to_token: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.id_to_token:
+            for token in SPECIAL_TOKENS:
+                self._add(token)
+
+    def _add(self, token: str) -> int:
+        if token in self.token_to_id:
+            return self.token_to_id[token]
+        index = len(self.id_to_token)
+        self.token_to_id[token] = index
+        self.id_to_token.append(token)
+        return index
+
+    @classmethod
+    def from_tokens(cls, tokens: Iterable[str]) -> "Vocabulary":
+        """Build a vocabulary from an iterable of tokens (deduplicated,
+        insertion ordered, specials first)."""
+        vocab = cls()
+        for token in tokens:
+            vocab._add(token)
+        return vocab
+
+    def add(self, token: str) -> int:
+        """Register a token (idempotent); returns its id."""
+        return self._add(token)
+
+    def __len__(self) -> int:
+        return len(self.id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.token_to_id
+
+    @property
+    def pad_id(self) -> int:
+        return self.token_to_id[PAD]
+
+    @property
+    def bos_id(self) -> int:
+        return self.token_to_id[BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self.token_to_id[EOS]
+
+    @property
+    def unk_id(self) -> int:
+        return self.token_to_id[UNK]
+
+    def encode(self, tokens: Sequence[str], add_bos: bool = False, add_eos: bool = False) -> list[int]:
+        """Token strings -> ids, mapping unknown tokens to ``<unk>``."""
+        ids = [self.token_to_id.get(token, self.unk_id) for token in tokens]
+        if add_bos:
+            ids.insert(0, self.bos_id)
+        if add_eos:
+            ids.append(self.eos_id)
+        return ids
+
+    def decode(self, ids: Sequence[int], strip_special: bool = True) -> list[str]:
+        """Ids -> token strings; out-of-range ids raise ``IndexError``."""
+        tokens = [self.id_to_token[i] for i in ids]
+        if strip_special:
+            tokens = [t for t in tokens if t not in SPECIAL_TOKENS]
+        return tokens
+
+    def decode_to_text(self, ids: Sequence[int]) -> str:
+        """Ids -> concatenated surface text (specials stripped)."""
+        return "".join(self.decode(ids))

@@ -1,0 +1,39 @@
+"""SPICE substrate: netlists, DC operating point, AC analysis, sweeps."""
+
+from .ac import ACResult, default_frequency_grid, run_ac
+from .dc import ConvergenceError, DCSolution, solve_dc
+from .export import parse_netlist, to_spice
+from .metrics import PerformanceMetrics, crossing_frequency, extract_metrics
+from .netlist import GROUND, Capacitor, Circuit, ISource, Resistor, VSource
+from .sweep import (
+    CharacterizationResult,
+    ICMRResult,
+    characterize_device,
+    dc_transfer_sweep,
+    icmr_sweep,
+)
+
+__all__ = [
+    "ACResult",
+    "default_frequency_grid",
+    "run_ac",
+    "ConvergenceError",
+    "parse_netlist",
+    "to_spice",
+    "DCSolution",
+    "solve_dc",
+    "PerformanceMetrics",
+    "crossing_frequency",
+    "extract_metrics",
+    "GROUND",
+    "Capacitor",
+    "Circuit",
+    "ISource",
+    "Resistor",
+    "VSource",
+    "CharacterizationResult",
+    "ICMRResult",
+    "characterize_device",
+    "dc_transfer_sweep",
+    "icmr_sweep",
+]

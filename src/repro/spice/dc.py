@@ -1,0 +1,335 @@
+"""Nonlinear DC operating-point solver (Newton-Raphson on MNA).
+
+This is the substrate that stands in for the Spectre/SPICE operating-point
+analyses used throughout the paper (dataset generation, LUT
+characterization, verification).  It builds the standard modified nodal
+analysis (MNA) system
+
+* one KCL residual per non-ground node,
+* one branch-current unknown plus one voltage constraint per independent
+  voltage source,
+
+and solves ``f(x) = 0`` with damped Newton iterations.  Convergence
+robustness comes from three stacked strategies, tried in order:
+
+1. plain damped Newton from the initial guess,
+2. gmin stepping (a large conductance to ground is ramped down decade by
+   decade), and
+3. source stepping (supplies ramped from 0 to full value).
+
+These are the same continuation tricks production SPICE engines use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..devices import OperatingPoint
+from .netlist import GROUND, Circuit
+
+__all__ = ["DCSolution", "ConvergenceError", "solve_dc"]
+
+#: Shunt conductance to ground added at every node for conditioning (S).
+GMIN = 1e-12
+
+#: Maximum allowed Newton voltage update per iteration (V).
+MAX_STEP = 0.5
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when all DC continuation strategies fail to converge."""
+
+
+@dataclass
+class DCSolution:
+    """Result of a DC operating-point solve."""
+
+    circuit: Circuit
+    node_voltages: dict[str, float]
+    source_currents: dict[str, float]
+    iterations: int
+    strategy: str
+    operating_points: dict[str, OperatingPoint] = field(default_factory=dict)
+
+    def voltage(self, node: str) -> float:
+        """Voltage of ``node`` (ground is always 0 V)."""
+        if node == GROUND:
+            return 0.0
+        return self.node_voltages[node]
+
+    def op(self, mosfet_name: str) -> OperatingPoint:
+        """Operating point of the named MOSFET."""
+        return self.operating_points[mosfet_name]
+
+    def kcl_residual(self) -> float:
+        """Max KCL residual (A) over all nodes -- a correctness self-check."""
+        system = _MNASystem(self.circuit)
+        x = system.pack(self.node_voltages, self.source_currents)
+        residual, _ = system.residual_and_jacobian(x, source_scale=1.0, gmin=GMIN)
+        return float(np.max(np.abs(residual[: system.n_nodes]))) if system.n_nodes else 0.0
+
+
+class _MNASystem:
+    """Assembles residual and Jacobian of the nonlinear MNA equations."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.node_names = circuit.nodes()
+        self.n_nodes = len(self.node_names)
+        self.n_sources = len(circuit.vsources)
+        self.size = self.n_nodes + self.n_sources
+        self._index = {name: i for i, name in enumerate(self.node_names)}
+
+    # ------------------------------------------------------------------
+    def node_index(self, name: str) -> Optional[int]:
+        """Index of a node in the unknown vector; ``None`` for ground."""
+        if name == GROUND:
+            return None
+        return self._index[name]
+
+    def pack(
+        self, voltages: dict[str, float], currents: dict[str, float]
+    ) -> np.ndarray:
+        x = np.zeros(self.size)
+        for name, idx in self._index.items():
+            x[idx] = voltages.get(name, 0.0)
+        for k, source in enumerate(self.circuit.vsources):
+            x[self.n_nodes + k] = currents.get(source.name, 0.0)
+        return x
+
+    def unpack(self, x: np.ndarray) -> tuple[dict[str, float], dict[str, float]]:
+        voltages = {name: float(x[idx]) for name, idx in self._index.items()}
+        currents = {
+            source.name: float(x[self.n_nodes + k])
+            for k, source in enumerate(self.circuit.vsources)
+        }
+        return voltages, currents
+
+    # ------------------------------------------------------------------
+    def residual_and_jacobian(
+        self, x: np.ndarray, source_scale: float, gmin: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Evaluate ``f(x)`` and ``J(x)`` at the given point.
+
+        ``source_scale`` multiplies every independent source value (used by
+        the source-stepping continuation).  ``gmin`` is the shunt
+        conductance to ground at each node.
+        """
+        circuit = self.circuit
+        n = self.n_nodes
+        f = np.zeros(self.size)
+        jac = np.zeros((self.size, self.size))
+
+        def volt(idx: Optional[int]) -> float:
+            return 0.0 if idx is None else float(x[idx])
+
+        # gmin shunts keep floating subcircuits well-conditioned.
+        for idx in range(n):
+            f[idx] += gmin * x[idx]
+            jac[idx, idx] += gmin
+
+        for res in circuit.resistors:
+            i1, i2 = self.node_index(res.node1), self.node_index(res.node2)
+            g = res.conductance
+            current = g * (volt(i1) - volt(i2))
+            if i1 is not None:
+                f[i1] += current
+                jac[i1, i1] += g
+                if i2 is not None:
+                    jac[i1, i2] -= g
+            if i2 is not None:
+                f[i2] -= current
+                jac[i2, i2] += g
+                if i1 is not None:
+                    jac[i2, i1] -= g
+
+        for src in circuit.isources:
+            ip, in_ = self.node_index(src.pos), self.node_index(src.neg)
+            value = src.dc * source_scale
+            if ip is not None:
+                f[ip] += value
+            if in_ is not None:
+                f[in_] -= value
+
+        for mosfet in circuit.mosfets:
+            id_, ig, is_ = (
+                self.node_index(mosfet.drain),
+                self.node_index(mosfet.gate),
+                self.node_index(mosfet.source),
+            )
+            vd, vg, vs = volt(id_), volt(ig), volt(is_)
+            ids = mosfet.ids(vd, vg, vs)
+            gm, gds = mosfet.conductances(vd, vg, vs)
+            # Current i_ds leaves the drain node and enters the source node.
+            if id_ is not None:
+                f[id_] += ids
+                jac[id_, id_] += gds
+                if ig is not None:
+                    jac[id_, ig] += gm
+                if is_ is not None:
+                    jac[id_, is_] -= gm + gds
+            if is_ is not None:
+                f[is_] -= ids
+                jac[is_, is_] += gm + gds
+                if id_ is not None:
+                    jac[is_, id_] -= gds
+                if ig is not None:
+                    jac[is_, ig] -= gm
+
+        for k, src in enumerate(circuit.vsources):
+            row = n + k
+            ip, in_ = self.node_index(src.pos), self.node_index(src.neg)
+            branch_current = float(x[row])
+            # Branch current flows out of the positive node.
+            if ip is not None:
+                f[ip] += branch_current
+                jac[ip, row] += 1.0
+            if in_ is not None:
+                f[in_] -= branch_current
+                jac[in_, row] -= 1.0
+            f[row] = volt(ip) - volt(in_) - src.dc * source_scale
+            if ip is not None:
+                jac[row, ip] += 1.0
+            if in_ is not None:
+                jac[row, in_] -= 1.0
+
+        return f, jac
+
+
+def _newton(
+    system: _MNASystem,
+    x0: np.ndarray,
+    source_scale: float,
+    gmin: float,
+    max_iterations: int = 150,
+    abstol: float = 1e-10,
+    reltol: float = 1e-9,
+) -> tuple[np.ndarray, int]:
+    """Damped Newton iteration; returns the solution and iteration count."""
+    x = x0.copy()
+    for iteration in range(1, max_iterations + 1):
+        f, jac = system.residual_and_jacobian(x, source_scale, gmin)
+        try:
+            dx = np.linalg.solve(jac, -f)
+        except np.linalg.LinAlgError:
+            dx = np.linalg.lstsq(jac, -f, rcond=None)[0]
+        # Voltage-step damping: scale the whole update so no node moves
+        # more than MAX_STEP volts in one iteration.
+        v_step = np.max(np.abs(dx[: system.n_nodes])) if system.n_nodes else 0.0
+        if v_step > MAX_STEP:
+            dx *= MAX_STEP / v_step
+        x += dx
+        node_residual = (
+            float(np.max(np.abs(f[: system.n_nodes]))) if system.n_nodes else 0.0
+        )
+        if node_residual < abstol and float(np.max(np.abs(dx), initial=0.0)) < reltol:
+            return x, iteration
+    raise ConvergenceError(
+        f"Newton failed after {max_iterations} iterations "
+        f"(source_scale={source_scale}, gmin={gmin})"
+    )
+
+
+def _default_guess(system: _MNASystem) -> np.ndarray:
+    """Heuristic starting point: source nodes pinned, others at mid-rail."""
+    circuit = system.circuit
+    supply = max((abs(src.dc) for src in circuit.vsources), default=1.0)
+    x = np.full(system.size, 0.0)
+    x[: system.n_nodes] = supply / 2.0
+    for src in circuit.vsources:
+        ip = system.node_index(src.pos)
+        in_ = system.node_index(src.neg)
+        if ip is not None and in_ is None:
+            x[ip] = src.dc
+        elif ip is None and in_ is not None:
+            x[in_] = -src.dc
+    return x
+
+
+def solve_dc(
+    circuit: Circuit,
+    initial_guess: Optional[dict[str, float]] = None,
+    max_iterations: int = 150,
+) -> DCSolution:
+    """Solve the DC operating point of ``circuit``.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist to solve.
+    initial_guess:
+        Optional mapping from node name to starting voltage; unknown nodes
+        fall back to the built-in heuristic.
+    max_iterations:
+        Newton iteration cap per continuation stage.
+
+    Raises
+    ------
+    ConvergenceError
+        If plain Newton, gmin stepping and source stepping all fail.
+    """
+    system = _MNASystem(circuit)
+    x0 = _default_guess(system)
+    if initial_guess:
+        for name, value in initial_guess.items():
+            idx = system.node_index(name)
+            if idx is not None:
+                x0[idx] = value
+
+    total_iterations = 0
+
+    # Strategy 1: plain damped Newton.
+    try:
+        x, iters = _newton(system, x0, 1.0, GMIN, max_iterations)
+        return _finalize(system, x, iters, "newton")
+    except ConvergenceError:
+        pass
+
+    # Strategy 2: gmin stepping.
+    x = x0.copy()
+    try:
+        for exponent in range(3, 13):
+            gmin = 10.0 ** (-exponent)
+            x, iters = _newton(system, x, 1.0, gmin, max_iterations)
+            total_iterations += iters
+        return _finalize(system, x, total_iterations, "gmin-stepping")
+    except ConvergenceError:
+        pass
+
+    # Strategy 3: source stepping.
+    x = np.zeros(system.size)
+    total_iterations = 0
+    try:
+        for scale in np.linspace(0.1, 1.0, 10):
+            x, iters = _newton(system, x, float(scale), GMIN, max_iterations)
+            total_iterations += iters
+        return _finalize(system, x, total_iterations, "source-stepping")
+    except ConvergenceError as exc:
+        raise ConvergenceError(
+            f"DC solve failed for circuit {circuit.name!r} with all strategies"
+        ) from exc
+
+
+def _finalize(system: _MNASystem, x: np.ndarray, iterations: int, strategy: str) -> DCSolution:
+    voltages, currents = system.unpack(x)
+
+    def volt(node: str) -> float:
+        return 0.0 if node == GROUND else voltages[node]
+
+    ops = {
+        mosfet.name: mosfet.operating_point(
+            volt(mosfet.drain), volt(mosfet.gate), volt(mosfet.source)
+        )
+        for mosfet in system.circuit.mosfets
+    }
+    return DCSolution(
+        circuit=system.circuit,
+        node_voltages=voltages,
+        source_currents=currents,
+        iterations=iterations,
+        strategy=strategy,
+        operating_points=ops,
+    )

@@ -1,0 +1,114 @@
+"""Export a :class:`~repro.spice.netlist.Circuit` as a SPICE deck.
+
+The sizing flow's end product is "a fully sized netlist" (Fig. 3); this
+module writes it in standard SPICE card format so the design can be handed
+to any external simulator or layout tool.  The exporter emits:
+
+* ``.param``-free flat cards (one element per line),
+* MOSFETs as 4-terminal ``M<name>`` cards with bulk tied to source and
+  explicit ``W=``/``L=``,
+* a ``.model`` card per referenced device type (level-1 placeholders
+  carrying the EKV parameter set as a comment, since the EKV model used
+  here has no exact SPICE level),
+* DC values for every independent source (AC magnitudes as ``AC <mag>``).
+
+A tiny parser (:func:`parse_netlist`) reads the same dialect back, which
+makes round-trip tests possible and gives users a text-file entry point to
+the library.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..devices import NMOS_65NM, PMOS_65NM, TechParams
+from .netlist import Circuit
+
+__all__ = ["to_spice", "parse_netlist"]
+
+_TECH_BY_MODEL_NAME = {
+    NMOS_65NM.name: NMOS_65NM,
+    PMOS_65NM.name: PMOS_65NM,
+}
+
+
+def to_spice(circuit: Circuit, title: str = "") -> str:
+    """Render ``circuit`` as a SPICE deck string."""
+    lines = [f"* {title or circuit.name}"]
+    models: dict[str, TechParams] = {}
+    for device in circuit.mosfets:
+        models[device.tech.name] = device.tech
+        lines.append(
+            f"M{device.name} {device.drain} {device.gate} {device.source} "
+            f"{device.source} {device.tech.name} W={device.width:.6g} L={device.length:.6g}"
+        )
+    for res in circuit.resistors:
+        lines.append(f"R{res.name} {res.node1} {res.node2} {res.resistance:.6g}")
+    for cap in circuit.capacitors:
+        lines.append(f"C{cap.name} {cap.node1} {cap.node2} {cap.capacitance:.6g}")
+    for src in circuit.vsources:
+        card = f"V{src.name} {src.pos} {src.neg} DC {src.dc:.6g}"
+        if src.ac:
+            card += f" AC {src.ac:.6g}"
+        lines.append(card)
+    for src in circuit.isources:
+        card = f"I{src.name} {src.pos} {src.neg} DC {src.dc:.6g}"
+        if src.ac:
+            card += f" AC {src.ac:.6g}"
+        lines.append(card)
+    for name, tech in sorted(models.items()):
+        kind = "NMOS" if tech.is_nmos else "PMOS"
+        lines.append(
+            f".model {name} {kind} "
+            f"* EKV: vt0={tech.vt0} n={tech.n_slope} kp={tech.kp} lambda_l={tech.lambda_l}"
+        )
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def parse_netlist(text: str, name: str = "imported") -> Circuit:
+    """Parse the dialect written by :func:`to_spice` back into a Circuit.
+
+    Supported cards: ``M`` (4-terminal MOSFET with ``W=``/``L=``), ``R``,
+    ``C``, ``V``/``I`` (``DC <v> [AC <m>]``); comments (``*``) and ``.``
+    directives other than ``.model`` references are skipped.
+    """
+    circuit = Circuit(name=name)
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("*") or line.lower().startswith((".end", ".model")):
+            continue
+        fields = line.split()
+        card, label = fields[0][0].upper(), fields[0][1:]
+        if card == "M":
+            drain, gate, source, _bulk, model_name = fields[1:6]
+            tech = _TECH_BY_MODEL_NAME.get(model_name)
+            if tech is None:
+                raise ValueError(f"unknown device model {model_name!r}")
+            geometry = {
+                key.upper(): float(value)
+                for key, _, value in (field.partition("=") for field in fields[6:])
+                if value
+            }
+            circuit.add_mosfet(label, drain, gate, source, tech, geometry["W"], geometry["L"])
+        elif card == "R":
+            circuit.add_resistor(label, fields[1], fields[2], float(fields[3]))
+        elif card == "C":
+            circuit.add_capacitor(label, fields[1], fields[2], float(fields[3]))
+        elif card in ("V", "I"):
+            dc = 0.0
+            ac = 0.0
+            tokens = [f.upper() for f in fields[3:]]
+            values = fields[3:]
+            for i, token in enumerate(tokens):
+                if token == "DC" and i + 1 < len(values):
+                    dc = float(values[i + 1])
+                elif token == "AC" and i + 1 < len(values):
+                    ac = float(values[i + 1])
+            if card == "V":
+                circuit.add_vsource(label, fields[1], fields[2], dc, ac)
+            else:
+                circuit.add_isource(label, fields[1], fields[2], dc, ac)
+        else:
+            raise ValueError(f"unsupported SPICE card: {line!r}")
+    return circuit

@@ -1,0 +1,85 @@
+"""Extraction of the paper's three performance metrics from an AC response.
+
+The paper evaluates OTAs on gain, 3 dB bandwidth, and unity-gain frequency
+(UGF).  These are extracted from the magnitude response on the log-frequency
+grid with log-log interpolation at the crossings, which is accurate for the
+single- and two-pole responses of the studied topologies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .ac import ACResult
+
+__all__ = ["PerformanceMetrics", "extract_metrics", "crossing_frequency"]
+
+
+@dataclass(frozen=True)
+class PerformanceMetrics:
+    """Gain / bandwidth / UGF triple, the paper's specification vector.
+
+    Attributes
+    ----------
+    gain_db:
+        Low-frequency (DC) gain in dB.
+    f3db_hz:
+        Frequency where the magnitude drops 3 dB below the DC gain, in Hz
+        (``nan`` if the response never drops within the analyzed band).
+    ugf_hz:
+        Unity-gain frequency in Hz (``nan`` if the gain never crosses 0 dB
+        within the analyzed band, e.g. for sub-unity-gain designs).
+    """
+
+    gain_db: float
+    f3db_hz: float
+    ugf_hz: float
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.gain_db, self.f3db_hz, self.ugf_hz])
+
+    @property
+    def gain_linear(self) -> float:
+        return 10.0 ** (self.gain_db / 20.0)
+
+    def is_valid(self) -> bool:
+        """True when all three metrics were resolvable on the grid."""
+        return all(math.isfinite(v) for v in (self.gain_db, self.f3db_hz, self.ugf_hz))
+
+
+def crossing_frequency(
+    frequencies: np.ndarray, magnitude_db: np.ndarray, level_db: float
+) -> float:
+    """First downward crossing of ``level_db``, log-log interpolated (Hz).
+
+    Returns ``nan`` when the response never crosses the level from above
+    within the grid.
+    """
+    freqs = np.asarray(frequencies, dtype=float)
+    mags = np.asarray(magnitude_db, dtype=float)
+    if freqs.shape != mags.shape or freqs.ndim != 1:
+        raise ValueError("frequencies and magnitude_db must be 1-D and equal length")
+    above = mags >= level_db
+    for i in range(len(freqs) - 1):
+        if above[i] and not above[i + 1]:
+            # Linear interpolation in (log f, dB) space.
+            log_f1, log_f2 = np.log10(freqs[i]), np.log10(freqs[i + 1])
+            m1, m2 = mags[i], mags[i + 1]
+            if m1 == m2:
+                return float(freqs[i])
+            frac = (m1 - level_db) / (m1 - m2)
+            return float(10.0 ** (log_f1 + frac * (log_f2 - log_f1)))
+    return float("nan")
+
+
+def extract_metrics(result: ACResult, output_node: str) -> PerformanceMetrics:
+    """Compute gain, f3dB and UGF of ``output_node``'s response."""
+    magnitude_db = result.magnitude_db(output_node)
+    gain_db = float(magnitude_db[0])
+    f3db = crossing_frequency(result.frequencies, magnitude_db, gain_db - 3.0)
+    ugf = crossing_frequency(result.frequencies, magnitude_db, 0.0)
+    return PerformanceMetrics(gain_db=gain_db, f3db_hz=f3db, ugf_hz=ugf)

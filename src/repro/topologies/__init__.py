@@ -1,0 +1,30 @@
+"""OTA topologies of Fig. 6 and the active-inductor example of Fig. 2."""
+
+from .active_inductor import build_active_inductor
+from .base import DeviceGroup, MeasurementResult, OTATopology
+from .current_mirror import CurrentMirrorOTA
+from .five_t import FiveTransistorOTA
+from .two_stage import TwoStageOTA
+
+__all__ = [
+    "build_active_inductor",
+    "DeviceGroup",
+    "MeasurementResult",
+    "OTATopology",
+    "CurrentMirrorOTA",
+    "FiveTransistorOTA",
+    "TwoStageOTA",
+    "ALL_TOPOLOGIES",
+    "topology_by_name",
+]
+
+#: Factory functions for the three studied topologies, in paper order.
+ALL_TOPOLOGIES = (FiveTransistorOTA, CurrentMirrorOTA, TwoStageOTA)
+
+
+def topology_by_name(name: str) -> OTATopology:
+    """Instantiate a topology from its paper name (``"5T-OTA"`` etc.)."""
+    for factory in ALL_TOPOLOGIES:
+        if factory.name == name:
+            return factory()
+    raise KeyError(f"unknown topology {name!r}")

@@ -1,0 +1,224 @@
+"""Base class for the OTA topologies of Fig. 6.
+
+Every topology knows how to
+
+* build a fully sized :class:`~repro.spice.netlist.Circuit` from a width
+  vector (one width per *matched device group*, enforcing the paper's
+  matching constraints for current mirrors and differential pairs),
+* measure its performance metrics (gain / 3 dB BW / UGF) through the SPICE
+  substrate, and
+* produce its symbolic DP-SFG and path inventory (Stage I of the flow).
+
+Widths are always expressed per device *group*: the paper enforces matching
+between e.g. M1/M2 and M3/M4, so the free design variables are the group
+widths, and the representative device of each group names the group.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..devices import TechParams
+from ..dpsfg import DPSFG, build_dpsfg, enumerate_paths, PathInventory
+from ..spice import Circuit, DCSolution, PerformanceMetrics, extract_metrics, run_ac, solve_dc
+
+__all__ = ["DeviceGroup", "OTATopology", "MeasurementResult"]
+
+
+@dataclass(frozen=True)
+class DeviceGroup:
+    """A set of matched devices sharing one width.
+
+    ``region`` is the inversion region the paper's data generation enforces
+    for this group (``"weak"`` for differential pairs, ``"strong"`` for
+    current mirrors, ``None`` for unconstrained devices like tails, which
+    only need to stay saturated).
+    """
+
+    name: str
+    devices: tuple[str, ...]
+    role: str
+    tech: TechParams
+    region: Optional[str] = None
+    width_bounds: tuple[float, float] = (0.7e-6, 50e-6)
+
+    def __post_init__(self) -> None:
+        if self.name not in self.devices:
+            raise ValueError(f"group name {self.name!r} must be one of its devices")
+        low, high = self.width_bounds
+        if not (0 < low < high):
+            raise ValueError(f"invalid width bounds {self.width_bounds}")
+
+
+@dataclass
+class MeasurementResult:
+    """Everything one 'SPICE run' of a sized design yields."""
+
+    circuit: Circuit
+    dc: DCSolution
+    metrics: PerformanceMetrics
+    device_params: dict[str, dict[str, float]]
+
+    def all_saturated(self) -> bool:
+        return all(op.saturated for op in self.dc.operating_points.values())
+
+
+class OTATopology(ABC):
+    """Abstract OTA topology: subclasses define groups and netlist shape."""
+
+    #: Human-readable topology name, e.g. ``"5T-OTA"``.
+    name: str = "OTA"
+    #: Load capacitance (the paper fixes ``CL = 500 fF``).
+    load_capacitance: float = 500e-15
+    #: Channel length for all devices (the paper fixes ``L = 180 nm``).
+    length: float = 180e-9
+    #: Supply voltage.
+    vdd: float = 1.2
+    #: Default input common-mode voltage.
+    vcm: float = 0.6
+    #: Names of the differential input voltage sources.
+    input_sources: tuple[str, str] = ("VINP", "VINN")
+    #: Circuit node observed as the OTA output.
+    output_node: str = "out"
+    #: Inversion-coefficient thresholds for the region filters.  The paper
+    #: enforces weak inversion for differential pairs and strong inversion
+    #: for current mirrors; the exact IC cutoffs are calibration knobs of
+    #: our substrate (classic EKV boundaries are 1 and 10 -- we accept
+    #: upper-moderate mirrors at IC > 5 so the 0.7 um minimum width of the
+    #: sweep box remains usable at the paper's bias currents).
+    weak_ic_max: float = 1.0
+    strong_ic_min: float = 5.0
+
+    def __init__(self) -> None:
+        self._symbolic_cache: Optional[DPSFG] = None
+        self._inventory_cache: Optional[PathInventory] = None
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def groups(self) -> tuple[DeviceGroup, ...]:
+        """Matched device groups, in schematic order."""
+
+    @abstractmethod
+    def build(self, widths: Mapping[str, float], vcm: Optional[float] = None) -> Circuit:
+        """Construct the sized netlist from per-group widths."""
+
+    def initial_guess(self) -> dict[str, float]:
+        """Node-voltage starting point for the DC solver (override freely)."""
+        return {}
+
+    # ------------------------------------------------------------------
+    # Common helpers
+    # ------------------------------------------------------------------
+    @property
+    def group_names(self) -> tuple[str, ...]:
+        return tuple(group.name for group in self.groups)
+
+    def group(self, name: str) -> DeviceGroup:
+        for group in self.groups:
+            if group.name == name:
+                return group
+        raise KeyError(f"no device group {name!r} in {self.name}")
+
+    def device_to_group(self) -> dict[str, str]:
+        """Map every device name to its group's representative name."""
+        mapping: dict[str, str] = {}
+        for group in self.groups:
+            for device in group.devices:
+                mapping[device] = group.name
+        return mapping
+
+    def validate_widths(self, widths: Mapping[str, float]) -> dict[str, float]:
+        """Check a width vector covers every group and respects bounds."""
+        checked: dict[str, float] = {}
+        for group in self.groups:
+            if group.name not in widths:
+                raise KeyError(f"missing width for group {group.name!r}")
+            value = float(widths[group.name])
+            if value <= 0:
+                raise ValueError(f"group {group.name!r}: width must be positive")
+            checked[group.name] = value
+        return checked
+
+    def expand_widths(self, widths: Mapping[str, float]) -> dict[str, float]:
+        """Per-group widths -> per-device widths (matching constraints)."""
+        checked = self.validate_widths(widths)
+        expanded: dict[str, float] = {}
+        for group in self.groups:
+            for device in group.devices:
+                expanded[device] = checked[group.name]
+        return expanded
+
+    def nominal_widths(self) -> dict[str, float]:
+        """Geometric-mean width per group (a sane starting design)."""
+        return {
+            group.name: float(np.sqrt(group.width_bounds[0] * group.width_bounds[1]))
+            for group in self.groups
+        }
+
+    # ------------------------------------------------------------------
+    # Measurement (one "SPICE simulation" of the paper's flow)
+    # ------------------------------------------------------------------
+    def measure(
+        self,
+        widths: Mapping[str, float],
+        vcm: Optional[float] = None,
+        frequencies: Optional[np.ndarray] = None,
+    ) -> MeasurementResult:
+        """Build, solve DC, run AC and extract the paper's three metrics."""
+        circuit = self.build(widths, vcm=vcm)
+        dc = solve_dc(circuit, initial_guess=self.initial_guess())
+        ac = run_ac(dc, frequencies=frequencies)
+        metrics = extract_metrics(ac, self.output_node)
+        device_params = {
+            name: {
+                "gm": op.small_signal.gm,
+                "gds": op.small_signal.gds,
+                "cds": op.small_signal.cds,
+                "cgs": op.small_signal.cgs,
+                "id": abs(op.small_signal.id),
+            }
+            for name, op in dc.operating_points.items()
+        }
+        return MeasurementResult(circuit=circuit, dc=dc, metrics=metrics, device_params=device_params)
+
+    def regions_ok(self, dc: DCSolution) -> bool:
+        """Check the paper's region-of-operation constraints (Sec. IV-A)."""
+        for group in self.groups:
+            for device in group.devices:
+                op = dc.op(device)
+                if not op.saturated:
+                    return False
+                if group.region == "weak" and op.inversion_coefficient >= self.weak_ic_max:
+                    return False
+                if group.region == "strong" and op.inversion_coefficient <= self.strong_ic_min:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # DP-SFG (Stage I)
+    # ------------------------------------------------------------------
+    def symbolic_dpsfg(self) -> DPSFG:
+        """Topology-level DP-SFG with symbolic device parameters.
+
+        The graph structure depends only on connectivity, never on widths,
+        so it is cached; the encoder sequences for every design of one
+        topology share it (Sec. IV-A: the encoder paths 'maintain
+        consistency across all designs within a specific topology').
+        """
+        if self._symbolic_cache is None:
+            circuit = self.build(self.nominal_widths())
+            self._symbolic_cache = build_dpsfg(circuit, self.output_node)
+        return self._symbolic_cache
+
+    def path_inventory(self) -> PathInventory:
+        """Cached forward-path/cycle inventory of the symbolic DP-SFG."""
+        if self._inventory_cache is None:
+            self._inventory_cache = enumerate_paths(self.symbolic_dpsfg())
+        return self._inventory_cache

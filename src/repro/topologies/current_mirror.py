@@ -1,0 +1,118 @@
+"""Current-mirror OTA (Fig. 6(b), Tables IV/V).
+
+Nine devices in five matched groups (Table IV's roles):
+
+* M1/M2 -- PMOS diode-connected mirror loads of the input branches
+  (strong inversion);
+* M3/M4 -- NMOS differential pair (weak inversion);
+* M5   -- NMOS tail;
+* M6/M7 -- PMOS mirror outputs copying the branch currents (M6 feeds the
+  folding mirror, M7 feeds the output; strong inversion);
+* M8/M9 -- NMOS folding mirror (M8 diode-connected; strong inversion).
+
+The current-mirror gain ``K = W(M6)/W(M1)`` is a free design ratio, which
+is how this topology reaches higher UGF than the 5T-OTA at the same tail
+current -- the shape Table I/V report.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..devices import NMOS_65NM, PMOS_65NM
+from ..spice import Circuit
+from .base import DeviceGroup, OTATopology
+
+__all__ = ["CurrentMirrorOTA"]
+
+
+class CurrentMirrorOTA(OTATopology):
+    """The CM-OTA of Fig. 6(b)."""
+
+    name = "CM-OTA"
+    tail_bias = 0.48
+
+    _GROUPS = (
+        DeviceGroup(
+            name="M1",
+            devices=("M1", "M2"),
+            role="Matched CM load",
+            tech=PMOS_65NM,
+            region="strong",
+            width_bounds=(0.7e-6, 2.5e-6),
+        ),
+        DeviceGroup(
+            name="M3",
+            devices=("M3", "M4"),
+            role="DP",
+            tech=NMOS_65NM,
+            region="weak",
+            width_bounds=(5e-6, 50e-6),
+        ),
+        DeviceGroup(
+            name="M5",
+            devices=("M5",),
+            role="Tail MOS",
+            tech=NMOS_65NM,
+            region=None,
+            width_bounds=(0.7e-6, 12e-6),
+        ),
+        DeviceGroup(
+            name="M6",
+            devices=("M6", "M7"),
+            role="Matched CM load",
+            tech=PMOS_65NM,
+            region="strong",
+            width_bounds=(0.7e-6, 5e-6),
+        ),
+        DeviceGroup(
+            name="M8",
+            devices=("M8", "M9"),
+            role="Matched CM load",
+            tech=NMOS_65NM,
+            region="strong",
+            width_bounds=(0.7e-6, 2e-6),
+        ),
+    )
+
+    @property
+    def groups(self) -> tuple[DeviceGroup, ...]:
+        return self._GROUPS
+
+    def build(self, widths: Mapping[str, float], vcm: Optional[float] = None) -> Circuit:
+        per_device = self.expand_widths(widths)
+        vcm_value = self.vcm if vcm is None else vcm
+        circuit = Circuit(name=self.name)
+        circuit.add_vsource("VDD", "vdd", "0", self.vdd, ac=0.0)
+        circuit.add_vsource("VINP", "inp", "0", vcm_value, ac=+0.5)
+        circuit.add_vsource("VINN", "inn", "0", vcm_value, ac=-0.5)
+        circuit.add_vsource("VB1", "vb1", "0", self.tail_bias, ac=0.0)
+
+        length = self.length
+        # Input branches with diode-connected PMOS loads.
+        circuit.add_mosfet("M1", "a", "a", "vdd", PMOS_65NM, per_device["M1"], length)
+        circuit.add_mosfet("M2", "b", "b", "vdd", PMOS_65NM, per_device["M2"], length)
+        circuit.add_mosfet("M3", "a", "inp", "tail", NMOS_65NM, per_device["M3"], length)
+        circuit.add_mosfet("M4", "b", "inn", "tail", NMOS_65NM, per_device["M4"], length)
+        circuit.add_mosfet("M5", "tail", "vb1", "0", NMOS_65NM, per_device["M5"], length)
+        # Mirror outputs: M6 copies branch A into the folding mirror M8/M9;
+        # M7 copies branch B straight to the output.
+        circuit.add_mosfet("M6", "c", "a", "vdd", PMOS_65NM, per_device["M6"], length)
+        circuit.add_mosfet("M7", "out", "b", "vdd", PMOS_65NM, per_device["M7"], length)
+        circuit.add_mosfet("M8", "c", "c", "0", NMOS_65NM, per_device["M8"], length)
+        circuit.add_mosfet("M9", "out", "c", "0", NMOS_65NM, per_device["M9"], length)
+        circuit.add_capacitor("CL", "out", "0", self.load_capacitance)
+        return circuit
+
+    def initial_guess(self) -> dict[str, float]:
+        return {
+            "vdd": self.vdd,
+            "inp": self.vcm,
+            "inn": self.vcm,
+            "vb1": self.tail_bias,
+            "a": 0.50,
+            "b": 0.50,
+            "c": 0.55,
+            "out": 0.60,
+            "tail": 0.20,
+        }

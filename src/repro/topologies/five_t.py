@@ -1,0 +1,91 @@
+"""Five-transistor OTA (Fig. 6(a), Tables II/III).
+
+Schematic (Table II's roles):
+
+* M1/M2 -- PMOS active current-mirror load (M1 diode-connected), matched,
+  required to operate in strong inversion;
+* M3/M4 -- NMOS differential pair, matched, required in weak inversion;
+* M5   -- NMOS tail current source, gate at a fixed bias voltage.
+
+Nodes: ``d1`` (M1/M3 drains), ``out`` (M2/M4 drains, loaded by CL),
+``tail`` (DP sources / M5 drain).  Inputs drive the DP gates differentially
+(``ac = +-0.5`` so the differential input magnitude is 1).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..devices import NMOS_65NM, PMOS_65NM
+from ..spice import Circuit
+from .base import DeviceGroup, OTATopology
+
+__all__ = ["FiveTransistorOTA"]
+
+
+class FiveTransistorOTA(OTATopology):
+    """The 5T-OTA of Fig. 6(a)."""
+
+    name = "5T-OTA"
+    #: Tail gate bias: moderate inversion for the tail device.
+    tail_bias = 0.48
+
+    _GROUPS = (
+        DeviceGroup(
+            name="M1",
+            devices=("M1", "M2"),
+            role="Active load",
+            tech=PMOS_65NM,
+            region="strong",
+            width_bounds=(0.7e-6, 2.5e-6),
+        ),
+        DeviceGroup(
+            name="M3",
+            devices=("M3", "M4"),
+            role="DP",
+            tech=NMOS_65NM,
+            region="weak",
+            width_bounds=(5e-6, 50e-6),
+        ),
+        DeviceGroup(
+            name="M5",
+            devices=("M5",),
+            role="Tail MOS",
+            tech=NMOS_65NM,
+            region=None,
+            width_bounds=(0.7e-6, 12e-6),
+        ),
+    )
+
+    @property
+    def groups(self) -> tuple[DeviceGroup, ...]:
+        return self._GROUPS
+
+    def build(self, widths: Mapping[str, float], vcm: Optional[float] = None) -> Circuit:
+        per_device = self.expand_widths(widths)
+        vcm_value = self.vcm if vcm is None else vcm
+        circuit = Circuit(name=self.name)
+        circuit.add_vsource("VDD", "vdd", "0", self.vdd, ac=0.0)
+        circuit.add_vsource("VINP", "inp", "0", vcm_value, ac=+0.5)
+        circuit.add_vsource("VINN", "inn", "0", vcm_value, ac=-0.5)
+        circuit.add_vsource("VB1", "vb1", "0", self.tail_bias, ac=0.0)
+
+        length = self.length
+        circuit.add_mosfet("M1", "d1", "d1", "vdd", PMOS_65NM, per_device["M1"], length)
+        circuit.add_mosfet("M2", "out", "d1", "vdd", PMOS_65NM, per_device["M2"], length)
+        circuit.add_mosfet("M3", "d1", "inp", "tail", NMOS_65NM, per_device["M3"], length)
+        circuit.add_mosfet("M4", "out", "inn", "tail", NMOS_65NM, per_device["M4"], length)
+        circuit.add_mosfet("M5", "tail", "vb1", "0", NMOS_65NM, per_device["M5"], length)
+        circuit.add_capacitor("CL", "out", "0", self.load_capacitance)
+        return circuit
+
+    def initial_guess(self) -> dict[str, float]:
+        return {
+            "vdd": self.vdd,
+            "inp": self.vcm,
+            "inn": self.vcm,
+            "vb1": self.tail_bias,
+            "d1": 0.55,
+            "out": 0.55,
+            "tail": 0.20,
+        }

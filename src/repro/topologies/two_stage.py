@@ -1,0 +1,123 @@
+"""Two-stage OTA (Fig. 6(c), Tables VI/VII).
+
+A 5T-OTA first stage followed by a common-source second stage (Table VI's
+roles):
+
+* M1/M2 -- first-stage PMOS active load (strong inversion);
+* M3/M4 -- first-stage NMOS differential pair (weak inversion);
+* M5   -- first-stage NMOS tail;
+* M6   -- second-stage PMOS current source ("2nd stage tail MOS");
+* M7   -- second-stage NMOS common-source amplifier.
+
+The first-stage output ``o1`` (drain of M2/M4) drives the gate of M7; the
+second stage drives ``out`` with the 500 fF load.  A Miller compensation
+capacitor ``CC`` bridges ``o1`` and ``out``: pole splitting is what pushes
+the dominant pole into the 10-320 kHz range Table I reports for this
+topology while the UGF stays in the MHz range -- without it a two-stage
+OTA's bandwidth would sit within an order of magnitude of the 5T-OTA's.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..devices import NMOS_65NM, PMOS_65NM
+from ..spice import Circuit
+from .base import DeviceGroup, OTATopology
+
+__all__ = ["TwoStageOTA"]
+
+
+class TwoStageOTA(OTATopology):
+    """The 2S-OTA of Fig. 6(c)."""
+
+    name = "2S-OTA"
+    tail_bias = 0.48
+    #: Gate bias of the second-stage PMOS current source (Vsg = 0.7 V).
+    second_stage_bias = 0.50
+    #: Miller compensation capacitance between ``o1`` and ``out``.
+    compensation_capacitance = 2e-12
+
+    _GROUPS = (
+        DeviceGroup(
+            name="M1",
+            devices=("M1", "M2"),
+            role="1st stage active load",
+            tech=PMOS_65NM,
+            region="strong",
+            width_bounds=(0.7e-6, 2.5e-6),
+        ),
+        DeviceGroup(
+            name="M3",
+            devices=("M3", "M4"),
+            role="1st stage DP",
+            tech=NMOS_65NM,
+            region="weak",
+            width_bounds=(5e-6, 50e-6),
+        ),
+        DeviceGroup(
+            name="M5",
+            devices=("M5",),
+            role="1st stage tail MOS",
+            tech=NMOS_65NM,
+            region=None,
+            width_bounds=(0.7e-6, 12e-6),
+        ),
+        DeviceGroup(
+            name="M6",
+            devices=("M6",),
+            role="2nd stage tail MOS",
+            tech=PMOS_65NM,
+            region=None,
+            width_bounds=(0.7e-6, 20e-6),
+        ),
+        DeviceGroup(
+            name="M7",
+            devices=("M7",),
+            role="2nd stage CS",
+            tech=NMOS_65NM,
+            region=None,
+            width_bounds=(0.7e-6, 20e-6),
+        ),
+    )
+
+    @property
+    def groups(self) -> tuple[DeviceGroup, ...]:
+        return self._GROUPS
+
+    def build(self, widths: Mapping[str, float], vcm: Optional[float] = None) -> Circuit:
+        per_device = self.expand_widths(widths)
+        vcm_value = self.vcm if vcm is None else vcm
+        circuit = Circuit(name=self.name)
+        circuit.add_vsource("VDD", "vdd", "0", self.vdd, ac=0.0)
+        circuit.add_vsource("VINP", "inp", "0", vcm_value, ac=+0.5)
+        circuit.add_vsource("VINN", "inn", "0", vcm_value, ac=-0.5)
+        circuit.add_vsource("VB1", "vb1", "0", self.tail_bias, ac=0.0)
+        circuit.add_vsource("VB2", "vb2", "0", self.second_stage_bias, ac=0.0)
+
+        length = self.length
+        # First stage: 5T-OTA with output at o1.
+        circuit.add_mosfet("M1", "d1", "d1", "vdd", PMOS_65NM, per_device["M1"], length)
+        circuit.add_mosfet("M2", "o1", "d1", "vdd", PMOS_65NM, per_device["M2"], length)
+        circuit.add_mosfet("M3", "d1", "inp", "tail", NMOS_65NM, per_device["M3"], length)
+        circuit.add_mosfet("M4", "o1", "inn", "tail", NMOS_65NM, per_device["M4"], length)
+        circuit.add_mosfet("M5", "tail", "vb1", "0", NMOS_65NM, per_device["M5"], length)
+        # Second stage: NMOS common source with PMOS current-source load.
+        circuit.add_mosfet("M6", "out", "vb2", "vdd", PMOS_65NM, per_device["M6"], length)
+        circuit.add_mosfet("M7", "out", "o1", "0", NMOS_65NM, per_device["M7"], length)
+        circuit.add_capacitor("CC", "o1", "out", self.compensation_capacitance)
+        circuit.add_capacitor("CL", "out", "0", self.load_capacitance)
+        return circuit
+
+    def initial_guess(self) -> dict[str, float]:
+        return {
+            "vdd": self.vdd,
+            "inp": self.vcm,
+            "inn": self.vcm,
+            "vb1": self.tail_bias,
+            "vb2": self.second_stage_bias,
+            "d1": 0.55,
+            "o1": 0.55,
+            "out": 0.60,
+            "tail": 0.20,
+        }

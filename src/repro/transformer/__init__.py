@@ -1,0 +1,44 @@
+"""From-scratch numpy encoder-decoder transformer (Stage II)."""
+
+from .attention import MultiHeadAttention
+from .blocks import DecoderBlock, EncoderBlock
+from .functional import (
+    causal_mask,
+    combine_masks,
+    padding_mask,
+    sinusoidal_positional_encoding,
+    softmax,
+)
+from .layers import Dropout, Embedding, FeedForward, LayerNorm, Linear, Module
+from .loss import WeightedCrossEntropy, numeric_token_weights
+from .model import Transformer, TransformerConfig
+from .optim import Adam, LRScheduler
+from .trainer import Batch, SequencePair, Trainer, TrainingHistory, make_batches
+
+__all__ = [
+    "MultiHeadAttention",
+    "DecoderBlock",
+    "EncoderBlock",
+    "causal_mask",
+    "combine_masks",
+    "padding_mask",
+    "sinusoidal_positional_encoding",
+    "softmax",
+    "Dropout",
+    "Embedding",
+    "FeedForward",
+    "LayerNorm",
+    "Linear",
+    "Module",
+    "WeightedCrossEntropy",
+    "numeric_token_weights",
+    "Transformer",
+    "TransformerConfig",
+    "Adam",
+    "LRScheduler",
+    "Batch",
+    "SequencePair",
+    "Trainer",
+    "TrainingHistory",
+    "make_batches",
+]

@@ -1,0 +1,90 @@
+"""Encoder and decoder blocks (post-LN residual structure of Vaswani).
+
+Encoder block:  self-attention -> Add&Norm -> FFN -> Add&Norm.
+Decoder block:  masked self-attention -> Add&Norm -> cross-attention ->
+                Add&Norm -> FFN -> Add&Norm.
+
+Residual dropout is applied to each sublayer output before the addition,
+as in the original architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .attention import MultiHeadAttention
+from .layers import Dropout, FeedForward, LayerNorm, Module
+
+__all__ = ["EncoderBlock", "DecoderBlock"]
+
+
+class EncoderBlock(Module):
+    """One encoder layer: self-attention + FFN with Add&Norm."""
+
+    def __init__(self, d_model: int, n_heads: int, d_ff: int, dropout: float, rng: np.random.Generator):
+        super().__init__()
+        self.self_attn = self.register("self_attn", MultiHeadAttention(d_model, n_heads, dropout, rng))
+        self.norm1 = self.register("norm1", LayerNorm(d_model))
+        self.ffn = self.register("ffn", FeedForward(d_model, d_ff, dropout, rng))
+        self.norm2 = self.register("norm2", LayerNorm(d_model))
+        self.residual_dropout = self.register("residual_dropout", Dropout(dropout, rng))
+
+    def forward(self, x: np.ndarray, mask: Optional[np.ndarray], training: bool) -> np.ndarray:
+        attended = self.self_attn.forward(x, x, mask, training)
+        x = self.norm1.forward(x + self.residual_dropout.forward(attended, training))
+        fed = self.ffn.forward(x, training)
+        return self.norm2.forward(x + fed)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        dsum2 = self.norm2.backward(dout)
+        dffn_out = dsum2
+        dx = dsum2 + self.ffn.backward(dffn_out)
+        dsum1 = self.norm1.backward(dx)
+        dattended = self.residual_dropout.backward(dsum1)
+        dq, dkv = self.self_attn.backward(dattended)
+        return dsum1 + dq + dkv
+
+
+class DecoderBlock(Module):
+    """One decoder layer: masked self-attention, cross-attention, FFN."""
+
+    def __init__(self, d_model: int, n_heads: int, d_ff: int, dropout: float, rng: np.random.Generator):
+        super().__init__()
+        self.self_attn = self.register("self_attn", MultiHeadAttention(d_model, n_heads, dropout, rng))
+        self.norm1 = self.register("norm1", LayerNorm(d_model))
+        self.cross_attn = self.register("cross_attn", MultiHeadAttention(d_model, n_heads, dropout, rng))
+        self.norm2 = self.register("norm2", LayerNorm(d_model))
+        self.ffn = self.register("ffn", FeedForward(d_model, d_ff, dropout, rng))
+        self.norm3 = self.register("norm3", LayerNorm(d_model))
+        self.residual_dropout1 = self.register("residual_dropout1", Dropout(dropout, rng))
+        self.residual_dropout2 = self.register("residual_dropout2", Dropout(dropout, rng))
+
+    def forward(
+        self,
+        x: np.ndarray,
+        memory: np.ndarray,
+        self_mask: Optional[np.ndarray],
+        cross_mask: Optional[np.ndarray],
+        training: bool,
+    ) -> np.ndarray:
+        attended = self.self_attn.forward(x, x, self_mask, training)
+        x = self.norm1.forward(x + self.residual_dropout1.forward(attended, training))
+        crossed = self.cross_attn.forward(x, memory, cross_mask, training)
+        x = self.norm2.forward(x + self.residual_dropout2.forward(crossed, training))
+        fed = self.ffn.forward(x, training)
+        return self.norm3.forward(x + fed)
+
+    def backward(self, dout: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Returns ``(dx, dmemory)``."""
+        dsum3 = self.norm3.backward(dout)
+        dx2 = dsum3 + self.ffn.backward(dsum3)
+        dsum2 = self.norm2.backward(dx2)
+        dcrossed = self.residual_dropout2.backward(dsum2)
+        dq_cross, dmemory = self.cross_attn.backward(dcrossed)
+        dx1 = dsum2 + dq_cross
+        dsum1 = self.norm1.backward(dx1)
+        dattended = self.residual_dropout1.backward(dsum1)
+        dq_self, dkv_self = self.self_attn.backward(dattended)
+        return dsum1 + dq_self + dkv_self, dmemory

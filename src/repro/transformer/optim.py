@@ -1,0 +1,120 @@
+"""Adam optimizer with the paper's adaptive learning-rate strategy.
+
+The paper trains with Adam starting at ``1e-4`` under an adaptive schedule.
+We implement Adam with optional gradient clipping and two schedules:
+
+* ``"plateau"`` (default): multiply the rate by ``decay`` whenever the
+  epoch loss fails to improve -- a simple adaptive strategy;
+* ``"cosine"``: smooth decay to ``lr_min`` over a horizon.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["Adam", "LRScheduler"]
+
+
+class Adam:
+    """Adam over a :class:`~repro.transformer.layers.Module` parameter tree."""
+
+    def __init__(
+        self,
+        model: Module,
+        lr: float = 1e-4,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        grad_clip: Optional[float] = 1.0,
+    ):
+        self.model = model
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.grad_clip = grad_clip
+        self.step_count = 0
+        self._m = {name: np.zeros_like(p) for name, p in model.named_parameters()}
+        self._v = {name: np.zeros_like(p) for name, p in model.named_parameters()}
+
+    def _global_norm(self) -> float:
+        total = 0.0
+        for _, grad in self.model.named_gradients():
+            total += float(np.sum(grad * grad))
+        return math.sqrt(total)
+
+    def step(self) -> None:
+        """Apply one Adam update from the accumulated gradients."""
+        self.step_count += 1
+        scale = 1.0
+        if self.grad_clip is not None:
+            norm = self._global_norm()
+            if norm > self.grad_clip:
+                scale = self.grad_clip / (norm + 1e-12)
+
+        params = dict(self.model.named_parameters())
+        grads = dict(self.model.named_gradients())
+        bias1 = 1.0 - self.beta1**self.step_count
+        bias2 = 1.0 - self.beta2**self.step_count
+        for name, param in params.items():
+            grad = grads[name] * scale
+            m = self._m[name]
+            v = self._v[name]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        self.model.zero_grad()
+
+
+class LRScheduler:
+    """Adaptive learning-rate schedule driving an :class:`Adam` instance."""
+
+    def __init__(
+        self,
+        optimizer: Adam,
+        mode: str = "plateau",
+        decay: float = 0.5,
+        patience: int = 2,
+        lr_min: float = 1e-6,
+        horizon_epochs: int = 40,
+    ):
+        if mode not in ("plateau", "cosine"):
+            raise ValueError(f"unknown schedule mode {mode!r}")
+        self.optimizer = optimizer
+        self.mode = mode
+        self.decay = decay
+        self.patience = patience
+        self.lr_min = lr_min
+        self.horizon = horizon_epochs
+        self._lr0 = optimizer.lr
+        self._best = float("inf")
+        self._bad_epochs = 0
+        self._epoch = 0
+
+    def step(self, epoch_loss: float) -> float:
+        """Update the learning rate after an epoch; returns the new rate."""
+        self._epoch += 1
+        if self.mode == "cosine":
+            progress = min(self._epoch / self.horizon, 1.0)
+            self.optimizer.lr = self.lr_min + 0.5 * (self._lr0 - self.lr_min) * (
+                1.0 + math.cos(math.pi * progress)
+            )
+            return self.optimizer.lr
+        if epoch_loss < self._best - 1e-6:
+            self._best = epoch_loss
+            self._bad_epochs = 0
+        else:
+            self._bad_epochs += 1
+            if self._bad_epochs >= self.patience:
+                self.optimizer.lr = max(self.optimizer.lr * self.decay, self.lr_min)
+                self._bad_epochs = 0
+        return self.optimizer.lr

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (LUTs, measured OTA designs) are session-scoped so the
+several hundred tests stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices import NMOS_65NM, PMOS_65NM
+from repro.lut import build_lut
+from repro.topologies import CurrentMirrorOTA, FiveTransistorOTA, TwoStageOTA
+
+
+@pytest.fixture(scope="session")
+def nmos_lut():
+    return build_lut(NMOS_65NM)
+
+
+@pytest.fixture(scope="session")
+def pmos_lut():
+    return build_lut(PMOS_65NM)
+
+
+@pytest.fixture(scope="session")
+def five_t():
+    return FiveTransistorOTA()
+
+
+@pytest.fixture(scope="session")
+def cm_ota():
+    return CurrentMirrorOTA()
+
+
+@pytest.fixture(scope="session")
+def two_stage():
+    return TwoStageOTA()
+
+
+#: A known-good width vector per topology (regions OK, all saturated).
+GOOD_WIDTHS = {
+    "5T-OTA": {"M1": 1.2e-6, "M3": 15e-6, "M5": 4e-6},
+    "CM-OTA": {"M1": 1.0e-6, "M3": 15e-6, "M5": 4e-6, "M6": 2.0e-6, "M8": 0.8e-6},
+    "2S-OTA": {"M1": 1.2e-6, "M3": 15e-6, "M5": 4e-6, "M6": 5e-6, "M7": 2.8e-6},
+}
+
+
+@pytest.fixture(scope="session")
+def five_t_measurement(five_t):
+    return five_t.measure(GOOD_WIDTHS["5T-OTA"])
+
+
+@pytest.fixture(scope="session")
+def cm_measurement(cm_ota):
+    return cm_ota.measure(GOOD_WIDTHS["CM-OTA"])
+
+
+@pytest.fixture(scope="session")
+def two_stage_measurement(two_stage):
+    return two_stage.measure(GOOD_WIDTHS["2S-OTA"])
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,207 @@
+"""Tests of sampling, filtering, dataset generation and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    DesignFilter,
+    OTADataset,
+    SequenceBuilder,
+    SequenceConfig,
+    SequenceFormat,
+    SpecRange,
+    build_corpus,
+    generate_dataset,
+    grid_sampler,
+    random_sampler,
+)
+from repro.datagen.dataset import DesignRecord
+from repro.spice import PerformanceMetrics
+
+from tests.conftest import GOOD_WIDTHS
+
+
+class TestSamplers:
+    def test_random_sampler_respects_bounds(self, five_t, rng):
+        for sample in random_sampler(five_t, rng, 50):
+            for name, width in sample.items():
+                low, high = five_t.group(name).width_bounds
+                assert low <= width <= high
+
+    def test_random_sampler_count(self, five_t, rng):
+        samples = list(random_sampler(five_t, rng, 7))
+        assert len(samples) == 7
+
+    def test_grid_sampler_cartesian(self, five_t):
+        samples = list(grid_sampler(five_t, 3))
+        assert len(samples) == 3 ** len(five_t.group_names)
+        # End points are the bounds themselves.
+        firsts = samples[0]
+        for name, width in firsts.items():
+            assert width == pytest.approx(five_t.group(name).width_bounds[0])
+
+    def test_grid_sampler_validation(self, five_t):
+        with pytest.raises(ValueError):
+            list(grid_sampler(five_t, 0))
+
+
+class TestFilters:
+    def test_good_design_accepted(self, five_t, five_t_measurement):
+        design_filter = DesignFilter(five_t, icmr_margin=0.05)
+        decision = design_filter(GOOD_WIDTHS["5T-OTA"], five_t_measurement)
+        assert decision.accepted
+
+    def test_region_violation_rejected(self, five_t):
+        # Oversized loads leave strong inversion.
+        widths = {"M1": 2.5e-6, "M3": 5e-6, "M5": 0.7e-6}
+        result = five_t.measure(widths)
+        design_filter = DesignFilter(five_t, check_icmr=False)
+        decision = design_filter(widths, result)
+        if not five_t.regions_ok(result.dc):
+            assert not decision.accepted
+            assert "region" in decision.reason
+
+    def test_spec_range_filter(self, five_t, five_t_measurement):
+        narrow = SpecRange(gain_db=(0.0, 1.0), f3db_hz=(1.0, 2.0), ugf_hz=(1.0, 2.0))
+        design_filter = DesignFilter(five_t, spec_range=narrow, check_icmr=False, check_regions=False)
+        decision = design_filter(GOOD_WIDTHS["5T-OTA"], five_t_measurement)
+        assert not decision.accepted
+        assert "specification" in decision.reason
+
+    def test_spec_range_contains(self):
+        window = SpecRange(gain_db=(10, 30), f3db_hz=(1e6, 1e8), ugf_hz=(1e7, 1e9))
+        assert window.contains(PerformanceMetrics(20.0, 1e7, 1e8))
+        assert not window.contains(PerformanceMetrics(40.0, 1e7, 1e8))
+        assert not window.contains(PerformanceMetrics(20.0, float("nan"), 1e8))
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def small_dataset(self, five_t):
+        rng = np.random.default_rng(7)
+        return generate_dataset(
+            five_t, 12, rng, design_filter=DesignFilter(five_t, icmr_margin=0.05), max_attempts=400
+        )
+
+    def test_accepts_requested_count(self, small_dataset):
+        assert len(small_dataset) == 12
+
+    def test_stats_funnel_consistent(self, small_dataset):
+        stats = small_dataset.stats
+        rejected = sum(stats.rejections.values())
+        assert stats.accepted + rejected + stats.convergence_failures == stats.attempted
+
+    def test_records_have_group_params(self, small_dataset, five_t):
+        for record in small_dataset.records:
+            assert set(record.widths) == set(five_t.group_names)
+            assert set(record.device_params) == set(five_t.group_names)
+            for params in record.device_params.values():
+                assert set(params) == {"gm", "gds", "cds", "cgs", "id"}
+
+    def test_metric_ranges(self, small_dataset):
+        ranges = small_dataset.metric_ranges()
+        assert ranges["gain_db"][0] <= ranges["gain_db"][1]
+
+    def test_split_partitions(self, small_dataset):
+        rng = np.random.default_rng(0)
+        train, val = small_dataset.split(0.75, rng)
+        assert len(train) == 9 and len(val) == 3
+
+    def test_save_load_roundtrip(self, small_dataset, tmp_path):
+        path = tmp_path / "ds.json"
+        small_dataset.save(path)
+        restored = OTADataset.load(path)
+        assert restored.topology_name == small_dataset.topology_name
+        assert len(restored) == len(small_dataset)
+        assert restored.records[0].gain_db == pytest.approx(small_dataset.records[0].gain_db)
+
+
+def fake_record(five_t):
+    result = five_t.measure(GOOD_WIDTHS["5T-OTA"])
+    return DesignRecord(
+        widths=dict(GOOD_WIDTHS["5T-OTA"]),
+        gain_db=result.metrics.gain_db,
+        f3db_hz=result.metrics.f3db_hz,
+        ugf_hz=result.metrics.ugf_hz,
+        device_params={g.name: dict(result.device_params[g.name]) for g in five_t.groups},
+    )
+
+
+class TestSerializeRoundtrip:
+    @pytest.fixture(scope="class")
+    def record(self, five_t):
+        return fake_record(five_t)
+
+    @pytest.mark.parametrize("fmt", list(SequenceFormat), ids=lambda f: f.value)
+    def test_decoder_text_parses_back(self, five_t, record, fmt):
+        builder = SequenceBuilder(five_t, SequenceConfig(decoder_format=fmt))
+        text = builder.decoder_text(record.device_params)
+        parsed = builder.parse_decoder_text(text)
+        assert parsed.complete, parsed.missing
+        for group, params in record.device_params.items():
+            for key in ("gm", "gds", "cds", "cgs", "id"):
+                assert parsed.values[group][key] == pytest.approx(params[key], rel=6e-3)
+
+    def test_encoder_contains_topology_and_specs(self, five_t, record):
+        builder = SequenceBuilder(five_t, SequenceConfig())
+        text = builder.encoder_text(record.gain_db, record.f3db_hz, record.ugf_hz)
+        assert text.startswith("<5T-OTA>")
+        assert "gain=" in text and "bw=" in text and "ugf=" in text
+        assert "gmM3" in text  # symbolic paths present
+
+    def test_encoder_without_paths(self, five_t, record):
+        builder = SequenceBuilder(five_t, SequenceConfig(include_paths_in_encoder=False))
+        text = builder.encoder_text(record.gain_db, record.f3db_hz, record.ugf_hz)
+        assert "gmM3" not in text
+
+    def test_specs_per_path_replication(self, five_t, record):
+        builder = SequenceBuilder(five_t, SequenceConfig(specs_per_path=True))
+        text = builder.encoder_text(record.gain_db, record.f3db_hz, record.ugf_hz)
+        assert text.count("gain=") > 1
+
+    def test_parse_tolerates_malformed_values(self, five_t):
+        builder = SequenceBuilder(five_t, SequenceConfig())
+        parsed = builder.parse_decoder_text("gmM1=garbage gdsM1=1.0uS CdsM1=30.3.3fF")
+        assert not parsed.complete
+        assert "gmM1" in parsed.missing
+
+    def test_parse_rejects_wrong_units(self, five_t):
+        builder = SequenceBuilder(five_t, SequenceConfig())
+        parsed = builder.parse_decoder_text("gmM1=2.50mF")  # farads for a gm
+        assert "gm" not in parsed.values.get("M1", {})
+
+    def test_full_paths_contains_substituted_values(self, five_t, record):
+        builder = SequenceBuilder(five_t, SequenceConfig(decoder_format=SequenceFormat.FULL_PATHS))
+        text = builder.decoder_text(record.device_params)
+        assert "gmM3" not in text.partition("|")[0]  # values substituted
+        assert "sCL" in text  # load cap stays symbolic
+        assert "IdM3=" in text  # trailing Id block
+
+
+class TestCorpus:
+    def test_single_model_multi_topology_corpus(self, five_t, cm_ota):
+        ds5 = OTADataset("5T-OTA", [fake_record(five_t)])
+        result = cm_ota.measure(GOOD_WIDTHS["CM-OTA"])
+        rec_cm = DesignRecord(
+            widths=dict(GOOD_WIDTHS["CM-OTA"]),
+            gain_db=result.metrics.gain_db,
+            f3db_hz=result.metrics.f3db_hz,
+            ugf_hz=result.metrics.ugf_hz,
+            device_params={g.name: dict(result.device_params[g.name]) for g in cm_ota.groups},
+        )
+        dscm = OTADataset("CM-OTA", [rec_cm])
+        corpus = build_corpus([ds5, dscm], num_merges=100)
+        assert set(corpus.pairs_by_topology) == {"5T-OTA", "CM-OTA"}
+        pairs = corpus.all_pairs()
+        assert len(pairs) == 2
+        # Shared vocabulary across topologies; no unknown tokens.
+        for pair in pairs:
+            assert corpus.vocab.unk_id not in pair.source
+            assert corpus.vocab.unk_id not in pair.target
+
+    def test_encode_decode_text(self, five_t):
+        ds5 = OTADataset("5T-OTA", [fake_record(five_t)])
+        corpus = build_corpus([ds5], num_merges=50)
+        text = "<5T-OTA> gain=24.0dB"
+        ids = corpus.encode_text(text)
+        assert corpus.decode_ids(ids) == text

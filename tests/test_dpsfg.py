@@ -1,0 +1,266 @@
+"""Tests of DP-SFG construction, enumeration, Mason evaluation and
+serialization -- including the paper's active-inductor running example."""
+
+import numpy as np
+import pytest
+
+from repro.devices import NMOS_65NM
+from repro.dpsfg import (
+    MasonEvaluator,
+    build_dpsfg,
+    enumerate_paths,
+    render_cycle,
+    render_path,
+    render_sequences,
+    transfer_function,
+)
+from repro.dpsfg.expr import Atom, LinComb, Reciprocal, capacitance, conductance, one, transconductance
+from repro.spice import Circuit, run_ac, solve_dc
+from repro.topologies import build_active_inductor
+
+L = 180e-9
+FREQS = np.logspace(3, 9, 13)
+
+
+def small_signals_of(dc):
+    return {m.name: dc.op(m.name).small_signal for m in dc.circuit.mosfets}
+
+
+def mason_vs_mna_error(circuit, output_node):
+    dc = solve_dc(circuit)
+    sfg = build_dpsfg(circuit, output_node, small_signals_of(dc))
+    h_mason = transfer_function(sfg, FREQS)
+    h_mna = run_ac(dc, FREQS).transfer(output_node)
+    return float(np.max(np.abs(h_mason - h_mna) / np.maximum(np.abs(h_mna), 1e-30)))
+
+
+class TestExpressions:
+    def test_lincomb_render_symbolic(self):
+        expr = conductance("gdsM0") + capacitance("CdsM0") + transconductance("gmM0", -1.0)
+        assert expr.render() == "gdsM0+sCdsM0-gmM0"
+
+    def test_reciprocal_render(self):
+        expr = Reciprocal(conductance("G") + capacitance("C"))
+        assert expr.render() == "1/(G+sC)"
+
+    def test_render_with_values(self):
+        expr = conductance("gdsM0") + capacitance("CdsM0")
+        text = expr.render({"gdsM0": 101e-6, "CdsM0": 0.9e-15})
+        assert text == "101uS+s900aF"
+
+    def test_collect_merges_duplicates(self):
+        expr = conductance("g") + conductance("g")
+        collected = expr.collect()
+        assert len(collected.terms) == 1
+        assert collected.terms[0][0] == 2.0
+
+    def test_collect_drops_cancelled(self):
+        expr = conductance("g") + (-conductance("g"))
+        assert expr.collect().is_empty()
+
+    def test_evaluate(self):
+        expr = conductance("g") + capacitance("c")
+        value = expr.evaluate(2j, {"g": 3.0, "c": 0.5})
+        assert value == pytest.approx(3.0 + 1j)
+
+    def test_reciprocal_evaluate(self):
+        expr = Reciprocal(conductance("g"))
+        assert expr.evaluate(0, {"g": 4.0}) == pytest.approx(0.25)
+
+    def test_missing_parameter_raises(self):
+        expr = conductance("g")
+        with pytest.raises(KeyError):
+            expr.evaluate(0, {})
+
+    def test_unit_weight(self):
+        assert one().render() == "1"
+        assert one().evaluate(1j, {}) == pytest.approx(1.0)
+
+    def test_atom_kind_validation(self):
+        with pytest.raises(ValueError):
+            Atom("x", "bogus")
+
+
+class TestActiveInductorExample:
+    """The Fig. 2 / Fig. 4 running example, checked structurally."""
+
+    @pytest.fixture(scope="class")
+    def sfg(self):
+        circuit = build_active_inductor()
+        dc = solve_dc(circuit)
+        return build_dpsfg(circuit, "1", small_signals_of(dc))
+
+    def test_z1_matches_equation_2(self, sfg):
+        z1 = sfg.weight("I1", "V1")
+        assert isinstance(z1, Reciprocal)
+        assert z1.inner.parameter_names() == {"C", "gdsM", "CdsM", "CgsM"}
+
+    def test_z2_matches_equation_2(self, sfg):
+        z2 = sfg.weight("I2", "V2")
+        assert isinstance(z2, Reciprocal)
+        assert z2.inner.parameter_names() == {"C", "CgsM", "G"}
+
+    def test_negative_gm_self_loop(self, sfg):
+        weight = sfg.weight("V1", "I1")
+        terms = dict((atom.name, coef) for coef, atom in weight.collect().terms)
+        assert terms == {"gmM": -1.0}
+
+    def test_gate_coupling_edge_includes_gm(self, sfg):
+        weight = sfg.weight("V2", "I1")
+        names = {atom.name: coef for coef, atom in weight.collect().terms}
+        assert names["gmM"] == 1.0
+        assert names["C"] == 1.0
+        assert names["CgsM"] == 1.0
+
+    def test_forward_path_structure(self, sfg):
+        inventory = enumerate_paths(sfg)
+        paths = inventory.paths_by_source["Iin"]
+        assert ["Iin", "I1", "V1", "Vout"] in paths
+
+    def test_cycle_count(self, sfg):
+        inventory = enumerate_paths(sfg)
+        # The paper's Fig. 4 shows two loops: the -gm self-loop at node 1
+        # and the C/Cgs coupling loop through node 2.
+        assert inventory.n_cycles == 2
+
+    def test_sequences_match_fig4_style(self, sfg):
+        lines = render_sequences(sfg)
+        assert lines[0] == "Iin 1 I1 1/(sC+gdsM+sCdsM+sCgsM) V1 1 Vout"
+        assert any("-gmM" in line for line in lines)
+        assert any("1/(G+sC+sCgsM)" in line for line in lines)
+
+    def test_sequences_with_values_substituted(self, sfg):
+        env = {k: v for k, v in sfg.values.items() if k != "C" and k != "G"}
+        lines = render_sequences(sfg, env=env)
+        assert "gdsM" not in lines[0]
+        assert "sC+" in lines[0]  # load cap stays symbolic as in Fig. 4
+
+    def test_mason_matches_mna(self):
+        assert mason_vs_mna_error(build_active_inductor(), "1") < 1e-10
+
+    def test_inductive_input_impedance(self, sfg):
+        """The active inductor's port impedance must rise with frequency
+        over some band -- the circuit's defining behaviour."""
+        evaluator = MasonEvaluator(sfg)
+        freqs = np.logspace(6, 9, 31)
+        z = np.array([evaluator.transfer(2j * np.pi * f) for f in freqs])
+        magnitude = np.abs(z)
+        assert magnitude[-5] > magnitude[0]
+
+
+class TestMasonEquivalence:
+    def test_rc_ladder(self):
+        circuit = Circuit("ladder")
+        circuit.add_vsource("VIN", "in", "0", 0.0, ac=1.0)
+        circuit.add_resistor("R1", "in", "n1", 1e3)
+        circuit.add_resistor("R2", "n1", "n2", 2e3)
+        circuit.add_capacitor("C1", "n1", "0", 1e-12)
+        circuit.add_capacitor("C2", "n2", "0", 2e-12)
+        assert mason_vs_mna_error(circuit, "n2") < 1e-10
+
+    def test_5t_ota(self, five_t):
+        circuit = five_t.build({"M1": 1.2e-6, "M3": 15e-6, "M5": 4e-6})
+        assert mason_vs_mna_error(circuit, "out") < 1e-9
+
+    def test_cm_ota(self, cm_ota):
+        circuit = cm_ota.build({"M1": 1.0e-6, "M3": 15e-6, "M5": 4e-6, "M6": 2.0e-6, "M8": 1.0e-6})
+        assert mason_vs_mna_error(circuit, "out") < 1e-9
+
+    def test_two_stage_ota(self, two_stage):
+        circuit = two_stage.build({"M1": 1.2e-6, "M3": 15e-6, "M5": 4e-6, "M6": 5e-6, "M7": 6e-6})
+        assert mason_vs_mna_error(circuit, "out") < 1e-9
+
+    def test_mason_equals_direct_graph_solve(self, five_t):
+        """Mason's formula must agree with solving the SFG as a linear
+        system -- an internal consistency check independent of MNA."""
+        circuit = five_t.build({"M1": 1.2e-6, "M3": 15e-6, "M5": 4e-6})
+        dc = solve_dc(circuit)
+        sfg = build_dpsfg(circuit, "out", small_signals_of(dc))
+        s = 2j * np.pi * 1e6
+        env = sfg.merged_env()
+
+        vertices = list(sfg.graph.nodes)
+        index = {v: i for i, v in enumerate(vertices)}
+        matrix = np.eye(len(vertices), dtype=complex)
+        rhs = np.zeros(len(vertices), dtype=complex)
+        for vertex in vertices:
+            if vertex in sfg.excitations:
+                rhs[index[vertex]] = sfg.excitations[vertex]
+                continue
+            for pred in sfg.graph.predecessors(vertex):
+                matrix[index[vertex], index[pred]] -= sfg.weight(pred, vertex).evaluate(s, env)
+        direct = np.linalg.solve(matrix, rhs)[index[sfg.output]]
+
+        mason = MasonEvaluator(sfg).transfer(s)
+        assert mason == pytest.approx(direct, rel=1e-10)
+
+
+class TestBuilderValidation:
+    def test_floating_vsource_rejected(self):
+        circuit = Circuit("bad")
+        circuit.add_vsource("V1", "a", "b", 1.0, ac=1.0)
+        circuit.add_resistor("R", "a", "b", 1e3)
+        with pytest.raises(ValueError, match="grounded"):
+            build_dpsfg(circuit, "a")
+
+    def test_driven_output_rejected(self):
+        circuit = Circuit("bad")
+        circuit.add_vsource("V1", "a", "0", 1.0, ac=1.0)
+        circuit.add_resistor("R", "a", "0", 1e3)
+        with pytest.raises(ValueError, match="internal"):
+            build_dpsfg(circuit, "a")
+
+    def test_isolated_internal_node_rejected(self):
+        circuit = Circuit("bad")
+        circuit.add_vsource("V1", "a", "0", 1.0, ac=1.0)
+        circuit.add_resistor("R", "a", "0", 1e3)
+        circuit.add_isource("I1", "0", "b", 0.0, ac=1.0)
+        with pytest.raises(ValueError, match="admittance"):
+            build_dpsfg(circuit, "b")
+
+    def test_output_node_named_out_gets_no_self_loop(self, five_t):
+        circuit = five_t.build({"M1": 1.2e-6, "M3": 15e-6, "M5": 4e-6})
+        sfg = build_dpsfg(circuit, "out")
+        assert not sfg.graph.has_edge("Vout", "Vout")
+        assert sfg.output == "Vout"
+
+    def test_symbolic_graph_without_small_signals(self, five_t):
+        circuit = five_t.build({"M1": 1.2e-6, "M3": 15e-6, "M5": 4e-6})
+        sfg = build_dpsfg(circuit, "out")
+        # Passive values known, device values absent.
+        assert "CL" in sfg.values
+        assert "gmM3" not in sfg.values
+        assert "gmM3" in sfg.parameter_names()
+
+
+class TestSerialization:
+    def test_render_path_alternates_vertices_and_weights(self, five_t):
+        circuit = five_t.build({"M1": 1.2e-6, "M3": 15e-6, "M5": 4e-6})
+        sfg = build_dpsfg(circuit, "out")
+        inventory = enumerate_paths(sfg)
+        path = inventory.all_forward_paths()[0]
+        text = render_path(sfg, path)
+        fields = text.split(" ")
+        assert len(fields) == 2 * len(path) - 1
+        assert fields[0] == path[0]
+        assert fields[-1] == path[-1]
+
+    def test_render_cycle_closes(self, five_t):
+        circuit = five_t.build({"M1": 1.2e-6, "M3": 15e-6, "M5": 4e-6})
+        sfg = build_dpsfg(circuit, "out")
+        cycle = enumerate_paths(sfg).loop_list[0]
+        text = render_cycle(sfg, cycle)
+        fields = text.split(" ")
+        assert fields[0] == fields[-1] == cycle[0]
+
+    def test_max_paths_truncation(self, five_t):
+        sfg = five_t.symbolic_dpsfg()
+        full = render_sequences(sfg)
+        truncated = render_sequences(sfg, max_paths=2)
+        inventory = enumerate_paths(sfg)
+        assert len(truncated) == 2 + inventory.n_cycles
+        assert len(full) == inventory.n_forward_paths + inventory.n_cycles
+
+    def test_deterministic_ordering(self, five_t):
+        sfg = five_t.symbolic_dpsfg()
+        assert render_sequences(sfg) == render_sequences(sfg)

@@ -1,0 +1,216 @@
+"""Unit and property tests of the EKV compact model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import EKVModel, NMOS_65NM, PMOS_65NM, TechParams
+from repro.devices.ekv import interp_f, interp_f_prime
+
+L = 180e-9
+MODELS = [EKVModel(NMOS_65NM), EKVModel(PMOS_65NM)]
+
+bias = st.tuples(
+    st.floats(min_value=0.0, max_value=1.2),
+    st.floats(min_value=0.05, max_value=1.2),
+)
+width = st.floats(min_value=0.2e-6, max_value=100e-6)
+
+
+class TestInterpolationFunction:
+    def test_weak_inversion_limit(self):
+        # F(v) ~ e^v for very negative v.
+        v = -20.0
+        assert interp_f(v) == pytest.approx(np.exp(v), rel=1e-3)
+
+    def test_strong_inversion_limit(self):
+        # F(v) ~ (v/2)^2 for large v.
+        v = 60.0
+        assert interp_f(v) == pytest.approx((v / 2.0) ** 2, rel=0.1)
+
+    def test_derivative_matches_finite_difference(self):
+        vs = np.linspace(-10, 30, 41)
+        eps = 1e-6
+        numeric = (interp_f(vs + eps) - interp_f(vs - eps)) / (2 * eps)
+        np.testing.assert_allclose(interp_f_prime(vs), numeric, rtol=1e-6, atol=1e-12)
+
+    def test_monotone_increasing(self):
+        vs = np.linspace(-30, 30, 200)
+        assert np.all(np.diff(interp_f(vs)) > 0)
+
+    def test_no_overflow_at_extremes(self):
+        assert np.isfinite(interp_f(800.0))
+        assert interp_f(-800.0) == pytest.approx(0.0)
+
+
+class TestDrainCurrent:
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.tech.name)
+    def test_positive_in_normal_operation(self, model):
+        ids = model.drain_current(0.6, 0.6, 10e-6, L)
+        assert ids > 0
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.tech.name)
+    def test_zero_vds_zero_current(self, model):
+        assert model.drain_current(0.6, 0.0, 10e-6, L) == pytest.approx(0.0, abs=1e-15)
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.tech.name)
+    def test_symmetric_reverse_conduction(self, model):
+        forward = model.drain_current(0.6, 0.3, 10e-6, L)
+        assert model.drain_current(0.6, -0.3, 10e-6, L) < 0
+        assert forward > 0
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.tech.name)
+    def test_monotone_in_vgs(self, model):
+        vgs = np.linspace(0.0, 1.2, 40)
+        ids = model.drain_current(vgs, 0.6, 10e-6, L)
+        assert np.all(np.diff(ids) > 0)
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.tech.name)
+    def test_monotone_in_vds(self, model):
+        vds = np.linspace(0.0, 1.2, 40)
+        ids = model.drain_current(0.6, vds, 10e-6, L)
+        assert np.all(np.diff(ids) > 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(bias=bias, w=width)
+    def test_linear_in_width(self, bias, w):
+        vgs, vds = bias
+        model = MODELS[0]
+        single = model.drain_current(vgs, vds, w, L)
+        double = model.drain_current(vgs, vds, 2.0 * w, L)
+        assert double == pytest.approx(2.0 * single, rel=1e-12)
+
+
+class TestSmallSignalParameters:
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.tech.name)
+    def test_gm_matches_numeric_derivative(self, model):
+        eps = 1e-6
+        for vgs in (0.3, 0.5, 0.8):
+            for vds in (0.2, 0.6, 1.1):
+                numeric = (
+                    model.drain_current(vgs + eps, vds, 5e-6, L)
+                    - model.drain_current(vgs - eps, vds, 5e-6, L)
+                ) / (2 * eps)
+                analytic = model.transconductance(vgs, vds, 5e-6, L)
+                assert analytic == pytest.approx(numeric, rel=1e-5)
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.tech.name)
+    def test_gds_matches_numeric_derivative(self, model):
+        eps = 1e-6
+        for vgs in (0.3, 0.5, 0.8):
+            for vds in (0.2, 0.6, 1.1):
+                numeric = (
+                    model.drain_current(vgs, vds + eps, 5e-6, L)
+                    - model.drain_current(vgs, vds - eps, 5e-6, L)
+                ) / (2 * eps)
+                analytic = model.output_conductance(vgs, vds, 5e-6, L)
+                assert analytic == pytest.approx(numeric, rel=1e-5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(bias=bias, w=width)
+    def test_all_outputs_nonnegative(self, bias, w):
+        vgs, vds = bias
+        for model in MODELS:
+            values = model.evaluate_all(vgs, vds, w, L)
+            for name, value in values.items():
+                assert float(value) >= 0.0, name
+
+    @settings(max_examples=50, deadline=None)
+    @given(bias=bias, w=width)
+    def test_gm_over_id_is_width_independent(self, bias, w):
+        vgs, vds = bias
+        model = MODELS[0]
+        id1 = float(model.drain_current(vgs, vds, w, L))
+        if id1 < 1e-15:
+            return
+        ratio1 = float(model.transconductance(vgs, vds, w, L)) / id1
+        id2 = float(model.drain_current(vgs, vds, 3 * w, L))
+        ratio2 = float(model.transconductance(vgs, vds, 3 * w, L)) / id2
+        assert ratio1 == pytest.approx(ratio2, rel=1e-10)
+
+    def test_gm_over_id_weak_inversion_limit(self):
+        # In deep weak inversion gm/Id approaches 1/(n*Ut).
+        model = MODELS[0]
+        tech = model.tech
+        vgs = 0.15  # far below threshold
+        gm = float(model.transconductance(vgs, 0.6, 10e-6, L))
+        id_ = float(model.drain_current(vgs, 0.6, 10e-6, L))
+        assert gm / id_ == pytest.approx(1.0 / (tech.n_slope * tech.ut), rel=0.05)
+
+    @settings(max_examples=30, deadline=None)
+    @given(bias=bias, w=width)
+    def test_capacitances_linear_in_width(self, bias, w):
+        vgs, vds = bias
+        model = MODELS[1]
+        cgs1 = float(model.gate_source_capacitance(vgs, vds, w, L))
+        cgs2 = float(model.gate_source_capacitance(vgs, vds, 2 * w, L))
+        assert cgs2 == pytest.approx(2 * cgs1, rel=1e-12)
+        cds1 = float(model.drain_source_capacitance(vgs, vds, w, L))
+        cds2 = float(model.drain_source_capacitance(vgs, vds, 2 * w, L))
+        assert cds2 == pytest.approx(2 * cds1, rel=1e-12)
+
+    def test_cgs_increases_with_inversion(self):
+        model = MODELS[0]
+        vgs = np.linspace(0.1, 1.2, 30)
+        cgs = model.gate_source_capacitance(vgs, 0.6, 10e-6, L)
+        assert np.all(np.diff(cgs) > 0)
+
+    def test_cds_decreases_with_vds(self):
+        model = MODELS[0]
+        vds = np.linspace(0.0, 1.2, 30)
+        cds = model.drain_source_capacitance(0.6, vds, 10e-6, L)
+        assert np.all(np.diff(cds) < 0)
+
+
+class TestRegions:
+    def test_inversion_coefficient_monotone_in_vgs(self):
+        model = MODELS[0]
+        vgs = np.linspace(0.0, 1.2, 50)
+        ic = model.inversion_coefficient(vgs, 0.6)
+        assert np.all(np.diff(ic) > 0)
+
+    def test_saturation_voltage_grows_with_vgs(self):
+        model = MODELS[0]
+        vgs = np.linspace(0.2, 1.2, 30)
+        vdsat = model.saturation_voltage(vgs)
+        assert np.all(np.diff(vdsat) >= 0)
+
+    def test_weak_inversion_saturation_floor(self):
+        # In weak inversion Vds,sat -> ~4 Ut plus a small IC term.
+        model = MODELS[0]
+        vdsat = float(model.saturation_voltage(0.1))
+        assert 3.5 * model.tech.ut < vdsat < 6.0 * model.tech.ut
+
+    def test_is_saturated_consistent(self):
+        model = MODELS[0]
+        assert bool(model.is_saturated(0.5, 1.0))
+        assert not bool(model.is_saturated(0.5, 0.05))
+
+
+class TestTechParams:
+    def test_invalid_polarity_rejected(self):
+        with pytest.raises(ValueError):
+            TechParams(name="bad", polarity=0, vt0=0.4, n_slope=1.3, kp=1e-4)
+
+    def test_negative_vt_rejected(self):
+        with pytest.raises(ValueError):
+            TechParams(name="bad", polarity=1, vt0=-0.4, n_slope=1.3, kp=1e-4)
+
+    def test_slope_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            TechParams(name="bad", polarity=1, vt0=0.4, n_slope=0.9, kp=1e-4)
+
+    def test_spec_current_scales_with_geometry(self):
+        ispec1 = NMOS_65NM.spec_current(1e-6, L)
+        assert NMOS_65NM.spec_current(2e-6, L) == pytest.approx(2 * ispec1)
+        assert NMOS_65NM.spec_current(1e-6, 2 * L) == pytest.approx(ispec1 / 2)
+
+    def test_spec_current_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            NMOS_65NM.spec_current(-1e-6, L)
+
+    def test_with_override(self):
+        modified = NMOS_65NM.with_(vt0=0.5)
+        assert modified.vt0 == 0.5
+        assert modified.kp == NMOS_65NM.kp

@@ -1,0 +1,63 @@
+"""Tests of the layout-in-the-loop parasitic evaluation (no-SPICE path)."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import ParasiticEstimate, evaluate_with_parasitics
+from repro.spice import run_ac, extract_metrics, solve_dc
+
+from tests.conftest import GOOD_WIDTHS
+
+
+class TestParasiticEstimate:
+    def test_negative_caps_rejected(self):
+        with pytest.raises(ValueError):
+            ParasiticEstimate(node_caps={"out": -1e-15})
+        with pytest.raises(ValueError):
+            ParasiticEstimate(coupling_caps={("a", "b"): -1e-15})
+
+    def test_empty_estimate_allowed(self):
+        estimate = ParasiticEstimate()
+        assert not estimate.node_caps and not estimate.coupling_caps
+
+
+class TestEvaluateWithParasitics:
+    def test_zero_parasitics_reproduce_verification_metrics(self, five_t, five_t_measurement):
+        metrics = evaluate_with_parasitics(five_t, five_t_measurement, ParasiticEstimate())
+        reference = five_t_measurement.metrics
+        assert metrics.gain_db == pytest.approx(reference.gain_db, abs=0.05)
+        assert metrics.f3db_hz == pytest.approx(reference.f3db_hz, rel=0.02)
+        assert metrics.ugf_hz == pytest.approx(reference.ugf_hz, rel=0.02)
+
+    def test_output_load_parasitic_cuts_bandwidth(self, five_t, five_t_measurement):
+        heavy = ParasiticEstimate(node_caps={"out": 500e-15})  # doubles CL
+        metrics = evaluate_with_parasitics(five_t, five_t_measurement, heavy)
+        reference = five_t_measurement.metrics
+        assert metrics.f3db_hz == pytest.approx(reference.f3db_hz / 2.0, rel=0.1)
+        assert metrics.gain_db == pytest.approx(reference.gain_db, abs=0.1)
+
+    def test_matches_full_spice_reference(self, five_t, five_t_measurement):
+        """The no-SPICE Mason path must agree with re-simulating the
+        parasitic-laden netlist (the expensive route it replaces)."""
+        estimate = ParasiticEstimate(
+            node_caps={"out": 120e-15, "d1": 40e-15},
+            coupling_caps={("d1", "out"): 15e-15},
+        )
+        fast = evaluate_with_parasitics(five_t, five_t_measurement, estimate)
+
+        reference_circuit = five_t_measurement.circuit.copy()
+        reference_circuit.add_capacitor("CW1", "out", "0", 120e-15)
+        reference_circuit.add_capacitor("CW2", "d1", "0", 40e-15)
+        reference_circuit.add_capacitor("CW3", "d1", "out", 15e-15)
+        dc = solve_dc(reference_circuit, initial_guess=five_t.initial_guess())
+        slow = extract_metrics(run_ac(dc), "out")
+
+        assert fast.gain_db == pytest.approx(slow.gain_db, abs=0.05)
+        assert fast.f3db_hz == pytest.approx(slow.f3db_hz, rel=0.02)
+        assert fast.ugf_hz == pytest.approx(slow.ugf_hz, rel=0.02)
+
+    def test_works_on_two_stage(self, two_stage, two_stage_measurement):
+        estimate = ParasiticEstimate(node_caps={"o1": 30e-15})
+        metrics = evaluate_with_parasitics(two_stage, two_stage_measurement, estimate)
+        assert metrics.is_valid()
+        assert metrics.gain_db == pytest.approx(two_stage_measurement.metrics.gain_db, abs=0.2)

@@ -1,0 +1,216 @@
+"""Tests of number formatting, CLT, vocabulary and restricted BPE."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp import (
+    RestrictedBPE,
+    Vocabulary,
+    char_detokenize,
+    char_tokenize,
+    format_capacitance,
+    format_conductance,
+    format_engineering,
+    parse_engineering,
+    segment_text,
+)
+from repro.nlp.tokenizer import BOS, EOS, PAD, UNK
+
+
+class TestNumberFormatting:
+    @pytest.mark.parametrize(
+        "value,unit,expected",
+        [
+            (2.5e-3, "S", "2.50mS"),
+            (101e-6, "S", "101uS"),
+            (5.41e-13, "F", "541fF"),
+            (0.7e-18, "F", "0.700aF"),
+            (1.0, "V", "1.00V"),
+            (123.4e6, "Hz", "123MHz"),
+            (20.13, "dB", "20.1dB"),
+        ],
+    )
+    def test_known_values(self, value, unit, expected):
+        assert format_engineering(value, unit) == expected
+
+    def test_zero(self):
+        assert format_engineering(0.0, "S") == "0S"
+
+    def test_negative(self):
+        assert format_engineering(-2.5e-3, "S") == "-2.50mS"
+
+    def test_rounding_carry_into_next_prefix(self):
+        # 999.7e-6 rounds to 1000 -> must bump to 1.00m.
+        assert format_engineering(999.7e-6, "S") == "1.00mS"
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            format_engineering(float("nan"), "S")
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        value=st.floats(min_value=1e-17, max_value=1e8),
+        unit=st.sampled_from(["S", "F", "A"]),
+    )
+    def test_roundtrip_within_three_digits(self, value, unit):
+        text = format_engineering(value, unit)
+        parsed, parsed_unit = parse_engineering(text)
+        assert parsed_unit == unit
+        assert parsed == pytest.approx(value, rel=6e-3)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_engineering("hello")
+
+    def test_unit_helpers(self):
+        assert format_conductance(1.5e-3).endswith("mS")
+        assert format_capacitance(2e-15).endswith("fF")
+
+
+class TestCharTokenizer:
+    def test_roundtrip(self):
+        text = "Iin 1 I1 1/(sC+gds) V1"
+        assert char_detokenize(char_tokenize(text)) == text
+
+    def test_specials_stripped(self):
+        assert char_detokenize([BOS, "a", EOS, PAD]) == "a"
+
+
+class TestVocabulary:
+    def test_specials_first(self):
+        vocab = Vocabulary()
+        assert vocab.pad_id == 0
+        assert vocab.decode([vocab.bos_id], strip_special=False) == [BOS]
+
+    def test_encode_unknown_maps_to_unk(self):
+        vocab = Vocabulary.from_tokens(["a", "b"])
+        ids = vocab.encode(["a", "zzz"])
+        assert ids[1] == vocab.unk_id
+
+    def test_bos_eos_insertion(self):
+        vocab = Vocabulary.from_tokens(["a"])
+        ids = vocab.encode(["a"], add_bos=True, add_eos=True)
+        assert ids[0] == vocab.bos_id and ids[-1] == vocab.eos_id
+
+    def test_add_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("tok")
+        assert vocab.add("tok") == first
+
+    def test_decode_to_text(self):
+        vocab = Vocabulary.from_tokens(["ab", "c"])
+        ids = vocab.encode(["ab", "c"])
+        assert vocab.decode_to_text(ids) == "abc"
+
+    def test_contains_and_len(self):
+        vocab = Vocabulary.from_tokens(["x"])
+        assert "x" in vocab
+        assert len(vocab) == 5  # 4 specials + x
+
+
+CORPUS = [
+    "32 gmP1 -16 1/(gdsM0+sCdsM0+sCdsP1+gmP1)",
+    "32 2.5mSP1 -16 1/(567uSM0+s0.7aFM0+s541aFP1+2.5mSP1)",
+    "gmM1=2.50mS gdsM1=45.6uS CdsM1=12.3fF CgsM1=4.56fF IdM1=123uA",
+    "gmM3=1.20mS gdsM3=95.6uS CdsM3=52.3fF CgsM3=14.6fF IdM3=23.4uA",
+] * 25
+
+
+@pytest.fixture(scope="module")
+def trained_bpe():
+    bpe = RestrictedBPE(num_merges=120)
+    bpe.train(CORPUS)
+    return bpe
+
+
+class TestSegmentation:
+    def test_concatenation_reproduces_input(self):
+        text = "2.5mSP1 + s541aF -16 gain=20.1dB"
+        assert "".join(s.text for s in segment_text(text)) == text
+
+    def test_value_digits_protected(self):
+        segments = segment_text("2.5mS")
+        assert segments[0].text == "2.5" and segments[0].protected
+
+    def test_device_index_digits_not_protected(self):
+        segments = segment_text("gmP1")
+        assert len(segments) == 1 and not segments[0].protected
+
+    def test_digits_after_laplace_s_protected(self):
+        segments = segment_text("s541aF")
+        protected = [s.text for s in segments if s.protected]
+        assert protected == ["541"]
+
+    def test_negative_number_protected(self):
+        segments = segment_text("x -16 y")
+        protected = [s.text for s in segments if s.protected]
+        assert protected == ["-16"]
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(alphabet="gmds MPC0123456789.+-/()= ", max_size=60))
+    def test_segmentation_lossless(self, text):
+        assert "".join(s.text for s in segment_text(text)) == text
+
+
+class TestRestrictedBPE:
+    def test_roundtrip(self, trained_bpe):
+        for line in CORPUS[:4]:
+            assert trained_bpe.decode(trained_bpe.encode(line)) == line
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(alphabet="gmds MPC0123456789.+-/()=", max_size=50))
+    def test_roundtrip_property(self, trained_bpe, text):
+        assert trained_bpe.decode(trained_bpe.encode(text)) == text
+
+    def test_value_digits_stay_single_tokens(self, trained_bpe):
+        tokens = trained_bpe.encode("2.5mSP1")
+        assert tokens[:3] == ["2", ".", "5"]
+
+    def test_merges_learned(self, trained_bpe):
+        assert len(trained_bpe.merges) > 10
+        tokens = trained_bpe.encode(CORPUS[2])
+        assert any(len(t) > 3 for t in tokens)
+
+    def test_compression_exceeds_one(self, trained_bpe):
+        ratio = trained_bpe.compression_ratio(CORPUS)
+        assert ratio > 1.5
+
+    def test_no_merged_token_contains_value_digits(self, trained_bpe):
+        for line in CORPUS:
+            for token in trained_bpe.encode(line):
+                if len(token) > 1:
+                    # Any digit inside a merged token must be part of an
+                    # identifier (preceded by an uppercase letter).
+                    for i, ch in enumerate(token):
+                        if ch.isdigit():
+                            assert i > 0 and (token[i - 1].isupper() or token[i - 1].isdigit())
+
+    def test_training_deterministic(self):
+        a = RestrictedBPE(num_merges=50)
+        b = RestrictedBPE(num_merges=50)
+        a.train(CORPUS)
+        b.train(CORPUS)
+        assert a.merges == b.merges
+
+    def test_encode_unseen_text_still_lossless(self, trained_bpe):
+        text = "brand new ZZZ 9.99qq"
+        assert trained_bpe.decode(trained_bpe.encode(text)) == text
+
+    def test_vocabulary_build(self, trained_bpe):
+        vocab = trained_bpe.build_vocabulary(CORPUS)
+        tokens = trained_bpe.encode(CORPUS[0])
+        ids = vocab.encode(tokens)
+        assert vocab.unk_id not in ids
+
+    def test_zero_merges_is_char_level(self):
+        bpe = RestrictedBPE(num_merges=0)
+        bpe.train(CORPUS)
+        tokens = bpe.encode("gmM1")
+        assert tokens == list("gmM1")
+
+    def test_negative_merges_rejected(self):
+        with pytest.raises(ValueError):
+            RestrictedBPE(num_merges=-1)

@@ -1,0 +1,126 @@
+"""Tests of the small-signal AC analysis and metric extraction."""
+
+import numpy as np
+import pytest
+
+from repro.devices import NMOS_65NM
+from repro.spice import (
+    Circuit,
+    PerformanceMetrics,
+    crossing_frequency,
+    default_frequency_grid,
+    extract_metrics,
+    run_ac,
+    solve_dc,
+)
+
+L = 180e-9
+
+
+def rc_lowpass(r=1e3, c=1e-9):
+    circuit = Circuit("rc")
+    circuit.add_vsource("VIN", "in", "0", 0.0, ac=1.0)
+    circuit.add_resistor("R", "in", "out", r)
+    circuit.add_capacitor("C", "out", "0", c)
+    return circuit
+
+
+class TestACAnalysis:
+    def test_rc_pole_matches_analytic(self):
+        r, c = 1e3, 1e-9
+        circuit = rc_lowpass(r, c)
+        dc = solve_dc(circuit)
+        freqs = np.logspace(3, 8, 101)
+        result = run_ac(dc, freqs)
+        h = result.transfer("out")
+        expected = 1.0 / (1.0 + 2j * np.pi * freqs * r * c)
+        np.testing.assert_allclose(h, expected, rtol=1e-10)
+
+    def test_supply_is_small_signal_ground(self):
+        circuit = Circuit("supply")
+        circuit.add_vsource("VDD", "vdd", "0", 1.2, ac=0.0)
+        circuit.add_vsource("VIN", "in", "0", 0.0, ac=1.0)
+        circuit.add_resistor("R1", "in", "x", 1e3)
+        circuit.add_resistor("R2", "x", "vdd", 1e3)
+        dc = solve_dc(circuit)
+        result = run_ac(dc, np.array([1e3]))
+        assert abs(result.transfer("vdd")[0]) == pytest.approx(0.0, abs=1e-12)
+        assert abs(result.transfer("x")[0]) == pytest.approx(0.5, rel=1e-9)
+
+    def test_cs_amplifier_low_frequency_gain(self):
+        circuit = Circuit("cs")
+        circuit.add_vsource("VDD", "vdd", "0", 1.2)
+        circuit.add_vsource("VIN", "g", "0", 0.55, ac=1.0)
+        circuit.add_resistor("RL", "vdd", "d", 20e3)
+        circuit.add_mosfet("M", "d", "g", "0", NMOS_65NM, 5e-6, L)
+        dc = solve_dc(circuit)
+        small = dc.op("M").small_signal
+        expected = -small.gm / (1.0 / 20e3 + small.gds)
+        result = run_ac(dc, np.array([10.0]))
+        assert result.transfer("d")[0].real == pytest.approx(expected, rel=1e-6)
+
+    def test_magnitude_db(self):
+        circuit = rc_lowpass()
+        dc = solve_dc(circuit)
+        result = run_ac(dc, np.array([1.0]))
+        assert result.magnitude_db("out")[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_default_grid_spans_requested_range(self):
+        grid = default_frequency_grid(1.0, 1e9, 10)
+        assert grid[0] == pytest.approx(1.0)
+        assert grid[-1] == pytest.approx(1e9)
+        assert np.all(np.diff(np.log10(grid)) > 0)
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            default_frequency_grid(10.0, 1.0)
+
+
+class TestMetricExtraction:
+    def test_rc_f3db(self):
+        r, c = 1e3, 1e-9
+        circuit = rc_lowpass(r, c)
+        dc = solve_dc(circuit)
+        result = run_ac(dc, np.logspace(2, 9, 211))
+        metrics = extract_metrics(result, "out")
+        expected_pole = 1.0 / (2 * np.pi * r * c)
+        assert metrics.gain_db == pytest.approx(0.0, abs=1e-4)
+        assert metrics.f3db_hz == pytest.approx(expected_pole, rel=0.02)
+        # A unity-gain passive filter never crosses 0 dB from above at
+        # finite frequency after the pole; UGF equals f3dB region crossing.
+        assert np.isfinite(metrics.ugf_hz) or np.isnan(metrics.ugf_hz)
+
+    def test_crossing_interpolation(self):
+        freqs = np.array([1.0, 10.0, 100.0])
+        mags = np.array([20.0, 20.0, 0.0])
+        crossing = crossing_frequency(freqs, mags, 10.0)
+        assert 10.0 < crossing < 100.0
+
+    def test_no_crossing_returns_nan(self):
+        freqs = np.array([1.0, 10.0, 100.0])
+        mags = np.array([5.0, 5.0, 5.0])
+        assert np.isnan(crossing_frequency(freqs, mags, 0.0))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            crossing_frequency(np.array([1.0, 2.0]), np.array([1.0]), 0.0)
+
+    def test_ota_metrics_sane(self, five_t_measurement):
+        metrics = five_t_measurement.metrics
+        assert metrics.is_valid()
+        assert 15.0 < metrics.gain_db < 40.0
+        assert 1e6 < metrics.f3db_hz < 1e8
+        assert 1e7 < metrics.ugf_hz < 1e9
+        # Single-pole-ish consistency: UGF ~ gain * f3dB.
+        assert metrics.ugf_hz == pytest.approx(
+            metrics.gain_linear * metrics.f3db_hz, rel=0.4
+        )
+
+    def test_metrics_as_array(self):
+        metrics = PerformanceMetrics(20.0, 1e6, 1e8)
+        np.testing.assert_allclose(metrics.as_array(), [20.0, 1e6, 1e8])
+        assert metrics.gain_linear == pytest.approx(10.0)
+
+    def test_invalid_metrics_flagged(self):
+        metrics = PerformanceMetrics(20.0, float("nan"), 1e8)
+        assert not metrics.is_valid()

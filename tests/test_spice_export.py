@@ -1,0 +1,91 @@
+"""Tests of the SPICE deck exporter/parser round trip."""
+
+import numpy as np
+import pytest
+
+from repro.spice import solve_dc, run_ac, extract_metrics
+from repro.spice.export import parse_netlist, to_spice
+
+from tests.conftest import GOOD_WIDTHS
+
+
+class TestExport:
+    def test_deck_contains_all_elements(self, five_t):
+        circuit = five_t.build(GOOD_WIDTHS["5T-OTA"])
+        deck = to_spice(circuit, title="sized 5T-OTA")
+        assert deck.startswith("* sized 5T-OTA")
+        for device in circuit.mosfets:
+            assert f"M{device.name} " in deck
+        assert "CCL out 0" in deck
+        assert ".model" in deck
+        assert deck.rstrip().endswith(".end")
+
+    def test_widths_serialized(self, five_t):
+        circuit = five_t.build(GOOD_WIDTHS["5T-OTA"])
+        deck = to_spice(circuit)
+        assert "W=1.2e-06" in deck
+        assert "L=1.8e-07" in deck
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ["5T-OTA", "CM-OTA", "2S-OTA"])
+    def test_parse_reproduces_circuit(self, name, five_t, cm_ota, two_stage):
+        topology = {"5T-OTA": five_t, "CM-OTA": cm_ota, "2S-OTA": two_stage}[name]
+        original = topology.build(GOOD_WIDTHS[name])
+        restored = parse_netlist(to_spice(original), name=name)
+        assert len(restored.mosfets) == len(original.mosfets)
+        for a, b in zip(original.mosfets, restored.mosfets):
+            assert a.name == b.name
+            assert a.width == pytest.approx(b.width, rel=1e-5)
+            assert (a.drain, a.gate, a.source) == (b.drain, b.gate, b.source)
+            assert a.tech.name == b.tech.name
+
+    def test_round_trip_preserves_metrics(self, five_t):
+        original = five_t.build(GOOD_WIDTHS["5T-OTA"])
+        restored = parse_netlist(to_spice(original))
+        metrics_a = extract_metrics(run_ac(solve_dc(original, five_t.initial_guess())), "out")
+        metrics_b = extract_metrics(run_ac(solve_dc(restored, five_t.initial_guess())), "out")
+        assert metrics_a.gain_db == pytest.approx(metrics_b.gain_db, abs=1e-3)
+        assert metrics_a.ugf_hz == pytest.approx(metrics_b.ugf_hz, rel=1e-4)
+
+    def test_sources_round_trip(self, five_t):
+        original = five_t.build(GOOD_WIDTHS["5T-OTA"])
+        restored = parse_netlist(to_spice(original))
+        assert restored.vsource("VINP").ac == pytest.approx(0.5)
+        assert restored.vsource("VDD").dc == pytest.approx(1.2)
+
+
+class TestParserValidation:
+    def test_unknown_card_rejected(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            parse_netlist("X1 a b weird")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown device model"):
+            parse_netlist("MX d g s s mystery_model W=1e-6 L=1e-7")
+
+    def test_comments_and_directives_skipped(self):
+        circuit = parse_netlist("* comment\n.model foo NMOS\nRR a 0 100\n.end\n")
+        assert len(circuit.resistors) == 1
+
+
+class TestExportProperties:
+    """Property-based round trip of the SPICE exporter."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        w1=st.floats(min_value=0.2e-6, max_value=100e-6),
+        w3=st.floats(min_value=0.2e-6, max_value=100e-6),
+        w5=st.floats(min_value=0.2e-6, max_value=100e-6),
+        vcm=st.floats(min_value=0.3, max_value=0.9),
+    )
+    def test_roundtrip_property(self, five_t, w1, w3, w5, vcm):
+        original = five_t.build({"M1": w1, "M3": w3, "M5": w5}, vcm=vcm)
+        restored = parse_netlist(to_spice(original))
+        assert restored.vsource("VINP").dc == pytest.approx(vcm, rel=1e-5)
+        for a, b in zip(original.mosfets, restored.mosfets):
+            assert b.width == pytest.approx(a.width, rel=1e-5)
+            assert b.length == pytest.approx(a.length, rel=1e-5)

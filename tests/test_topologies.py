@@ -1,0 +1,157 @@
+"""Tests of the OTA topology generators (Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.topologies import (
+    ALL_TOPOLOGIES,
+    CurrentMirrorOTA,
+    FiveTransistorOTA,
+    TwoStageOTA,
+    topology_by_name,
+)
+
+from tests.conftest import GOOD_WIDTHS
+
+
+class TestRegistry:
+    def test_topology_by_name(self):
+        for factory in ALL_TOPOLOGIES:
+            assert topology_by_name(factory.name).name == factory.name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            topology_by_name("7T-OTA")
+
+
+class TestStructure:
+    @pytest.mark.parametrize("factory", ALL_TOPOLOGIES, ids=lambda f: f.name)
+    def test_device_counts_match_paper(self, factory):
+        topology = factory()
+        circuit = topology.build(topology.nominal_widths())
+        expected = {"5T-OTA": 5, "CM-OTA": 9, "2S-OTA": 7}[topology.name]
+        assert len(circuit.mosfets) == expected
+
+    @pytest.mark.parametrize("factory", ALL_TOPOLOGIES, ids=lambda f: f.name)
+    def test_matching_constraints_enforced(self, factory):
+        topology = factory()
+        widths = topology.nominal_widths()
+        circuit = topology.build(widths)
+        for group in topology.groups:
+            group_widths = {circuit.mosfet(d).width for d in group.devices}
+            assert len(group_widths) == 1
+
+    @pytest.mark.parametrize("factory", ALL_TOPOLOGIES, ids=lambda f: f.name)
+    def test_load_capacitor_present(self, factory):
+        topology = factory()
+        circuit = topology.build(topology.nominal_widths())
+        cl = [c for c in circuit.capacitors if c.name == "CL"]
+        assert len(cl) == 1
+        assert cl[0].capacitance == pytest.approx(500e-15)
+
+    def test_two_stage_has_miller_cap(self, two_stage):
+        circuit = two_stage.build(two_stage.nominal_widths())
+        cc = [c for c in circuit.capacitors if c.name == "CC"]
+        assert len(cc) == 1
+
+    @pytest.mark.parametrize("factory", ALL_TOPOLOGIES, ids=lambda f: f.name)
+    def test_differential_drive(self, factory):
+        topology = factory()
+        circuit = topology.build(topology.nominal_widths())
+        assert circuit.vsource("VINP").ac == pytest.approx(0.5)
+        assert circuit.vsource("VINN").ac == pytest.approx(-0.5)
+
+    def test_device_to_group_mapping(self, cm_ota):
+        mapping = cm_ota.device_to_group()
+        assert mapping["M2"] == "M1"
+        assert mapping["M7"] == "M6"
+        assert mapping["M9"] == "M8"
+
+    def test_missing_width_rejected(self, five_t):
+        with pytest.raises(KeyError):
+            five_t.build({"M1": 1e-6, "M3": 1e-5})
+
+    def test_nonpositive_width_rejected(self, five_t):
+        with pytest.raises(ValueError):
+            five_t.build({"M1": -1e-6, "M3": 1e-5, "M5": 1e-6})
+
+
+class TestMeasurement:
+    def test_5t_metrics_in_expected_band(self, five_t_measurement):
+        metrics = five_t_measurement.metrics
+        assert 20.0 < metrics.gain_db < 30.0
+
+    def test_cm_higher_ugf_than_5t(self, five_t, cm_ota):
+        """The CM-OTA's mirror gain K>1 buys UGF -- the Table I shape."""
+        m5t = five_t.measure(GOOD_WIDTHS["5T-OTA"]).metrics
+        mcm = cm_ota.measure(GOOD_WIDTHS["CM-OTA"]).metrics
+        assert mcm.ugf_hz > m5t.ugf_hz
+
+    def test_two_stage_higher_gain_lower_bw(self, five_t, two_stage):
+        """Two cascaded stages: more gain, much lower bandwidth."""
+        m5t = five_t.measure(GOOD_WIDTHS["5T-OTA"]).metrics
+        m2s = two_stage.measure(GOOD_WIDTHS["2S-OTA"]).metrics
+        assert m2s.gain_db > m5t.gain_db + 6.0, (m2s, m5t)
+        assert m2s.f3db_hz < m5t.f3db_hz / 5.0
+
+    @pytest.mark.parametrize("factory", ALL_TOPOLOGIES, ids=lambda f: f.name)
+    def test_good_widths_pass_regions(self, factory):
+        topology = factory()
+        result = topology.measure(GOOD_WIDTHS[topology.name])
+        assert topology.regions_ok(result.dc)
+
+    def test_dp_weak_and_mirror_strong(self, five_t_measurement):
+        ops = five_t_measurement.dc.operating_points
+        assert ops["M3"].inversion_coefficient < 1.0
+        assert ops["M1"].inversion_coefficient > 5.0
+
+    def test_device_params_positive(self, cm_measurement):
+        for params in cm_measurement.device_params.values():
+            for value in params.values():
+                assert value > 0
+
+    def test_wider_dp_increases_gm(self, five_t):
+        base = five_t.measure(GOOD_WIDTHS["5T-OTA"])
+        wider = dict(GOOD_WIDTHS["5T-OTA"], M3=30e-6)
+        more = five_t.measure(wider)
+        assert more.device_params["M3"]["gm"] > base.device_params["M3"]["gm"]
+
+
+class TestDPSFGCaches:
+    @pytest.mark.parametrize("factory", ALL_TOPOLOGIES, ids=lambda f: f.name)
+    def test_symbolic_dpsfg_cached(self, factory):
+        topology = factory()
+        assert topology.symbolic_dpsfg() is topology.symbolic_dpsfg()
+
+    @pytest.mark.parametrize("factory", ALL_TOPOLOGIES, ids=lambda f: f.name)
+    def test_path_inventory_nonempty(self, factory):
+        topology = factory()
+        inventory = topology.path_inventory()
+        assert inventory.n_forward_paths > 0
+        assert inventory.n_cycles > 0
+
+    def test_structure_width_independent(self, five_t):
+        """The DP-SFG structure must not depend on widths."""
+        from repro.dpsfg import build_dpsfg, enumerate_paths
+
+        a = build_dpsfg(five_t.build({"M1": 1e-6, "M3": 10e-6, "M5": 2e-6}), "out")
+        b = build_dpsfg(five_t.build({"M1": 2e-6, "M3": 20e-6, "M5": 4e-6}), "out")
+        assert sorted(a.graph.edges) == sorted(b.graph.edges)
+
+
+class TestValidation:
+    def test_validate_widths_complete(self, cm_ota):
+        checked = cm_ota.validate_widths(
+            {"M1": 1e-6, "M3": 1e-5, "M5": 2e-6, "M6": 2e-6, "M8": 1e-6}
+        )
+        assert set(checked) == set(cm_ota.group_names)
+
+    def test_group_lookup(self, five_t):
+        assert five_t.group("M3").role == "DP"
+        with pytest.raises(KeyError):
+            five_t.group("M9")
+
+    def test_nominal_widths_inside_bounds(self, two_stage):
+        for name, width in two_stage.nominal_widths().items():
+            low, high = two_stage.group(name).width_bounds
+            assert low <= width <= high

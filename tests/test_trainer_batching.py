@@ -1,0 +1,61 @@
+"""Extra tests for length-bucketed batching and flow robustness paths."""
+
+import numpy as np
+import pytest
+
+from repro.transformer import SequencePair, make_batches
+
+
+def _pairs(lengths):
+    return [
+        SequencePair(source=tuple(range(4, 4 + n)), target=tuple(range(4, 4 + n)))
+        for n in lengths
+    ]
+
+
+class TestBucketedBatching:
+    def test_all_pairs_present_once(self):
+        pairs = _pairs([3, 9, 2, 7, 5, 4, 8, 6])
+        rng = np.random.default_rng(0)
+        batches = make_batches(pairs, batch_size=3, pad_id=0, bos_id=1, eos_id=2, rng=rng)
+        seen = []
+        for batch in batches:
+            for row, pad_row in zip(batch.src, batch.src_pad):
+                seen.append(tuple(int(v) for v, p in zip(row, pad_row) if not p))
+        assert sorted(seen) == sorted(p.source for p in pairs)
+
+    def test_buckets_group_similar_lengths(self):
+        # With wildly mixed lengths, bucketing must prevent the worst-case
+        # padding: no batch may pair the shortest with the longest.
+        pairs = _pairs([2] * 8 + [50] * 8)
+        batches = make_batches(pairs, batch_size=8, pad_id=0, bos_id=1, eos_id=2)
+        widths = sorted(batch.src.shape[1] for batch in batches)
+        assert widths == [2, 50]
+
+    def test_shuffling_changes_batch_composition(self):
+        pairs = _pairs(list(range(2, 34)))
+        a = make_batches(pairs, 4, 0, 1, 2, rng=np.random.default_rng(1))
+        b = make_batches(pairs, 4, 0, 1, 2, rng=np.random.default_rng(2))
+        first_a = [batch.src.shape for batch in a]
+        first_b = [batch.src.shape for batch in b]
+        # Same multiset of shapes (bucketing) ...
+        assert sorted(first_a) == sorted(first_b)
+        # ... but not necessarily the same order (shuffled batch order).
+        total_a = [tuple(batch.src[0]) for batch in a]
+        total_b = [tuple(batch.src[0]) for batch in b]
+        assert total_a != total_b
+
+    def test_eval_batching_deterministic(self):
+        pairs = _pairs([5, 3, 8, 2])
+        a = make_batches(pairs, 2, 0, 1, 2, rng=None)
+        b = make_batches(pairs, 2, 0, 1, 2, rng=None)
+        for batch_a, batch_b in zip(a, b):
+            np.testing.assert_array_equal(batch_a.src, batch_b.src)
+            np.testing.assert_array_equal(batch_a.tgt_out, batch_b.tgt_out)
+
+    def test_target_shift_alignment(self):
+        pairs = [SequencePair(source=(5, 6), target=(7, 8, 9))]
+        batch = make_batches(pairs, 1, 0, 1, 2)[0]
+        # Decoder input: BOS then target; decoder output: target then EOS.
+        np.testing.assert_array_equal(batch.tgt_in[0], [1, 7, 8, 9])
+        np.testing.assert_array_equal(batch.tgt_out[0], [7, 8, 9, 2])

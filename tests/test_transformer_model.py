@@ -1,0 +1,318 @@
+"""Tests of the full transformer model, loss, optimizer and trainer."""
+
+import numpy as np
+import pytest
+
+from repro.nlp import Vocabulary
+from repro.transformer import (
+    Adam,
+    LRScheduler,
+    SequencePair,
+    Trainer,
+    Transformer,
+    TransformerConfig,
+    WeightedCrossEntropy,
+    make_batches,
+    numeric_token_weights,
+)
+
+
+def tiny_config(**overrides):
+    base = dict(
+        vocab_size=12,
+        d_model=16,
+        n_heads=2,
+        n_encoder_layers=1,
+        n_decoder_layers=1,
+        d_ff=24,
+        dropout=0.0,
+        max_len=20,
+        seed=0,
+    )
+    base.update(overrides)
+    return TransformerConfig(**base)
+
+
+@pytest.fixture
+def tiny_model():
+    return Transformer(tiny_config())
+
+
+def random_batch(rng, batch=2, t_src=5, t_tgt=4, vocab=12):
+    src = rng.integers(4, vocab, size=(batch, t_src))
+    tgt_in = rng.integers(4, vocab, size=(batch, t_tgt))
+    tgt_out = rng.integers(4, vocab, size=(batch, t_tgt))
+    src_pad = np.zeros((batch, t_src), dtype=bool)
+    tgt_pad = np.zeros((batch, t_tgt), dtype=bool)
+    return src, tgt_in, tgt_out, src_pad, tgt_pad
+
+
+class TestModelForward:
+    def test_logit_shape(self, tiny_model):
+        rng = np.random.default_rng(0)
+        src, tgt_in, _, src_pad, tgt_pad = random_batch(rng)
+        logits = tiny_model.forward(src, tgt_in, src_pad, tgt_pad, training=False)
+        assert logits.shape == (2, 4, 12)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(vocab_size=12, d_model=15, n_heads=2)
+        with pytest.raises(ValueError):
+            TransformerConfig(vocab_size=2)
+
+    def test_length_limit_enforced(self, tiny_model):
+        rng = np.random.default_rng(0)
+        src = rng.integers(4, 12, size=(1, 25))
+        with pytest.raises(ValueError):
+            tiny_model.encode(src, np.zeros_like(src, dtype=bool), training=False)
+
+    def test_causal_masking_no_future_leak(self, tiny_model):
+        """Changing a later decoder input must not affect earlier logits."""
+        rng = np.random.default_rng(1)
+        src, tgt_in, _, src_pad, tgt_pad = random_batch(rng)
+        logits_a = tiny_model.forward(src, tgt_in, src_pad, tgt_pad, training=False)
+        tgt_mod = tgt_in.copy()
+        tgt_mod[:, -1] = (tgt_mod[:, -1] + 1) % 12
+        logits_b = tiny_model.forward(src, tgt_mod, src_pad, tgt_pad, training=False)
+        np.testing.assert_allclose(logits_a[:, :-1], logits_b[:, :-1], atol=1e-10)
+
+    def test_source_padding_invariance(self, tiny_model):
+        """Padding the source with junk must not change the output."""
+        rng = np.random.default_rng(2)
+        src, tgt_in, _, src_pad, tgt_pad = random_batch(rng, batch=1)
+        logits_a = tiny_model.forward(src, tgt_in, src_pad, tgt_pad, training=False)
+        src_padded = np.concatenate([src, rng.integers(4, 12, size=(1, 3))], axis=1)
+        pad_padded = np.concatenate([src_pad, np.ones((1, 3), dtype=bool)], axis=1)
+        logits_b = tiny_model.forward(src_padded, tgt_in, pad_padded, tgt_pad, training=False)
+        np.testing.assert_allclose(logits_a, logits_b, atol=1e-8)
+
+    def test_full_model_gradcheck(self, tiny_model):
+        rng = np.random.default_rng(3)
+        src, tgt_in, tgt_out, src_pad, tgt_pad = random_batch(rng)
+        loss_fn = WeightedCrossEntropy(pad_id=0)
+
+        def compute_loss():
+            logits = tiny_model.forward(src, tgt_in, src_pad, tgt_pad, training=False)
+            return loss_fn(logits, tgt_out).loss
+
+        tiny_model.zero_grad()
+        logits = tiny_model.forward(src, tgt_in, src_pad, tgt_pad, training=False)
+        result = loss_fn(logits, tgt_out)
+        tiny_model.backward(result.dlogits)
+        grads = dict(tiny_model.named_gradients())
+        params = dict(tiny_model.named_parameters())
+
+        rng2 = np.random.default_rng(11)
+        eps = 1e-6
+        for name in [
+            "src_embed.table",
+            "tgt_embed.table",
+            "encoder0.self_attn.w_v.weight",
+            "decoder0.cross_attn.w_q.weight",
+            "decoder0.ffn.linear2.weight",
+            "out_proj.bias",
+        ]:
+            flat = params[name].reshape(-1)
+            gflat = grads[name].reshape(-1)
+            for _ in range(3):
+                i = int(rng2.integers(0, flat.size))
+                original = flat[i]
+                flat[i] = original + eps
+                plus = compute_loss()
+                flat[i] = original - eps
+                minus = compute_loss()
+                flat[i] = original
+                numeric = (plus - minus) / (2 * eps)
+                assert gflat[i] == pytest.approx(numeric, rel=1e-4, abs=1e-9), name
+
+
+class TestDecoding:
+    def test_incremental_matches_naive(self):
+        model = Transformer(tiny_config(n_encoder_layers=2, n_decoder_layers=2))
+        rng = np.random.default_rng(4)
+        src = rng.integers(4, 12, size=(3, 6))
+        src_pad = np.zeros_like(src, dtype=bool)
+        src_pad[2, 4:] = True
+        fast = model.greedy_decode(src, src_pad, bos_id=1, eos_id=2, max_len=15)
+        naive = model.greedy_decode_naive(src, src_pad, bos_id=1, eos_id=2, max_len=15)
+        assert fast == naive
+
+    def test_decode_respects_max_len(self, tiny_model):
+        rng = np.random.default_rng(5)
+        src = rng.integers(4, 12, size=(1, 5))
+        out = tiny_model.greedy_decode(src, np.zeros_like(src, dtype=bool), 1, 2, max_len=6)
+        assert len(out[0]) <= 5
+
+    def test_eos_truncation(self, tiny_model):
+        rng = np.random.default_rng(6)
+        src = rng.integers(4, 12, size=(2, 5))
+        outs = tiny_model.greedy_decode(src, np.zeros_like(src, dtype=bool), 1, 2)
+        for row in outs:
+            assert 2 not in row
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tiny_model, tmp_path):
+        path = tmp_path / "model.npz"
+        tiny_model.save(path)
+        restored = Transformer.load(path)
+        assert restored.config == tiny_model.config
+        rng = np.random.default_rng(7)
+        src, tgt_in, _, src_pad, tgt_pad = random_batch(rng)
+        a = tiny_model.forward(src, tgt_in, src_pad, tgt_pad, training=False)
+        b = restored.forward(src, tgt_in, src_pad, tgt_pad, training=False)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_state_dict_shape_mismatch_rejected(self, tiny_model):
+        state = tiny_model.state_dict()
+        state["out_proj.bias"] = np.zeros(3)
+        with pytest.raises(ValueError):
+            tiny_model.load_state_dict(state)
+
+
+class TestLoss:
+    def test_matches_manual_cross_entropy(self):
+        logits = np.log(np.array([[[0.7, 0.2, 0.1]]]))
+        targets = np.array([[0]])
+        loss_fn = WeightedCrossEntropy(pad_id=2)
+        result = loss_fn(logits, targets)
+        assert result.loss == pytest.approx(-np.log(0.7), rel=1e-6)
+
+    def test_pad_positions_ignored(self):
+        rng = np.random.default_rng(8)
+        logits = rng.normal(size=(1, 3, 5))
+        loss_fn = WeightedCrossEntropy(pad_id=0)
+        full = loss_fn(logits, np.array([[1, 2, 0]]))
+        assert full.token_count == 2
+        np.testing.assert_allclose(full.dlogits[0, 2], 0.0)
+
+    def test_class_weights_shift_loss(self):
+        rng = np.random.default_rng(9)
+        logits = rng.normal(size=(1, 2, 4))
+        targets = np.array([[1, 2]])
+        plain = WeightedCrossEntropy(pad_id=0)(logits, targets).loss
+        weights = np.ones(4)
+        weights[1] = 10.0
+        weighted = WeightedCrossEntropy(class_weights=weights, pad_id=0)(logits, targets).loss
+        assert weighted != pytest.approx(plain)
+
+    def test_numeric_token_weights_selection(self):
+        vocab = Vocabulary.from_tokens(["1", ".", "-", "gmM1=", "uS ", "a"])
+        weights = numeric_token_weights(vocab, numeric_weight=1.2)
+        assert weights[vocab.token_to_id["1"]] == pytest.approx(1.2)
+        assert weights[vocab.token_to_id["."]] == pytest.approx(1.2)
+        assert weights[vocab.token_to_id["gmM1="]] == pytest.approx(1.0)
+        assert weights[vocab.token_to_id["a"]] == pytest.approx(1.0)
+
+    def test_gradient_direction(self):
+        logits = np.zeros((1, 1, 3))
+        loss_fn = WeightedCrossEntropy(pad_id=2)
+        result = loss_fn(logits, np.array([[1]]))
+        assert result.dlogits[0, 0, 1] < 0
+        assert result.dlogits[0, 0, 0] > 0
+
+
+class TestOptimizer:
+    def test_adam_minimizes_quadratic(self):
+        from repro.transformer import Linear, Module
+
+        rng = np.random.default_rng(10)
+        layer = Linear(1, 1, rng)
+        optimizer = Adam(layer, lr=0.05)
+        x = np.array([[1.0]])
+        for _ in range(600):
+            layer.zero_grad()
+            out = layer.forward(x)
+            # Loss = (out - 3)^2
+            layer.backward(2.0 * (out - 3.0))
+            optimizer.step()
+        assert float(layer.forward(x)[0, 0]) == pytest.approx(3.0, abs=0.02)
+
+    def test_gradient_clipping(self):
+        from repro.transformer import Linear
+
+        rng = np.random.default_rng(11)
+        layer = Linear(2, 2, rng)
+        optimizer = Adam(layer, lr=1e-3, grad_clip=1e-3)
+        layer.zero_grad()
+        layer.forward(np.ones((1, 2)))
+        layer.backward(np.full((1, 2), 1e6))
+        before = layer.weight.copy()
+        optimizer.step()
+        # Clipped update magnitude must be bounded by lr scale.
+        assert np.abs(layer.weight - before).max() < 1e-2
+
+    def test_plateau_scheduler_decays(self):
+        from repro.transformer import Linear
+
+        layer = Linear(1, 1, np.random.default_rng(0))
+        optimizer = Adam(layer, lr=1e-3)
+        scheduler = LRScheduler(optimizer, mode="plateau", decay=0.5, patience=1)
+        scheduler.step(1.0)
+        assert optimizer.lr == pytest.approx(1e-3)
+        scheduler.step(1.0)  # no improvement -> decay
+        assert optimizer.lr == pytest.approx(5e-4)
+
+    def test_cosine_scheduler_bounds(self):
+        from repro.transformer import Linear
+
+        layer = Linear(1, 1, np.random.default_rng(0))
+        optimizer = Adam(layer, lr=1e-3)
+        scheduler = LRScheduler(optimizer, mode="cosine", lr_min=1e-6, horizon_epochs=10)
+        rates = [scheduler.step(1.0) for _ in range(12)]
+        assert rates[-1] == pytest.approx(1e-6, rel=1e-3)
+        assert all(r <= 1e-3 + 1e-12 for r in rates)
+
+    def test_unknown_schedule_rejected(self):
+        from repro.transformer import Linear
+
+        layer = Linear(1, 1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            LRScheduler(Adam(layer), mode="bogus")
+
+
+class TestTrainer:
+    def test_make_batches_padding(self):
+        pairs = [
+            SequencePair(source=(5, 6), target=(7,)),
+            SequencePair(source=(5,), target=(7, 8, 9)),
+        ]
+        batches = make_batches(pairs, batch_size=2, pad_id=0, bos_id=1, eos_id=2)
+        assert len(batches) == 1
+        batch = batches[0]
+        assert batch.src.shape == (2, 2)
+        assert batch.tgt_in[0, 0] == 1  # BOS
+        assert batch.tgt_out[0, 1] == 2  # EOS after 1-token target
+        assert batch.src_pad[1, 1]  # second row padded
+
+    def test_overfits_copy_task(self):
+        config = tiny_config(vocab_size=14, max_len=16, seed=2)
+        model = Transformer(config)
+        trainer = Trainer(
+            model,
+            WeightedCrossEntropy(pad_id=0),
+            pad_id=0,
+            bos_id=1,
+            eos_id=2,
+            lr=3e-3,
+            batch_size=8,
+            seed=0,
+        )
+        rng = np.random.default_rng(0)
+        pairs = []
+        for _ in range(32):
+            seq = tuple(int(v) for v in rng.integers(4, 14, size=4))
+            pairs.append(SequencePair(source=seq, target=seq))
+        history = trainer.fit(pairs, pairs[:8], epochs=25)
+        assert history.train_loss[-1] < history.train_loss[0] / 3
+        predictions = trainer.predict([pairs[0].source])
+        assert tuple(predictions[0]) == pairs[0].target
+
+    def test_evaluate_returns_loss_and_accuracy(self):
+        config = tiny_config()
+        model = Transformer(config)
+        trainer = Trainer(model, WeightedCrossEntropy(pad_id=0), 0, 1, 2)
+        pairs = [SequencePair(source=(4, 5), target=(6, 7))]
+        loss, accuracy = trainer.evaluate(pairs)
+        assert loss > 0
+        assert 0.0 <= accuracy <= 1.0
