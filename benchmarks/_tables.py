@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import DesignSpec, SizingFlow, correlation_table
+from repro.core import DesignSpec, correlation_table
+from repro.service import SizingEngine, SizingRequest
 
 #: Paper correlation tables (Tables II, IV, VI) for side-by-side printing.
 PAPER_CORRELATIONS = {
@@ -53,27 +54,38 @@ def correlation_lines(title: str, topology, prediction_set) -> tuple[list[str], 
     return lines, table
 
 
-def optimization_lines(title: str, flow: SizingFlow, records, n_designs: int = 3):
-    """Format a Tables III/V/VII style target-vs-optimized table."""
+def optimization_lines(
+    title: str, engine: SizingEngine, topology_name: str, records, n_designs: int = 3
+):
+    """Format a Tables III/V/VII style target-vs-optimized table.
+
+    The specs are sized in one ``engine.size_batch`` call, so Stage I/II
+    inference is batched across the table's designs.
+    """
     lines = [
         title,
         "",
         f"{'gain tgt':>9s} {'gain opt':>9s} {'UGF tgt [MHz]':>14s} {'UGF opt':>9s} "
         f"{'BW tgt [MHz]':>13s} {'BW opt':>9s} {'ok':>4s} {'sims':>5s}",
     ]
-    results = []
-    for record in records[:n_designs]:
-        spec = DesignSpec(record.gain_db, record.f3db_hz, record.ugf_hz)
-        result = flow.size(spec)
-        results.append(result)
-        m = result.metrics
+    requests = [
+        SizingRequest(
+            topology=topology_name,
+            spec=DesignSpec(record.gain_db, record.f3db_hz, record.ugf_hz),
+        )
+        for record in records[:n_designs]
+    ]
+    responses = engine.size_batch(requests)
+    for request, response in zip(requests, responses):
+        spec = request.spec
+        m = response.metrics
         lines.append(
             f"{spec.gain_db:9.2f} {m.gain_db if m else float('nan'):9.2f} "
             f"{spec.ugf_hz / 1e6:14.2f} {(m.ugf_hz if m else float('nan')) / 1e6:9.2f} "
             f"{spec.f3db_hz / 1e6:13.3f} {(m.f3db_hz if m else float('nan')) / 1e6:9.3f} "
-            f"{str(result.success):>4s} {result.spice_simulations:>5d}"
+            f"{str(response.success):>4s} {response.spice_simulations:>5d}"
         )
-    return lines, results
+    return lines, responses
 
 
 def mean_abs_corr(table: dict) -> float:

@@ -5,7 +5,6 @@ character-level tokenization (CLT).  This bench measures the ratio on our
 corpus of encoder/decoder sequences across all three topologies.
 """
 
-from repro.core.pipeline import BENCHMARK_CONFIG
 
 from conftest import write_result
 

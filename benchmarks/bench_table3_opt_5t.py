@@ -2,23 +2,22 @@
 
 Runs the full Fig. 3 sizing flow on three unseen validation specifications
 and reports target vs achieved metrics -- our version of the paper's
-Table III.  The benchmarked operation is one full sizing call.
+Table III.  The specs go through ``SizingEngine.size_batch`` so Stage I/II
+inference is batched; the benchmarked operation is one full sizing call.
 """
 
-from repro.core import DesignSpec, SizingFlow
+from repro.service import SizingRequest
 
 from conftest import write_result
 from _tables import optimization_lines
 
 
-def test_table3_target_vs_optimized_5t(benchmark, artifact, topologies):
-    topology = topologies["5T-OTA"]
-    flow = SizingFlow(topology, artifact.model)
+def test_table3_target_vs_optimized_5t(benchmark, artifact, engine):
     records = artifact.val_records["5T-OTA"]
-    lines, results = optimization_lines(
-        "Table III -- 5T-OTA target vs optimized", flow, records, n_designs=3
+    lines, responses = optimization_lines(
+        "Table III -- 5T-OTA target vs optimized", engine, "5T-OTA", records, n_designs=3
     )
-    successes = sum(r.success for r in results)
+    successes = sum(r.success for r in responses)
     lines.append("")
     lines.append(f"{successes}/3 specifications met")
     write_result("table3_opt_5t", lines)
@@ -26,5 +25,5 @@ def test_table3_target_vs_optimized_5t(benchmark, artifact, topologies):
     assert successes >= 1
 
     record = records[3]
-    spec = DesignSpec(record.gain_db, record.f3db_hz, record.ugf_hz)
-    benchmark.pedantic(lambda: flow.size(spec), rounds=1, iterations=1)
+    request = SizingRequest.for_spec("5T-OTA", record.gain_db, record.f3db_hz, record.ugf_hz)
+    benchmark.pedantic(lambda: engine.size(request), rounds=1, iterations=1)

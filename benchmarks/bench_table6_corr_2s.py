@@ -9,7 +9,7 @@ correlation computation over the cached prediction set.
 import numpy as np
 
 from conftest import write_result
-from _tables import correlation_lines, mean_abs_corr
+from _tables import correlation_lines
 
 
 def test_table6_correlations_2s(benchmark, topologies, predictions):

@@ -2,34 +2,33 @@
 
 Runs the full Fig. 3 sizing flow on three unseen validation specifications
 and reports target vs achieved metrics -- our version of the paper's
-Table VII.  The benchmarked operation is one full sizing call.
+Table VII.  The specs go through ``SizingEngine.size_batch`` so Stage I/II
+inference is batched; the benchmarked operation is one full sizing call.
 """
 
-from repro.core import DesignSpec, SizingFlow
+from repro.service import SizingRequest
 
 from conftest import write_result
 from _tables import optimization_lines
 
 
-def test_table7_target_vs_optimized_2s(benchmark, artifact, topologies):
-    topology = topologies["2S-OTA"]
-    flow = SizingFlow(topology, artifact.model)
+def test_table7_target_vs_optimized_2s(benchmark, artifact, engine):
     records = artifact.val_records["2S-OTA"]
-    lines, results = optimization_lines(
-        "Table VII -- 2S-OTA target vs optimized", flow, records, n_designs=3
+    lines, responses = optimization_lines(
+        "Table VII -- 2S-OTA target vs optimized", engine, "2S-OTA", records, n_designs=3
     )
-    successes = sum(r.success for r in results)
+    successes = sum(r.success for r in responses)
     lines.append("")
     lines.append(f"{successes}/3 specifications met")
     lines.append("(2S-OTA prediction quality is the CPU-scale gap; see EXPERIMENTS.md)")
     write_result("table7_opt_2s", lines)
 
     # Structural assertions only (see bench_table6 note): the flow must run
-    # its full copilot budget and account for every simulation.
-    for result in results:
-        assert result.spice_simulations <= 6
-        assert result.iterations == len(result.trace)
+    # its full copilot budget and account for every iteration.
+    for response in responses:
+        assert response.spice_simulations <= 6
+        assert response.iterations == len(response.decoded_texts)
 
     record = records[3]
-    spec = DesignSpec(record.gain_db, record.f3db_hz, record.ugf_hz)
-    benchmark.pedantic(lambda: flow.size(spec), rounds=1, iterations=1)
+    request = SizingRequest.for_spec("2S-OTA", record.gain_db, record.f3db_hz, record.ugf_hz)
+    benchmark.pedantic(lambda: engine.size(request), rounds=1, iterations=1)

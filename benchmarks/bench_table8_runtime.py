@@ -13,14 +13,24 @@ average times and average iteration counts.  Absolute times differ from
 the paper (CPU numpy vs GPU PyTorch; MNA substrate vs Spectre); the shape
 to check is the high single-simulation success fraction and the small
 iteration counts of the remainder.
+
+``test_table8_batched_inference_throughput`` additionally reports the
+before/after number of the service redesign: inference-stage throughput
+of ``SizingEngine.size_batch`` over a mixed-topology batch vs the
+sequential ``SizingFlow.size`` path, with decoded texts pinned
+bit-identical between the two.
 """
 
 from repro.core import DesignSpec, SizingFlow, run_sizing_study
+from repro.service import SizingEngine, SizingRequest
 
 from conftest import write_result
 
 #: Unseen designs sized per topology (the paper uses 100).
 N_SPECS = 25
+
+#: Mixed-topology batch size of the throughput comparison.
+N_BATCH_PER_TOPOLOGY = 11
 
 PAPER_ROWS = {
     "5T-OTA": "paper: 8.5h train | 95/100 single (37s) | 5/100 multi (111s, ~3 iters)",
@@ -77,3 +87,74 @@ def test_table8_runtime_analysis(benchmark, artifact, topologies):
     record = artifact.val_records["5T-OTA"][0]
     spec = DesignSpec(record.gain_db, record.f3db_hz, record.ugf_hz)
     benchmark.pedantic(lambda: flow.size(spec), rounds=1, iterations=1)
+
+
+def test_table8_batched_inference_throughput(artifact, topologies):
+    """Before/after of the service redesign: sequential ``SizingFlow.size``
+    vs ``SizingEngine.size_batch`` over a mixed-topology batch.
+
+    Both paths run the identical copilot loop (the parity assertion pins
+    bit-identical decoded texts per iteration), so the comparison isolates
+    the batching of Stage I/II inference.
+    """
+    # ------------------------------------------------------------------
+    # Before: the sequential path, one spec at a time.
+    requests = []
+    for name in topologies:
+        # Unseen specs first; top up from training records when the
+        # validation split is small (the tiny smoke profile).
+        records = list(artifact.val_records[name]) + list(artifact.train_records[name])
+        for record in records[:N_BATCH_PER_TOPOLOGY]:
+            requests.append(
+                SizingRequest.for_spec(
+                    name, record.gain_db, record.f3db_hz, record.ugf_hz, rel_tol=0.01
+                )
+            )
+    assert len(requests) >= 32
+
+    flows = {name: SizingFlow(topology, artifact.model) for name, topology in topologies.items()}
+    sequential_results = [
+        flows[request.topology].size(
+            request.spec, max_iterations=request.max_iterations, rel_tol=request.rel_tol
+        )
+        for request in requests
+    ]
+    sequential_inference_s = sum(
+        flow._engine.stats.inference_seconds for flow in flows.values()
+    )
+
+    # ------------------------------------------------------------------
+    # After: one batched engine call (cache off for an honest comparison).
+    engine = SizingEngine(artifact.model, cache_size=0)
+    for topology in topologies.values():
+        engine.adopt_topology(topology)
+    responses = engine.size_batch(requests)
+    batched_inference_s = engine.stats.inference_seconds
+
+    # Parity: bit-identical decoded parameter texts, iteration by iteration
+    # (relies on per-row reduction-order stability of numpy's BLAS across
+    # batch shapes; see the note on TestBatchedDecodeParity in
+    # tests/test_service.py).
+    for result, response in zip(sequential_results, responses):
+        sequential_texts = [t.decoded_text for t in result.trace]
+        assert sequential_texts == list(response.decoded_texts)
+        assert result.widths == response.widths
+        assert result.success == response.success
+
+    sequences = engine.stats.inference_sequences
+    speedup = sequential_inference_s / batched_inference_s
+    lines = [
+        "Table VIII addendum -- batched inference throughput (service redesign)",
+        "",
+        f"mixed-topology batch: {len(requests)} requests "
+        f"({N_BATCH_PER_TOPOLOGY} per topology), {sequences} decoded sequences",
+        f"sequential SizingFlow.size inference stage: {sequential_inference_s:8.2f} s "
+        f"({sequences / sequential_inference_s:6.2f} seq/s)",
+        f"batched engine.size_batch inference stage:  {batched_inference_s:8.2f} s "
+        f"({sequences / batched_inference_s:6.2f} seq/s)",
+        f"inference-stage speedup: {speedup:.1f}x",
+        "decoded parameter texts: bit-identical to the sequential path",
+    ]
+    write_result("table8_batched_throughput", lines)
+
+    assert speedup >= 3.0

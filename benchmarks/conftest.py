@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 from repro.core import predict_over_records
@@ -57,6 +56,17 @@ def artifact():
 @pytest.fixture(scope="session")
 def topologies():
     return {name: topology_by_name(name) for name, _ in BENCHMARK_CONFIG.designs_per_topology}
+
+
+@pytest.fixture(scope="session")
+def engine(artifact, topologies):
+    """A shared batched sizing engine over the benchmark model."""
+    from repro.service import SizingEngine
+
+    eng = SizingEngine(artifact.model)
+    for topology in topologies.values():
+        eng.adopt_topology(topology)
+    return eng
 
 
 class _PredictionCache:

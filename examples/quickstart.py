@@ -15,8 +15,8 @@ Usage::
 
 from pathlib import Path
 
-from repro.core import DesignSpec, PipelineConfig, SizingFlow, train_sizing_model
-from repro.topologies import topology_by_name
+from repro.core import DesignSpec, PipelineConfig, train_sizing_model
+from repro.service import SizingEngine, SizingRequest
 
 CACHE_DIR = Path(__file__).resolve().parent / ".cache"
 
@@ -47,8 +47,7 @@ def main() -> None:
     else:
         artifacts = train_sizing_model(config, cache_dir=CACHE_DIR, log=print)
 
-    topology = topology_by_name("5T-OTA")
-    flow = SizingFlow(topology, artifacts.model)
+    engine = SizingEngine(artifacts.model)
 
     # Ask for slightly less than a held-out validation design achieves: a
     # specification the model has never seen but that is known to be
@@ -70,7 +69,7 @@ def main() -> None:
     print(f"target spec: gain >= {spec.gain_db:.1f} dB, "
           f"BW >= {spec.f3db_hz / 1e6:.2f} MHz, UGF >= {spec.ugf_hz / 1e6:.1f} MHz")
 
-    result = flow.size(spec)
+    result = engine.size(SizingRequest(topology="5T-OTA", spec=spec))
     print(f"success={result.success} after {result.iterations} iteration(s), "
           f"{result.spice_simulations} verification SPICE simulation(s), "
           f"{result.wall_time_s:.2f} s")
@@ -80,6 +79,25 @@ def main() -> None:
         m = result.metrics
         print(f"achieved: gain={m.gain_db:.1f} dB, BW={m.f3db_hz / 1e6:.2f} MHz, "
               f"UGF={m.ugf_hz / 1e6:.1f} MHz")
+
+    # The engine really shines on batches: inference for every request of
+    # one topology runs in a single padded transformer decode.
+    print("\n== batched sizing (engine.size_batch) ==")
+    batch = [
+        SizingRequest.for_spec(
+            "5T-OTA", r.gain_db * 0.99, r.f3db_hz * 0.9, r.ugf_hz * 0.9
+        )
+        for r in candidates[:8]
+    ]
+    responses = engine.size_batch(batch)
+    successes = sum(r.success for r in responses)
+    stats = engine.stats
+    print(f"{successes}/{len(batch)} specs met; "
+          f"{stats.inference_sequences} decoded sequences in "
+          f"{stats.inference_calls} batched decode call(s), "
+          f"{stats.inference_seconds:.2f} s inference, "
+          f"{stats.spice_simulations} SPICE simulations, "
+          f"{stats.cache_hits} cache hits")
 
 
 if __name__ == "__main__":

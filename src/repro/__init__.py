@@ -32,21 +32,37 @@ Subpackages
     allocation and evaluation utilities.
 ``baselines``
     SPICE-in-the-loop comparison optimizers (SA, PSO, DE) for Table IX.
+``service``
+    The batched request/response sizing engine, topology-registry-backed,
+    with JSON-serializable requests and the ``python -m repro`` CLI.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from .core import DesignSpec, SizingFlow, SizingModel, train_sizing_model
-from .topologies import CurrentMirrorOTA, FiveTransistorOTA, TwoStageOTA, topology_by_name
+from .service import SizingEngine, SizingRequest, SizingResponse
+from .topologies import (
+    CurrentMirrorOTA,
+    FiveTransistorOTA,
+    TwoStageOTA,
+    available_topologies,
+    register,
+    topology_by_name,
+)
 
 __all__ = [
     "DesignSpec",
     "SizingFlow",
     "SizingModel",
     "train_sizing_model",
+    "SizingEngine",
+    "SizingRequest",
+    "SizingResponse",
     "CurrentMirrorOTA",
     "FiveTransistorOTA",
     "TwoStageOTA",
+    "available_topologies",
+    "register",
     "topology_by_name",
     "__version__",
 ]

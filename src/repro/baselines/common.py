@@ -14,7 +14,6 @@ optimization, differential evolution).  All three share:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 

@@ -9,7 +9,6 @@ the cost *to reach a satisfying design*.
 from __future__ import annotations
 
 import time
-from typing import Optional
 
 import numpy as np
 

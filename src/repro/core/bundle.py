@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -91,6 +91,67 @@ class SizingModel:
         text = self.vocab.decode_to_text(decoded)
         return builder.parse_decoder_text(text), text
 
+    def predict_params_batch(
+        self,
+        topology_name: str,
+        specs: Sequence[DesignSpec],
+        max_len: Optional[int] = None,
+    ) -> list[tuple[ParsedParams, str]]:
+        """Batched :meth:`predict_params`: one decode for many specs.
+
+        Sources are right-padded to a common length (the padding mask
+        keeps padded positions out of every attention sum), and the
+        decoder tracks EOS per sequence, so each row decodes exactly as
+        it would alone while the matmuls amortize over the whole batch.
+        """
+        return self.predict_params_many({topology_name: list(specs)}, max_len)[topology_name]
+
+    def predict_params_many(
+        self,
+        specs_by_topology: dict[str, list[DesignSpec]],
+        max_len: Optional[int] = None,
+    ) -> dict[str, list[tuple[ParsedParams, str]]]:
+        """Cross-topology batched inference: one decode for everything.
+
+        One transformer serves every topology, so specs of *different*
+        topologies can share a single padded greedy decode — only the
+        encoder texts and the output parsers differ per topology.  Row
+        independence (padding mask + per-sequence EOS) keeps each decoded
+        text identical to the single-spec path.
+        """
+        sources: list[list[int]] = []
+        for name, specs in specs_by_topology.items():
+            builder = self.builder(name)
+            sources.extend(
+                self.vocab.encode(
+                    self.bpe.encode(builder.encoder_text(s.gain_db, s.f3db_hz, s.ugf_hz))
+                )
+                for s in specs
+            )
+        results: dict[str, list[tuple[ParsedParams, str]]] = {
+            name: [] for name in specs_by_topology
+        }
+        if not sources:
+            return results
+        longest = max(len(ids) for ids in sources)
+        pad_id = self.vocab.pad_id
+        src = np.full((len(sources), longest), pad_id, dtype=np.int64)
+        src_pad = np.ones((len(sources), longest), dtype=bool)
+        for row, ids in enumerate(sources):
+            src[row, : len(ids)] = ids
+            src_pad[row, : len(ids)] = False
+        decoded = self.transformer.greedy_decode(
+            src, src_pad, self.vocab.bos_id, self.vocab.eos_id, max_len=max_len
+        )
+        cursor = 0
+        for name, specs in specs_by_topology.items():
+            builder = self.builder(name)
+            for ids in decoded[cursor : cursor + len(specs)]:
+                text = self.vocab.decode_to_text(ids)
+                results[name].append((builder.parse_decoder_text(text), text))
+            cursor += len(specs)
+        return results
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
@@ -121,9 +182,7 @@ class SizingModel:
         meta = json.loads((path / "bundle.json").read_text())
         transformer = Transformer.load(path / "transformer.npz")
 
-        bpe = RestrictedBPE(num_merges=meta["num_merges"])
-        bpe.merges = [tuple(pair) for pair in meta["merges"]]
-        bpe._merge_ranks = {pair: rank for rank, pair in enumerate(bpe.merges)}
+        bpe = RestrictedBPE.from_merges(meta["merges"], num_merges=meta["num_merges"])
 
         vocab = Vocabulary()
         for token in meta["vocab"]:

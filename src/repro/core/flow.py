@@ -11,19 +11,21 @@ netlist:
 
 The flow counts verification SPICE simulations explicitly: the headline
 claim of the paper is that >90% of designs need exactly one.
+
+Since the service redesign, ``SizingFlow`` is a thin single-topology,
+single-spec facade over :class:`repro.service.SizingEngine`, which owns
+the shared implementation and additionally batches inference across many
+requests (``engine.size_batch``).
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..lut import DeviceParams, estimate_width
-from ..spice import ConvergenceError, PerformanceMetrics
+from ..spice import PerformanceMetrics
 from ..topologies import OTATopology
 from .bundle import SizingModel
-from .margin import tighten_spec
 from .specs import DesignSpec
 
 __all__ = ["SizingFlow", "SizingResult", "IterationTrace"]
@@ -61,7 +63,12 @@ class SizingResult:
 
 
 class SizingFlow:
-    """Sizes one OTA topology against specifications using a trained model."""
+    """Sizes one OTA topology against specifications using a trained model.
+
+    Delegates to a private, cache-free :class:`~repro.service.SizingEngine`
+    so the sequential path and ``engine.size_batch`` share one
+    implementation (and stay bit-identical, which the parity tests pin).
+    """
 
     def __init__(
         self,
@@ -70,14 +77,43 @@ class SizingFlow:
         width_bounds: tuple[float, float] = (0.1e-6, 200e-6),
         max_candidate_spread: float = 5.0,
     ):
+        # Local import: repro.service builds on repro.core.
+        from ..service.engine import SizingEngine
+
         self.topology = topology
         self.model = model
-        self.width_bounds = width_bounds
-        #: Reject an inference whose Algorithm-1 width candidates disagree
-        #: by more than this relative spread: wildly inconsistent predicted
-        #: parameters cannot describe any physical device, so re-inferring
-        #: beats verifying a garbage design.
-        self.max_candidate_spread = max_candidate_spread
+        self._engine = SizingEngine(
+            model,
+            cache_size=0,
+            width_bounds=width_bounds,
+            max_candidate_spread=max_candidate_spread,
+        )
+        self._engine.adopt_topology(topology)
+
+    # ------------------------------------------------------------------
+    # Engine-backed knobs (kept as mutable attributes for back-compat)
+    # ------------------------------------------------------------------
+    @property
+    def width_bounds(self) -> tuple[float, float]:
+        return self._engine.width_bounds
+
+    @width_bounds.setter
+    def width_bounds(self, bounds: tuple[float, float]) -> None:
+        self._engine.width_bounds = bounds
+
+    @property
+    def max_candidate_spread(self) -> float:
+        return self._engine.max_candidate_spread
+
+    @max_candidate_spread.setter
+    def max_candidate_spread(self, spread: float) -> None:
+        self._engine.max_candidate_spread = spread
+
+    def _sync_engine(self) -> None:
+        """Honor post-construction reassignment of ``topology``/``model``
+        (the pre-engine implementation read both on every call)."""
+        self._engine.model = self.model
+        self._engine.adopt_topology(self.topology)
 
     # ------------------------------------------------------------------
     def widths_from_params(
@@ -90,29 +126,8 @@ class SizingFlow:
         :attr:`max_candidate_spread`), signalling the caller to retry
         inference instead of wasting a verification simulation.
         """
-        widths: dict[str, float] = {}
-        for group in self.topology.groups:
-            params = parsed_values[group.name]
-            tech = group.tech
-            # gm/Id can never exceed the weak-inversion limit 1/(n*Ut); a
-            # prediction above it is a transcription error on Id -- repair
-            # it rather than letting Algorithm 1 chase an impossible point.
-            gm_id_max = 0.95 / (tech.n_slope * tech.ut)
-            id_value = max(params["id"], params["gm"] / gm_id_max)
-            device_params = DeviceParams(
-                gm=params["gm"],
-                gds=params["gds"],
-                cds=params["cds"],
-                cgs=params["cgs"],
-                id=id_value,
-            )
-            lut = self.model.lut_for(self.topology, group.name)
-            estimate = estimate_width(device_params, lut, vdd=self.topology.vdd)
-            if estimate.spread() > self.max_candidate_spread:
-                return None
-            low, high = self.width_bounds
-            widths[group.name] = float(min(max(estimate.width, low), high))
-        return widths
+        self._sync_engine()
+        return self._engine.widths_from_params(self.topology, parsed_values)
 
     # ------------------------------------------------------------------
     def size(
@@ -122,61 +137,13 @@ class SizingFlow:
         rel_tol: float = 0.0,
     ) -> SizingResult:
         """Run the full Fig. 3 flow for one specification."""
-        start = time.perf_counter()
-        trace: list[IterationTrace] = []
-        spice_count = 0
-        request = spec
-        best: Optional[tuple[dict[str, float], PerformanceMetrics]] = None
+        from ..service.requests import SizingRequest
 
-        for iteration in range(1, max_iterations + 1):
-            parsed, decoded_text = self.model.predict_params(self.topology.name, request)
-            if not parsed.complete:
-                trace.append(
-                    IterationTrace(request, decoded_text, False, None, None, False)
-                )
-                # Unparseable output: nudge the request and retry inference.
-                request = request.scaled({"gain_db": 1.01, "f3db_hz": 1.02, "ugf_hz": 1.02})
-                continue
-
-            widths = self.widths_from_params(parsed.values)
-            if widths is None:
-                trace.append(IterationTrace(request, decoded_text, True, None, None, False))
-                request = request.scaled({"gain_db": 1.01, "f3db_hz": 1.02, "ugf_hz": 1.02})
-                continue
-            try:
-                measurement = self.topology.measure(widths)
-            except ConvergenceError:
-                trace.append(IterationTrace(request, decoded_text, True, widths, None, False))
-                request = request.scaled({"gain_db": 1.01, "f3db_hz": 1.02, "ugf_hz": 1.02})
-                continue
-            spice_count += 1
-            metrics = measurement.metrics
-            satisfied = spec.satisfied(metrics, rel_tol=rel_tol)
-            trace.append(IterationTrace(request, decoded_text, True, widths, metrics, satisfied))
-            if best is None:
-                best = (widths, metrics)
-            if satisfied:
-                return SizingResult(
-                    success=True,
-                    spec=spec,
-                    widths=widths,
-                    metrics=metrics,
-                    iterations=iteration,
-                    spice_simulations=spice_count,
-                    wall_time_s=time.perf_counter() - start,
-                    trace=trace,
-                )
-            best = (widths, metrics)
-            request = tighten_spec(request, spec, metrics)
-
-        final_widths, final_metrics = best if best is not None else (None, None)
-        return SizingResult(
-            success=False,
+        self._sync_engine()
+        request = SizingRequest(
+            topology=self.topology.name,
             spec=spec,
-            widths=final_widths,
-            metrics=final_metrics,
-            iterations=len(trace),
-            spice_simulations=spice_count,
-            wall_time_s=time.perf_counter() - start,
-            trace=trace,
+            max_iterations=max_iterations,
+            rel_tol=rel_tol,
         )
+        return self._engine.size_result(request)

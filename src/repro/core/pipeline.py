@@ -27,7 +27,6 @@ from ..datagen import (
 )
 from ..devices import NMOS_65NM, PMOS_65NM
 from ..lut import build_lut
-from ..nlp import Vocabulary
 from ..topologies import topology_by_name
 from ..transformer import (
     Trainer,

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Mapping, Optional, Sequence
 
 from .builder import DPSFG
-from .expr import LinComb, Reciprocal
+from .expr import LinComb
 from .paths import PathInventory, enumerate_paths
 
 __all__ = ["render_weight", "render_path", "render_cycle", "render_sequences"]

@@ -16,9 +16,8 @@ at intermediate bias points stay accurate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 from scipy.interpolate import RectBivariateSpline

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import re
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from .tokenizer import Vocabulary
@@ -85,6 +85,27 @@ class RestrictedBPE:
         self.merges: list[tuple[str, str]] = []
         self._merge_ranks: dict[tuple[str, str], int] = {}
         self._span_cache: dict[str, tuple[str, ...]] = {}
+
+    @classmethod
+    def from_merges(
+        cls,
+        merges: Iterable[Sequence[str]],
+        num_merges: Optional[int] = None,
+    ) -> "RestrictedBPE":
+        """Reconstruct a trained encoder from a saved merge list.
+
+        The inverse of persisting :attr:`merges`: ranks are rebuilt from
+        list order, so ``from_merges(bpe.merges)`` encodes identically to
+        the original ``bpe``.
+        """
+        merge_pairs = [tuple(pair) for pair in merges]
+        for pair in merge_pairs:
+            if len(pair) != 2 or not all(isinstance(part, str) for part in pair):
+                raise ValueError(f"each merge must be a pair of strings, got {pair!r}")
+        bpe = cls(num_merges=len(merge_pairs) if num_merges is None else num_merges)
+        bpe.merges = merge_pairs
+        bpe._merge_ranks = {pair: rank for rank, pair in enumerate(merge_pairs)}
+        return bpe
 
     # ------------------------------------------------------------------
     # Training

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import math
 import re
-from typing import Optional
 
 __all__ = [
     "format_engineering",

@@ -1,0 +1,29 @@
+"""Batched request/response sizing service.
+
+The paper's headline claim is that sizing is cheap at inference time —
+one transformer decode plus LUT lookups.  This package turns that into a
+serving-shaped API:
+
+* :class:`SizingRequest` / :class:`SizingResponse` — serializable units
+  of work with stable JSON schemas and per-request ids;
+* :class:`SizingEngine` — owns one trained :class:`~repro.core.SizingModel`,
+  groups requests by topology, runs *batched* greedy decoding, applies
+  Stage III width estimation and Stage IV verification per request, and
+  memoizes results in an LRU cache keyed by quantized specification;
+* ``python -m repro size`` — JSONL in, JSONL out, on top of the engine.
+
+``SizingFlow`` (the original single-spec API) now delegates to the
+engine, so both paths share one implementation.
+"""
+
+from .cache import ResultCache
+from .engine import EngineStats, SizingEngine
+from .requests import SizingRequest, SizingResponse
+
+__all__ = [
+    "EngineStats",
+    "ResultCache",
+    "SizingEngine",
+    "SizingRequest",
+    "SizingResponse",
+]

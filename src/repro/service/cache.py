@@ -1,0 +1,98 @@
+"""LRU result cache keyed by (topology, quantized spec).
+
+The encoder serializes specifications to ~3 significant digits, so two
+specs that agree after the same quantization produce the *identical*
+encoder sequence and therefore the identical decode.  The Stage IV
+verdict, however, is judged against the request's *exact* targets, so a
+cached response only transfers to a near-duplicate request when it can
+be re-validated: either the specs match exactly (deterministic flow ⇒
+identical outcome), or the cached design's measured metrics provably
+satisfy the new request's own targets.  Anything else is a miss.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+from ..core.specs import DesignSpec
+from .requests import SizingRequest, SizingResponse
+
+__all__ = ["ResultCache", "quantize_spec"]
+
+
+def quantize_spec(value: float, sig_digits: int = 3) -> float:
+    """Round to ``sig_digits`` significant digits (the encoder's own
+    resolution, see :mod:`repro.nlp.numformat`)."""
+    return float(f"{value:.{sig_digits}g}")
+
+
+class ResultCache:
+    """Bounded LRU mapping quantized requests to finished responses."""
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive; use no cache instead of size 0")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hashable, tuple[DesignSpec, SizingResponse]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(request: SizingRequest) -> Hashable:
+        """Cache key: topology + quantized targets + loop parameters."""
+        return (
+            request.topology,
+            quantize_spec(request.spec.gain_db),
+            quantize_spec(request.spec.f3db_hz),
+            quantize_spec(request.spec.ugf_hz),
+            request.max_iterations,
+            request.rel_tol,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, request: SizingRequest) -> bool:
+        return self._transferable(request) is not None
+
+    def _transferable(self, request: SizingRequest) -> Optional[SizingResponse]:
+        """The cached response if its verdict carries over to ``request``."""
+        entry = self._entries.get(self.key(request))
+        if entry is None:
+            return None
+        cached_spec, response = entry
+        if cached_spec == request.spec:
+            # Identical request: the flow is deterministic, outcome included.
+            return response
+        if (
+            response.success
+            and response.metrics is not None
+            and request.spec.satisfied(response.metrics, rel_tol=request.rel_tol)
+        ):
+            # Near-duplicate: the cached design measurably meets the new
+            # exact targets too, so success transfers.
+            return response
+        return None
+
+    def get(self, request: SizingRequest) -> Optional[SizingResponse]:
+        """The cached response re-addressed to ``request``, or ``None``."""
+        response = self._transferable(request)
+        if response is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(self.key(request))
+        return response.with_request_id(request.id, cached=True)
+
+    def put(self, request: SizingRequest, response: SizingResponse) -> None:
+        key = self.key(request)
+        self._entries[key] = (request.spec, response)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

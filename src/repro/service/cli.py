@@ -1,0 +1,224 @@
+"""``python -m repro`` — command-line front end of the sizing service.
+
+Subcommands:
+
+``size``
+    JSONL requests in, JSONL responses out, through a batched
+    :class:`~repro.service.SizingEngine`.  Reads stdin / writes stdout by
+    default so it composes with shell pipelines::
+
+        python -m repro size --bundle path/to/bundle < requests.jsonl > responses.jsonl
+
+``train``
+    Run the one-time training pipeline and save the model bundle::
+
+        python -m repro train --out path/to/bundle --designs 5T-OTA=400 --epochs 30
+
+``topologies``
+    List the circuits currently in the topology registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import IO, Iterator, Optional, Sequence
+
+from ..topologies import available_topologies
+from .engine import SizingEngine
+from .requests import SizingRequest, SizingResponse
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Transformer+LUT OTA sizing service (batched request/response API)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    size = sub.add_parser(
+        "size",
+        help="size JSONL requests into JSONL responses",
+        description=(
+            "Read one JSON request per line, write one JSON response per line "
+            "(order preserved). Exit status: 0 when every line was served, "
+            "1 when any line failed to parse or errored, 2 when the bundle is "
+            "missing. A served request whose spec could not be met "
+            "(success=false, error=null) is a valid outcome, not a failure."
+        ),
+    )
+    size.add_argument("--bundle", type=Path, required=True,
+                      help="saved SizingModel directory (see 'train')")
+    size.add_argument("--input", "-i", default="-",
+                      help="JSONL request file, '-' for stdin (default)")
+    size.add_argument("--output", "-o", default="-",
+                      help="JSONL response file, '-' for stdout (default)")
+    size.add_argument("--batch-size", type=int, default=64,
+                      help="requests per engine batch (default 64)")
+    size.add_argument("--cache-size", type=int, default=256,
+                      help="LRU result-cache entries, 0 disables (default 256)")
+    size.add_argument("--stats", action="store_true",
+                      help="print engine serving counters to stderr when done")
+
+    train = sub.add_parser("train", help="run the one-time training pipeline")
+    train.add_argument("--out", type=Path, required=True,
+                       help="directory to save the trained bundle into")
+    train.add_argument("--designs", nargs="+", metavar="TOPOLOGY=COUNT",
+                       default=["5T-OTA=500", "CM-OTA=350", "2S-OTA=350"],
+                       help="designs per topology (default: 5T-OTA=500 CM-OTA=350 2S-OTA=350)")
+    train.add_argument("--epochs", type=int, default=30)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--d-model", type=int, default=96)
+    train.add_argument("--num-merges", type=int, default=200)
+    train.add_argument("--dtype", choices=["float32", "float64"], default="float32")
+    train.add_argument("--benchmark-config", action="store_true",
+                       help="ignore the knobs above and train the benchmark-suite configuration")
+    train.add_argument("--quiet", action="store_true", help="suppress progress logging")
+
+    sub.add_parser("topologies", help="list registered topologies")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# size
+# ----------------------------------------------------------------------
+def _open_input(spec: str) -> IO[str]:
+    return sys.stdin if spec == "-" else open(spec, "r", encoding="utf-8")
+
+
+def _open_output(spec: str) -> IO[str]:
+    return sys.stdout if spec == "-" else open(spec, "w", encoding="utf-8")
+
+
+def _batched_lines(stream: IO[str], batch_size: int) -> Iterator[list[str]]:
+    batch: list[str] = []
+    for line in stream:
+        if line.strip():
+            batch.append(line)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def _run_size(args: argparse.Namespace) -> int:
+    from ..core.bundle import SizingModel
+
+    if not (args.bundle / "bundle.json").exists():
+        print(
+            f"error: no model bundle at {args.bundle} "
+            "(expected a directory saved by 'python -m repro train --out ...')",
+            file=sys.stderr,
+        )
+        return 2
+    model = SizingModel.load(args.bundle)
+    engine = SizingEngine(model, cache_size=args.cache_size)
+
+    source = _open_input(args.input)
+    sink = _open_output(args.output)
+    # Exit status: only *tool-level* problems count as failures — lines
+    # that didn't parse or errored (e.g. unknown topology).  A correctly
+    # served request whose spec turned out infeasible (success=false,
+    # error=null) is a valid outcome, not a failure.
+    failures = 0
+    try:
+        for lines in _batched_lines(source, max(1, args.batch_size)):
+            requests: list[Optional[SizingRequest]] = []
+            parse_errors: dict[int, str] = {}
+            for index, line in enumerate(lines):
+                try:
+                    requests.append(SizingRequest.from_json_line(line))
+                except (ValueError, KeyError, json.JSONDecodeError) as error:
+                    requests.append(None)
+                    parse_errors[index] = str(error)
+            responses = iter(engine.size_batch([r for r in requests if r is not None]))
+            for index, request in enumerate(requests):
+                if request is None:
+                    failures += 1
+                    # Same schema as every other line, so consumers can
+                    # parse the whole stream with SizingResponse.from_json.
+                    response = SizingResponse(
+                        request_id="",
+                        topology="",
+                        success=False,
+                        widths=None,
+                        metrics=None,
+                        iterations=0,
+                        spice_simulations=0,
+                        wall_time_s=0.0,
+                        error=f"bad request line: {parse_errors[index]}",
+                    )
+                else:
+                    response = next(responses)
+                    failures += 1 if response.error is not None else 0
+                sink.write(response.to_json_line() + "\n")
+            sink.flush()
+    finally:
+        if source is not sys.stdin:
+            source.close()
+        if sink is not sys.stdout:
+            sink.close()
+
+    if args.stats:
+        stats = engine.stats
+        print(
+            f"requests={stats.requests} cache_hits={stats.cache_hits} "
+            f"batches={stats.batches} inference_calls={stats.inference_calls} "
+            f"inference_sequences={stats.inference_sequences} "
+            f"inference_seconds={stats.inference_seconds:.2f} "
+            f"spice_simulations={stats.spice_simulations}",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
+# train
+# ----------------------------------------------------------------------
+def _parse_designs(pairs: Sequence[str]) -> tuple[tuple[str, int], ...]:
+    parsed: list[tuple[str, int]] = []
+    for pair in pairs:
+        name, _, count = pair.partition("=")
+        if not count:
+            raise SystemExit(f"--designs expects TOPOLOGY=COUNT, got {pair!r}")
+        parsed.append((name, int(count)))
+    return tuple(parsed)
+
+
+def _run_train(args: argparse.Namespace) -> int:
+    from ..core.pipeline import BENCHMARK_CONFIG, PipelineConfig, train_sizing_model
+
+    if args.benchmark_config:
+        config = BENCHMARK_CONFIG
+    else:
+        config = PipelineConfig(
+            designs_per_topology=_parse_designs(args.designs),
+            epochs=args.epochs,
+            seed=args.seed,
+            d_model=args.d_model,
+            num_merges=args.num_merges,
+            dtype=args.dtype,
+        )
+    log = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+    artifacts = train_sizing_model(config, log=log)
+    artifacts.model.save(args.out)
+    print(f"saved bundle to {args.out}", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "size":
+        return _run_size(args)
+    if args.command == "train":
+        return _run_train(args)
+    if args.command == "topologies":
+        for name in available_topologies():
+            print(name)
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")

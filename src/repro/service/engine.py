@@ -1,0 +1,358 @@
+"""The batched sizing engine (Stages I-IV over many requests at once).
+
+One :class:`SizingEngine` owns one trained :class:`~repro.core.SizingModel`
+and serves any number of topologies through the registry.  The request
+loop is *round based*: every copilot iteration, all still-active requests
+are grouped by topology (serialization and parsing are per-topology) and
+translated in one greedy decode whose batch spans the whole round — one
+model serves every topology, so the fusion crosses topology boundaries
+(Stage I/II).  Each request then independently runs width estimation
+(Stage III) and one verification simulation (Stage IV).  Throughput
+therefore scales with the batch size instead of with Python loop
+iterations, while per-request semantics — margin allocation, retry
+nudges, iteration accounting — stay identical to the sequential
+``SizingFlow.size`` path (the parity tests pin bit-identical decoded
+texts and widths).
+
+A bounded LRU cache keyed by (topology, quantized spec) absorbs repeated
+and near-duplicate requests without touching the transformer at all.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.bundle import SizingModel
+from ..core.flow import IterationTrace, SizingResult
+from ..core.margin import tighten_spec
+from ..core.specs import DesignSpec
+from ..datagen.serialize import ParsedParams
+from ..lut import DeviceParams, estimate_width
+from ..spice import ConvergenceError, PerformanceMetrics
+from ..topologies import OTATopology, topology_by_name
+from .cache import ResultCache
+from .requests import SizingRequest, SizingResponse
+
+__all__ = ["SizingEngine", "EngineStats"]
+
+#: Retry nudge applied when an iteration produced nothing verifiable
+#: (unparseable decode, inconsistent widths, or a non-converging design).
+_NUDGE = {"gain_db": 1.01, "f3db_hz": 1.02, "ugf_hz": 1.02}
+
+
+@dataclass
+class EngineStats:
+    """Serving counters, cumulative over the engine's lifetime."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    batches: int = 0
+    inference_calls: int = 0
+    inference_sequences: int = 0
+    inference_seconds: float = 0.0
+    spice_simulations: int = 0
+
+
+class _ActiveRequest:
+    """Mutable per-request state while its copilot loop is in flight."""
+
+    __slots__ = (
+        "request", "topology", "original", "current", "trace", "decoded_texts",
+        "spice_count", "iteration", "best", "best_shortfall", "start", "result",
+    )
+
+    def __init__(self, request: SizingRequest, topology: OTATopology):
+        self.request = request
+        self.topology = topology
+        self.original = request.spec
+        self.current = request.spec
+        self.trace: list[IterationTrace] = []
+        self.decoded_texts: list[str] = []
+        self.spice_count = 0
+        self.iteration = 0
+        self.best: Optional[tuple[dict[str, float], PerformanceMetrics]] = None
+        self.best_shortfall = float("inf")
+        self.start = time.perf_counter()
+        self.result: Optional[SizingResult] = None
+
+
+class SizingEngine:
+    """Batched request/response front end over one trained sizing model."""
+
+    def __init__(
+        self,
+        model: SizingModel,
+        cache_size: int = 256,
+        width_bounds: tuple[float, float] = (0.1e-6, 200e-6),
+        max_candidate_spread: float = 5.0,
+    ):
+        self.model = model
+        self.width_bounds = width_bounds
+        #: Reject an inference whose Algorithm-1 width candidates disagree
+        #: by more than this relative spread: wildly inconsistent predicted
+        #: parameters cannot describe any physical device, so re-inferring
+        #: beats verifying a garbage design.
+        self.max_candidate_spread = max_candidate_spread
+        self.cache: Optional[ResultCache] = ResultCache(cache_size) if cache_size else None
+        self.stats = EngineStats()
+        self._topologies: dict[str, OTATopology] = {}
+
+    # ------------------------------------------------------------------
+    # Topology resolution
+    # ------------------------------------------------------------------
+    def topology(self, name: str) -> OTATopology:
+        """The engine's instance of a registered topology (lazily built)."""
+        if name not in self._topologies:
+            self._topologies[name] = topology_by_name(name)
+        return self._topologies[name]
+
+    def adopt_topology(self, topology: OTATopology) -> None:
+        """Serve an already-instantiated topology (shares its caches)."""
+        self._topologies[topology.name] = topology
+
+    # ------------------------------------------------------------------
+    # Stage III: Algorithm 1 through the LUTs
+    # ------------------------------------------------------------------
+    def widths_from_params(
+        self, topology: OTATopology, parsed_values: dict[str, dict[str, float]]
+    ) -> Optional[dict[str, float]]:
+        """Translate per-group device parameters into widths.
+
+        Returns ``None`` when the predicted parameters are physically
+        inconsistent (width candidates disagree beyond
+        :attr:`max_candidate_spread`), signalling the caller to retry
+        inference instead of wasting a verification simulation.
+        """
+        widths: dict[str, float] = {}
+        for group in topology.groups:
+            params = parsed_values[group.name]
+            tech = group.tech
+            # gm/Id can never exceed the weak-inversion limit 1/(n*Ut); a
+            # prediction above it is a transcription error on Id -- repair
+            # it rather than letting Algorithm 1 chase an impossible point.
+            gm_id_max = 0.95 / (tech.n_slope * tech.ut)
+            id_value = max(params["id"], params["gm"] / gm_id_max)
+            device_params = DeviceParams(
+                gm=params["gm"],
+                gds=params["gds"],
+                cds=params["cds"],
+                cgs=params["cgs"],
+                id=id_value,
+            )
+            lut = self.model.lut_for(topology, group.name)
+            estimate = estimate_width(device_params, lut, vdd=topology.vdd)
+            if estimate.spread() > self.max_candidate_spread:
+                return None
+            low, high = self.width_bounds
+            widths[group.name] = float(min(max(estimate.width, low), high))
+        return widths
+
+    # ------------------------------------------------------------------
+    # Stage I/II: batched inference
+    # ------------------------------------------------------------------
+    def _infer_round(
+        self, specs_by_topology: dict[str, list[DesignSpec]]
+    ) -> dict[str, list[tuple[ParsedParams, str]]]:
+        start = time.perf_counter()
+        total = sum(len(specs) for specs in specs_by_topology.values())
+        if total == 1:
+            # Single-shot path: ``predict_params`` so model subclasses that
+            # override only it (e.g. oracle stand-ins) keep working.
+            name = next(n for n, specs in specs_by_topology.items() if specs)
+            outputs = {name: [self.model.predict_params(name, specs_by_topology[name][0])]}
+        else:
+            # One fused decode across every topology: the model is shared,
+            # so the batch dimension spans the whole round.
+            outputs = self.model.predict_params_many(specs_by_topology)
+        self.stats.inference_seconds += time.perf_counter() - start
+        self.stats.inference_calls += 1
+        self.stats.inference_sequences += total
+        return outputs
+
+    # ------------------------------------------------------------------
+    # The copilot loop, round based
+    # ------------------------------------------------------------------
+    def _run(self, states: list[_ActiveRequest]) -> None:
+        # A zero-iteration budget finishes immediately as a failed result
+        # (the pre-engine flow's behavior for max_iterations=0).
+        for state in states:
+            self._finish_if_exhausted(state)
+        active = [s for s in states if s.result is None]
+        while active:
+            by_topology: dict[str, list[_ActiveRequest]] = {}
+            for state in active:
+                by_topology.setdefault(state.request.topology, []).append(state)
+            outputs = self._infer_round(
+                {name: [s.current for s in group] for name, group in by_topology.items()}
+            )
+            for name, group in by_topology.items():
+                for state, (parsed, text) in zip(group, outputs[name]):
+                    self._advance(state, parsed, text)
+            active = [s for s in active if s.result is None]
+
+    def _advance(self, s: _ActiveRequest, parsed: ParsedParams, text: str) -> None:
+        """Consume one inference result: Stage III + Stage IV for one request."""
+        s.iteration += 1
+        s.decoded_texts.append(text)
+        requested = s.current
+
+        if not parsed.complete:
+            s.trace.append(IterationTrace(requested, text, False, None, None, False))
+            # Unparseable output: nudge the request and retry inference.
+            s.current = requested.scaled(_NUDGE)
+            return self._finish_if_exhausted(s)
+
+        widths = self.widths_from_params(s.topology, parsed.values)
+        if widths is None:
+            s.trace.append(IterationTrace(requested, text, True, None, None, False))
+            s.current = requested.scaled(_NUDGE)
+            return self._finish_if_exhausted(s)
+
+        try:
+            measurement = s.topology.measure(widths)
+        except ConvergenceError:
+            s.trace.append(IterationTrace(requested, text, True, widths, None, False))
+            s.current = requested.scaled(_NUDGE)
+            return self._finish_if_exhausted(s)
+
+        s.spice_count += 1
+        self.stats.spice_simulations += 1
+        metrics = measurement.metrics
+        satisfied = s.original.satisfied(metrics, rel_tol=s.request.rel_tol)
+        s.trace.append(IterationTrace(requested, text, True, widths, metrics, satisfied))
+
+        # Track the iterate with the smallest total spec shortfall, so a
+        # failing run reports its closest attempt rather than its latest.
+        shortfall = sum(s.original.miss_fractions(metrics).values())
+        if shortfall < s.best_shortfall:
+            s.best_shortfall = shortfall
+            s.best = (widths, metrics)
+
+        if satisfied:
+            s.result = SizingResult(
+                success=True,
+                spec=s.original,
+                widths=widths,
+                metrics=metrics,
+                iterations=s.iteration,
+                spice_simulations=s.spice_count,
+                wall_time_s=time.perf_counter() - s.start,
+                trace=s.trace,
+            )
+            return
+
+        s.current = tighten_spec(requested, s.original, metrics)
+        self._finish_if_exhausted(s)
+
+    def _finish_if_exhausted(self, s: _ActiveRequest) -> None:
+        if s.result is None and s.iteration >= s.request.max_iterations:
+            widths, metrics = s.best if s.best is not None else (None, None)
+            s.result = SizingResult(
+                success=False,
+                spec=s.original,
+                widths=widths,
+                metrics=metrics,
+                iterations=len(s.trace),
+                spice_simulations=s.spice_count,
+                wall_time_s=time.perf_counter() - s.start,
+                trace=s.trace,
+            )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def size_result(self, request: SizingRequest) -> SizingResult:
+        """Single-shot path returning the full :class:`SizingResult` with
+        its iteration trace.  Bypasses the result cache — this is the
+        back-compat engine of ``SizingFlow.size``."""
+        self.stats.requests += 1
+        state = _ActiveRequest(request, self.topology(request.topology))
+        self._run([state])
+        assert state.result is not None
+        return state.result
+
+    def size(self, request: SizingRequest) -> SizingResponse:
+        """Serve one request (cache-aware single-shot path)."""
+        return self.size_batch([request])[0]
+
+    def size_batch(self, requests: Sequence[SizingRequest]) -> list[SizingResponse]:
+        """Serve many requests with batched inference; order is preserved.
+
+        Requests whose cached result transfers (see
+        :class:`~repro.service.ResultCache`) skip inference entirely, as
+        do *exact* in-batch duplicates, which coalesce onto one
+        computation (cache enabled only; near-duplicates run their own
+        Stage IV but still share the batched decode).  An unknown
+        topology yields an error response instead of raising, so one bad
+        request cannot poison a batch.
+        """
+        self.stats.batches += 1
+        responses: list[Optional[SizingResponse]] = [None] * len(requests)
+        states: dict[int, _ActiveRequest] = {}
+        leaders: dict[object, int] = {}
+        followers: dict[int, int] = {}
+
+        for index, request in enumerate(requests):
+            self.stats.requests += 1
+            if self.cache is not None:
+                hit = self.cache.get(request)
+                if hit is not None:
+                    self.stats.cache_hits += 1
+                    responses[index] = hit
+                    continue
+            try:
+                topology = self.topology(request.topology)
+            except KeyError as error:
+                responses[index] = SizingResponse(
+                    request_id=request.id,
+                    topology=request.topology,
+                    success=False,
+                    widths=None,
+                    metrics=None,
+                    iterations=0,
+                    spice_simulations=0,
+                    wall_time_s=0.0,
+                    error=str(error),
+                )
+                continue
+            if self.cache is not None:
+                # Coalesce only *exact* in-batch duplicates: the flow is
+                # deterministic, so the leader's outcome is theirs too.
+                # Near-duplicates run on their own (Stage IV judges the
+                # exact spec) — they still share the batched decode.
+                key = (request.topology, request.spec, request.max_iterations, request.rel_tol)
+                if key in leaders:
+                    followers[index] = leaders[key]
+                    self.stats.cache_hits += 1
+                    continue
+                leaders[key] = index
+            states[index] = _ActiveRequest(request, topology)
+
+        self._run(list(states.values()))
+
+        for index, state in states.items():
+            result = state.result
+            assert result is not None
+            response = SizingResponse(
+                request_id=state.request.id,
+                topology=state.request.topology,
+                success=result.success,
+                widths=result.widths,
+                metrics=result.metrics,
+                iterations=result.iterations,
+                spice_simulations=result.spice_simulations,
+                wall_time_s=result.wall_time_s,
+                decoded_texts=tuple(state.decoded_texts),
+            )
+            responses[index] = response
+            if self.cache is not None:
+                self.cache.put(state.request, response)
+
+        for index, leader in followers.items():
+            leader_response = responses[leader]
+            assert leader_response is not None
+            responses[index] = leader_response.with_request_id(requests[index].id)
+
+        return [response for response in responses if response is not None]

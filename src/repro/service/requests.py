@@ -1,0 +1,198 @@
+"""Serializable sizing requests and responses.
+
+The JSON schemas are deliberately flat and stable — they are the wire
+format of the ``python -m repro size`` CLI and the unit tests pin the
+round trip:
+
+Request line::
+
+    {"id": "req-000001", "topology": "5T-OTA", "gain_db": 25.0,
+     "f3db_hz": 5e6, "ugf_hz": 8e7, "max_iterations": 6, "rel_tol": 0.0}
+
+Response line::
+
+    {"request_id": "req-000001", "topology": "5T-OTA", "success": true,
+     "widths": {"M1": 1.2e-06, ...},
+     "metrics": {"gain_db": 25.3, "f3db_hz": 5.4e6, "ugf_hz": 9.1e7},
+     "iterations": 1, "spice_simulations": 1, "wall_time_s": 0.21,
+     "cached": false, "error": null, "decoded_texts": ["gmM1=..."]}
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Optional
+
+from ..core.specs import DesignSpec
+from ..spice import PerformanceMetrics
+
+__all__ = ["SizingRequest", "SizingResponse"]
+
+_request_ids = itertools.count(1)
+
+
+def _next_request_id() -> str:
+    return f"req-{next(_request_ids):06d}"
+
+
+@dataclass(frozen=True)
+class SizingRequest:
+    """One unit of sizing work: a topology name plus minimum targets."""
+
+    topology: str
+    spec: DesignSpec
+    id: str = field(default_factory=_next_request_id)
+    max_iterations: int = 6
+    rel_tol: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.topology or not isinstance(self.topology, str):
+            raise ValueError("topology must be a non-empty string")
+        if not self.id or not isinstance(self.id, str):
+            raise ValueError("request id must be a non-empty string")
+        if self.max_iterations < 0:
+            raise ValueError("max_iterations must be non-negative")
+        if not (0.0 <= self.rel_tol < 1.0):
+            raise ValueError("rel_tol must be in [0, 1)")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_spec(
+        cls,
+        topology: str,
+        gain_db: float,
+        f3db_hz: float,
+        ugf_hz: float,
+        **kwargs: Any,
+    ) -> "SizingRequest":
+        """Convenience constructor from the three bare spec values."""
+        return cls(topology=topology, spec=DesignSpec(gain_db, f3db_hz, ugf_hz), **kwargs)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "id": self.id,
+            "topology": self.topology,
+            "gain_db": self.spec.gain_db,
+            "f3db_hz": self.spec.f3db_hz,
+            "ugf_hz": self.spec.ugf_hz,
+            "max_iterations": self.max_iterations,
+            "rel_tol": self.rel_tol,
+        }
+
+    def to_json_line(self) -> str:
+        return json.dumps(self.to_json(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "SizingRequest":
+        """Parse the stable flat schema; extra keys are rejected loudly."""
+        known = {"id", "topology", "gain_db", "f3db_hz", "ugf_hz", "max_iterations", "rel_tol"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown request fields: {sorted(unknown)}")
+        missing = {"topology", "gain_db", "f3db_hz", "ugf_hz"} - set(payload)
+        if missing:
+            raise ValueError(f"missing request fields: {sorted(missing)}")
+        spec = DesignSpec(
+            gain_db=float(payload["gain_db"]),
+            f3db_hz=float(payload["f3db_hz"]),
+            ugf_hz=float(payload["ugf_hz"]),
+        )
+        kwargs: dict[str, Any] = {}
+        if "id" in payload:
+            kwargs["id"] = str(payload["id"])
+        if "max_iterations" in payload:
+            kwargs["max_iterations"] = int(payload["max_iterations"])
+        if "rel_tol" in payload:
+            kwargs["rel_tol"] = float(payload["rel_tol"])
+        return cls(topology=str(payload["topology"]), spec=spec, **kwargs)
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "SizingRequest":
+        return cls.from_json(json.loads(line))
+
+
+@dataclass(frozen=True)
+class SizingResponse:
+    """Outcome of one :class:`SizingRequest`."""
+
+    request_id: str
+    topology: str
+    success: bool
+    widths: Optional[dict[str, float]]
+    metrics: Optional[PerformanceMetrics]
+    iterations: int
+    spice_simulations: int
+    wall_time_s: float
+    cached: bool = False
+    error: Optional[str] = None
+    decoded_texts: tuple[str, ...] = ()
+
+    @property
+    def single_simulation(self) -> bool:
+        """True when the very first verification already satisfied specs."""
+        return self.success and self.spice_simulations == 1
+
+    def with_request_id(self, request_id: str, cached: bool = True) -> "SizingResponse":
+        """A copy re-addressed to another request (cache/duplicate hits)."""
+        return replace(self, request_id=request_id, cached=cached)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        def finite(value: float) -> Optional[float]:
+            return value if math.isfinite(value) else None
+
+        metrics = None
+        if self.metrics is not None:
+            metrics = {
+                "gain_db": finite(self.metrics.gain_db),
+                "f3db_hz": finite(self.metrics.f3db_hz),
+                "ugf_hz": finite(self.metrics.ugf_hz),
+            }
+        return {
+            "request_id": self.request_id,
+            "topology": self.topology,
+            "success": self.success,
+            "widths": dict(self.widths) if self.widths is not None else None,
+            "metrics": metrics,
+            "iterations": self.iterations,
+            "spice_simulations": self.spice_simulations,
+            "wall_time_s": self.wall_time_s,
+            "cached": self.cached,
+            "error": self.error,
+            "decoded_texts": list(self.decoded_texts),
+        }
+
+    def to_json_line(self) -> str:
+        return json.dumps(self.to_json(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "SizingResponse":
+        metrics_payload = payload.get("metrics")
+        metrics = None
+        if metrics_payload is not None:
+            def value(key: str) -> float:
+                raw = metrics_payload[key]
+                return float("nan") if raw is None else float(raw)
+
+            metrics = PerformanceMetrics(value("gain_db"), value("f3db_hz"), value("ugf_hz"))
+        widths = payload.get("widths")
+        return cls(
+            request_id=str(payload["request_id"]),
+            topology=str(payload["topology"]),
+            success=bool(payload["success"]),
+            widths={k: float(v) for k, v in widths.items()} if widths is not None else None,
+            metrics=metrics,
+            iterations=int(payload["iterations"]),
+            spice_simulations=int(payload["spice_simulations"]),
+            wall_time_s=float(payload["wall_time_s"]),
+            cached=bool(payload.get("cached", False)),
+            error=payload.get("error"),
+            decoded_texts=tuple(payload.get("decoded_texts", ())),
+        )
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "SizingResponse":
+        return cls.from_json(json.loads(line))

@@ -19,7 +19,6 @@ the library.
 
 from __future__ import annotations
 
-from typing import Union
 
 from ..devices import NMOS_65NM, PMOS_65NM, TechParams
 from .netlist import Circuit

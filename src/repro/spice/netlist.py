@@ -17,7 +17,6 @@ sources.  Node ``"0"`` (alias ``"gnd"``) is ground.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
 
 from ..devices import MOSFET, TechParams
 

@@ -1,9 +1,22 @@
-"""OTA topologies of Fig. 6 and the active-inductor example of Fig. 2."""
+"""OTA topologies of Fig. 6 and the active-inductor example of Fig. 2.
+
+Topologies self-register with the pluggable registry (see
+:mod:`repro.topologies.registry`); importing this package registers the
+three paper circuits.  New circuits only need a ``@register`` decorator —
+no dispatch table to edit.
+"""
 
 from .active_inductor import build_active_inductor
 from .base import DeviceGroup, MeasurementResult, OTATopology
 from .current_mirror import CurrentMirrorOTA
 from .five_t import FiveTransistorOTA
+from .registry import (
+    available_topologies,
+    register,
+    topology_by_name,
+    topology_factory,
+    unregister,
+)
 from .two_stage import TwoStageOTA
 
 __all__ = [
@@ -15,16 +28,13 @@ __all__ = [
     "FiveTransistorOTA",
     "TwoStageOTA",
     "ALL_TOPOLOGIES",
+    "available_topologies",
+    "register",
     "topology_by_name",
+    "topology_factory",
+    "unregister",
 ]
 
-#: Factory functions for the three studied topologies, in paper order.
+#: Factory classes for the three studied topologies, in paper order
+#: (kept for back-compat; the registry is the source of truth).
 ALL_TOPOLOGIES = (FiveTransistorOTA, CurrentMirrorOTA, TwoStageOTA)
-
-
-def topology_by_name(name: str) -> OTATopology:
-    """Instantiate a topology from its paper name (``"5T-OTA"`` etc.)."""
-    for factory in ALL_TOPOLOGIES:
-        if factory.name == name:
-            return factory()
-    raise KeyError(f"unknown topology {name!r}")

@@ -22,10 +22,12 @@ from typing import Mapping, Optional
 from ..devices import NMOS_65NM, PMOS_65NM
 from ..spice import Circuit
 from .base import DeviceGroup, OTATopology
+from .registry import register
 
 __all__ = ["CurrentMirrorOTA"]
 
 
+@register
 class CurrentMirrorOTA(OTATopology):
     """The CM-OTA of Fig. 6(b)."""
 

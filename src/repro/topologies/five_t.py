@@ -19,10 +19,12 @@ from typing import Mapping, Optional
 from ..devices import NMOS_65NM, PMOS_65NM
 from ..spice import Circuit
 from .base import DeviceGroup, OTATopology
+from .registry import register
 
 __all__ = ["FiveTransistorOTA"]
 
 
+@register
 class FiveTransistorOTA(OTATopology):
     """The 5T-OTA of Fig. 6(a)."""
 

@@ -24,10 +24,12 @@ from typing import Mapping, Optional
 from ..devices import NMOS_65NM, PMOS_65NM
 from ..spice import Circuit
 from .base import DeviceGroup, OTATopology
+from .registry import register
 
 __all__ = ["TwoStageOTA"]
 
 
+@register
 class TwoStageOTA(OTATopology):
     """The 2S-OTA of Fig. 6(c)."""
 

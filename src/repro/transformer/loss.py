@@ -9,7 +9,7 @@ accurately.  Padding positions are masked out of the loss entirely.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

@@ -177,7 +177,12 @@ class Transformer(Module):
         memory = self.encode(src_ids, src_pad, training=False)
         cross_bias = np.where(src_pad, -1e30, 0.0)[:, None, None, :].astype(memory.dtype)
 
-        # Precompute cross-attention keys/values once per decoder block.
+        # Precompute cross-attention keys/values once per decoder block, and
+        # preallocate the self-attention KV buffers: appending via
+        # concatenate would copy the whole O(T) cache every step (O(T^2)
+        # traffic that batching cannot amortize).
+        n_heads = self.config.n_heads
+        head_dim = self.config.d_model // n_heads
         caches: list[dict] = []
         for block in self.decoder_blocks:
             cross = block.cross_attn
@@ -185,8 +190,8 @@ class Transformer(Module):
                 {
                     "cross_k": cross._split_heads(cross.w_k.forward(memory)),
                     "cross_v": cross._split_heads(cross.w_v.forward(memory)),
-                    "self_k": None,
-                    "self_v": None,
+                    "self_k": np.empty((batch, n_heads, limit, head_dim), dtype=memory.dtype),
+                    "self_v": np.empty((batch, n_heads, limit, head_dim), dtype=memory.dtype),
                 }
             )
 
@@ -204,14 +209,17 @@ class Transformer(Module):
             for block, cache in zip(self.decoder_blocks, caches):
                 self_attn = block.self_attn
                 q = self_attn._split_heads(self_attn.w_q.forward(y))
-                k_new = self_attn._split_heads(self_attn.w_k.forward(y))
-                v_new = self_attn._split_heads(self_attn.w_v.forward(y))
-                if cache["self_k"] is None:
-                    cache["self_k"], cache["self_v"] = k_new, v_new
-                else:
-                    cache["self_k"] = np.concatenate([cache["self_k"], k_new], axis=2)
-                    cache["self_v"] = np.concatenate([cache["self_v"], v_new], axis=2)
-                context = attend(q, cache["self_k"], cache["self_v"])
+                cache["self_k"][:, :, step : step + 1] = self_attn._split_heads(
+                    self_attn.w_k.forward(y)
+                )
+                cache["self_v"][:, :, step : step + 1] = self_attn._split_heads(
+                    self_attn.w_v.forward(y)
+                )
+                context = attend(
+                    q,
+                    cache["self_k"][:, :, : step + 1],
+                    cache["self_v"][:, :, : step + 1],
+                )
                 attended = self_attn.w_o.forward(self_attn._merge_heads(context))
                 x = block.norm1.forward(y + attended)
 

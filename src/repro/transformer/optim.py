@@ -11,7 +11,7 @@ We implement Adam with optional gradient clipping and two schedules:
 from __future__ import annotations
 
 import math
-from typing import Iterator, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -16,7 +16,6 @@ from repro.devices import NMOS_65NM, PMOS_65NM
 from repro.lut import build_lut
 from repro.spice import PerformanceMetrics
 
-from tests.conftest import GOOD_WIDTHS
 
 
 class TestDesignSpec:

@@ -4,7 +4,6 @@ serialization -- including the paper's active-inductor running example."""
 import numpy as np
 import pytest
 
-from repro.devices import NMOS_65NM
 from repro.dpsfg import (
     MasonEvaluator,
     build_dpsfg,
@@ -14,7 +13,7 @@ from repro.dpsfg import (
     render_sequences,
     transfer_function,
 )
-from repro.dpsfg.expr import Atom, LinComb, Reciprocal, capacitance, conductance, one, transconductance
+from repro.dpsfg.expr import Atom, Reciprocal, capacitance, conductance, one, transconductance
 from repro.spice import Circuit, run_ac, solve_dc
 from repro.topologies import build_active_inductor
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.devices import NMOS_65NM
-from repro.dpsfg import MasonEvaluator, build_dpsfg, enumerate_paths
+from repro.dpsfg import MasonEvaluator, build_dpsfg
 from repro.spice import Circuit, ConvergenceError, solve_dc
 from repro.spice.dc import _MNASystem
 

@@ -1,12 +1,10 @@
 """Tests of the layout-in-the-loop parasitic evaluation (no-SPICE path)."""
 
-import numpy as np
 import pytest
 
 from repro.core.layout import ParasiticEstimate, evaluate_with_parasitics
 from repro.spice import run_ac, extract_metrics, solve_dc
 
-from tests.conftest import GOOD_WIDTHS
 
 
 class TestParasiticEstimate:

@@ -1,6 +1,5 @@
 """Tests of number formatting, CLT, vocabulary and restricted BPE."""
 
-import re
 
 import pytest
 from hypothesis import given, settings
@@ -17,7 +16,7 @@ from repro.nlp import (
     parse_engineering,
     segment_text,
 )
-from repro.nlp.tokenizer import BOS, EOS, PAD, UNK
+from repro.nlp.tokenizer import BOS, EOS, PAD
 
 
 class TestNumberFormatting:

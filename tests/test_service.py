@@ -1,0 +1,546 @@
+"""Tests of the batched sizing service: requests, cache, engine, CLI.
+
+The parity tests are the contract of the service redesign: batched
+decoding (padded sources, per-sequence EOS) must produce *bit-identical*
+decoded texts and widths to the sequential ``SizingFlow.size`` path.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import DesignSpec, PipelineConfig, SizingFlow, train_sizing_model
+from repro.core.bundle import SizingModel
+from repro.datagen import SequenceBuilder, SequenceConfig
+from repro.service import ResultCache, SizingEngine, SizingRequest, SizingResponse
+from repro.spice import PerformanceMetrics
+from repro.topologies import (
+    FiveTransistorOTA,
+    available_topologies,
+    register,
+    topology_by_name,
+    unregister,
+)
+
+# ----------------------------------------------------------------------
+# Topology registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_paper_topologies_registered(self):
+        assert {"5T-OTA", "CM-OTA", "2S-OTA"} <= set(available_topologies())
+
+    def test_register_and_unregister_custom(self):
+        register(lambda: FiveTransistorOTA(), name="TEST-OTA")
+        try:
+            assert "TEST-OTA" in available_topologies()
+            assert topology_by_name("TEST-OTA").name == "5T-OTA"
+        finally:
+            unregister("TEST-OTA")
+        assert "TEST-OTA" not in available_topologies()
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register(FiveTransistorOTA)
+
+    def test_replace_allows_shadowing(self):
+        register(FiveTransistorOTA, replace=True)
+        assert topology_by_name("5T-OTA").name == "5T-OTA"
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(KeyError, match="registered:"):
+            topology_by_name("NOPE-OTA")
+
+    def test_factory_without_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            register(lambda: FiveTransistorOTA())
+
+
+# ----------------------------------------------------------------------
+# Request/response JSON round trips
+# ----------------------------------------------------------------------
+class TestRequestJSON:
+    def test_round_trip(self):
+        request = SizingRequest.for_spec(
+            "5T-OTA", 25.0, 5e6, 8e7, id="r1", max_iterations=4, rel_tol=0.01
+        )
+        restored = SizingRequest.from_json_line(request.to_json_line())
+        assert restored == request
+
+    def test_ids_auto_generated_and_unique(self):
+        a = SizingRequest.for_spec("5T-OTA", 25.0, 5e6, 8e7)
+        b = SizingRequest.for_spec("5T-OTA", 25.0, 5e6, 8e7)
+        assert a.id != b.id
+
+    def test_optional_fields_default(self):
+        request = SizingRequest.from_json(
+            {"topology": "5T-OTA", "gain_db": 25.0, "f3db_hz": 5e6, "ugf_hz": 8e7}
+        )
+        assert request.max_iterations == 6
+        assert request.rel_tol == 0.0
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            SizingRequest.from_json({"topology": "5T-OTA", "gain_db": 25.0})
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            SizingRequest.from_json(
+                {"topology": "5T-OTA", "gain_db": 25.0, "f3db_hz": 5e6,
+                 "ugf_hz": 8e7, "bogus": 1}
+            )
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            SizingRequest.for_spec("5T-OTA", -1.0, 5e6, 8e7)
+        with pytest.raises(ValueError):
+            SizingRequest.for_spec("5T-OTA", 25.0, 5e6, 8e7, max_iterations=-1)
+        with pytest.raises(ValueError):
+            SizingRequest.for_spec("5T-OTA", 25.0, 5e6, 8e7, rel_tol=1.5)
+
+
+class TestResponseJSON:
+    def _response(self, **overrides):
+        payload = dict(
+            request_id="r1",
+            topology="5T-OTA",
+            success=True,
+            widths={"M1": 1.2e-6, "M3": 1.5e-5},
+            metrics=PerformanceMetrics(25.3, 5.4e6, 9.1e7),
+            iterations=1,
+            spice_simulations=1,
+            wall_time_s=0.25,
+            decoded_texts=("gmM1=2.50mS",),
+        )
+        payload.update(overrides)
+        return SizingResponse(**payload)
+
+    def test_round_trip(self):
+        response = self._response()
+        restored = SizingResponse.from_json_line(response.to_json_line())
+        assert restored == response
+
+    def test_round_trip_failure_without_metrics(self):
+        response = self._response(success=False, widths=None, metrics=None, error="boom")
+        restored = SizingResponse.from_json_line(response.to_json_line())
+        assert restored == response
+
+    def test_nan_metrics_serialize_as_null(self):
+        response = self._response(metrics=PerformanceMetrics(25.0, float("nan"), 9e7))
+        payload = json.loads(response.to_json_line())
+        assert payload["metrics"]["f3db_hz"] is None
+        restored = SizingResponse.from_json(payload)
+        assert math.isnan(restored.metrics.f3db_hz)
+        assert restored.metrics.gain_db == 25.0
+
+    def test_single_simulation_property(self):
+        assert self._response().single_simulation
+        assert not self._response(spice_simulations=2).single_simulation
+        assert not self._response(success=False).single_simulation
+
+
+# ----------------------------------------------------------------------
+# LRU result cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def _request(self, gain=25.0, **kwargs):
+        return SizingRequest.for_spec("5T-OTA", gain, 5e6, 8e7, **kwargs)
+
+    def _response(self, request, success=True, metrics="auto"):
+        if metrics == "auto":
+            # Comfortably above the default request targets.
+            metrics = PerformanceMetrics(26.0, 6e6, 9e7)
+        return SizingResponse(
+            request_id=request.id, topology=request.topology, success=success,
+            widths={"M1": 1e-6}, metrics=metrics, iterations=1,
+            spice_simulations=1, wall_time_s=0.1,
+        )
+
+    def test_near_duplicate_hits_after_quantization(self):
+        cache = ResultCache()
+        request = self._request(gain=25.0)
+        cache.put(request, self._response(request))
+        # 25.004 quantizes to 25.0 at 3 significant digits, and the cached
+        # design's 26.0 dB measurement satisfies the new exact target too.
+        near = self._request(gain=25.004, id="other")
+        hit = cache.get(near)
+        assert hit is not None
+        assert hit.cached
+        assert hit.request_id == "other"
+
+    def test_near_duplicate_not_served_when_metrics_fall_short(self):
+        """A cached success must not transfer to a (quantization-equal)
+        request whose exact targets the cached design misses."""
+        cache = ResultCache()
+        request = self._request(gain=25.0)
+        # Measured gain 25.01: satisfies 25.0 but not 25.04.
+        cache.put(
+            request,
+            self._response(request, metrics=PerformanceMetrics(25.01, 6e6, 9e7)),
+        )
+        tighter = self._request(gain=25.04, id="tighter")
+        assert cache.get(tighter) is None
+
+    def test_failure_served_only_for_exact_spec(self):
+        cache = ResultCache()
+        request = self._request(gain=25.0)
+        cache.put(request, self._response(request, success=False, metrics=None))
+        # Identical spec: deterministic flow, failure transfers.
+        assert cache.get(self._request(gain=25.0, id="same")) is not None
+        # Near-duplicate: a fresh run might succeed — don't serve the failure.
+        assert cache.get(self._request(gain=25.004, id="near")) is None
+
+    def test_different_loop_params_miss(self):
+        cache = ResultCache()
+        request = self._request()
+        cache.put(request, self._response(request))
+        assert cache.get(self._request(max_iterations=3)) is None
+        assert cache.get(self._request(rel_tol=0.01)) is None
+
+    def test_lru_eviction(self):
+        cache = ResultCache(maxsize=2)
+        first, second, third = (self._request(gain=20.0 + i) for i in range(3))
+        cache.put(first, self._response(first))
+        cache.put(second, self._response(second))
+        assert cache.get(first) is not None  # refresh: now `second` is LRU
+        cache.put(third, self._response(third))
+        assert len(cache) == 2
+        assert cache.get(second) is None
+        assert cache.get(first) is not None
+        assert cache.get(third) is not None
+
+
+# ----------------------------------------------------------------------
+# Engine parity with the sequential path (real tiny transformer)
+# ----------------------------------------------------------------------
+TINY_SERVICE = PipelineConfig(
+    designs_per_topology=(("5T-OTA", 25), ("CM-OTA", 16)),
+    epochs=2,
+    d_model=32,
+    n_heads=4,
+    d_ff=48,
+    dropout=0.0,
+    num_merges=150,
+    encoder_max_paths=1,
+    learning_rate=1e-3,
+    batch_size=8,
+    dtype="float32",
+    seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_artifacts():
+    return train_sizing_model(TINY_SERVICE)
+
+
+class TestBatchedDecodeParity:
+    """Batched and sequential decodes are compared with *exact* equality.
+
+    This leans on row independence (padding masks contribute exact zeros;
+    per-row matmul slices reduce in the same order for any batch size on
+    numpy's BLAS).  If a future BLAS build breaks the bitwise assumption,
+    these asserts are the early-warning signal — expect at most a last-ulp
+    logit difference flipping a near-tie argmax.
+    """
+
+    def test_predict_params_batch_matches_sequential(self, tiny_artifacts):
+        model = tiny_artifacts.model
+        for name in ("5T-OTA", "CM-OTA"):
+            records = (tiny_artifacts.val_records[name] + tiny_artifacts.train_records[name])[:8]
+            specs = [DesignSpec(r.gain_db, r.f3db_hz, r.ugf_hz) for r in records]
+            sequential = [model.predict_params(name, spec)[1] for spec in specs]
+            batched = [text for _, text in model.predict_params_batch(name, specs)]
+            assert batched == sequential
+
+    def test_predict_params_many_fuses_topologies(self, tiny_artifacts):
+        """A cross-topology fused decode must match per-spec decodes."""
+        model = tiny_artifacts.model
+        specs_by_topology = {
+            name: [
+                DesignSpec(r.gain_db, r.f3db_hz, r.ugf_hz)
+                for r in tiny_artifacts.val_records[name][:3]
+            ]
+            for name in ("5T-OTA", "CM-OTA")
+        }
+        fused = model.predict_params_many(specs_by_topology)
+        for name, specs in specs_by_topology.items():
+            sequential = [model.predict_params(name, spec)[1] for spec in specs]
+            assert [text for _, text in fused[name]] == sequential
+
+    def test_empty_batch(self, tiny_artifacts):
+        assert tiny_artifacts.model.predict_params_batch("5T-OTA", []) == []
+
+    def test_size_batch_matches_sequential_flows(self, tiny_artifacts):
+        """The headline parity contract over mixed topologies."""
+        requests = []
+        for name in ("5T-OTA", "CM-OTA"):
+            for record in tiny_artifacts.val_records[name][:2]:
+                requests.append(
+                    SizingRequest.for_spec(
+                        name, record.gain_db, record.f3db_hz, record.ugf_hz,
+                        max_iterations=2,
+                    )
+                )
+        flows = {
+            name: SizingFlow(topology_by_name(name), tiny_artifacts.model)
+            for name in ("5T-OTA", "CM-OTA")
+        }
+        sequential = [
+            flows[r.topology].size(r.spec, max_iterations=r.max_iterations)
+            for r in requests
+        ]
+        engine = SizingEngine(tiny_artifacts.model, cache_size=0)
+        responses = engine.size_batch(requests)
+        assert [r.request_id for r in responses] == [r.id for r in requests]
+        for result, response in zip(sequential, responses):
+            assert [t.decoded_text for t in result.trace] == list(response.decoded_texts)
+            assert result.widths == response.widths
+            assert result.success == response.success
+            assert result.iterations == response.iterations
+            assert result.spice_simulations == response.spice_simulations
+
+
+# ----------------------------------------------------------------------
+# Engine semantics through a deterministic oracle model (SPICE exercised)
+# ----------------------------------------------------------------------
+class _BatchedOracleModel(SizingModel):
+    """A 'perfect transformer' stand-in: returns the device parameters of
+    the dataset design whose metrics are closest to the request."""
+
+    def __init__(self, topology, records, luts):
+        builder = SequenceBuilder(topology, SequenceConfig())
+        super().__init__(
+            transformer=None,
+            bpe=None,
+            vocab=None,
+            sequence_config=builder.config,
+            builders={topology.name: builder},
+            luts=luts,
+        )
+        self._records = records
+        self.single_calls = 0
+        self.batch_calls = 0
+
+    def predict_params(self, topology_name, spec, max_len=None):
+        from repro.datagen.serialize import ParsedParams
+
+        self.single_calls += 1
+
+        def distance(record):
+            return (
+                abs(np.log(record.gain_db / spec.gain_db))
+                + abs(np.log(record.f3db_hz / spec.f3db_hz))
+                + abs(np.log(record.ugf_hz / spec.ugf_hz))
+            )
+
+        best = min(self._records, key=distance)
+        values = {g: dict(p) for g, p in best.device_params.items()}
+        return ParsedParams(values=values, complete=True), f"<oracle:{best.gain_db:.3f}>"
+
+    def predict_params_many(self, specs_by_topology, max_len=None):
+        self.batch_calls += 1
+        outputs = {}
+        for name, specs in specs_by_topology.items():
+            outputs[name] = []
+            for spec in specs:
+                outputs[name].append(self.predict_params(name, spec, max_len))
+                self.single_calls -= 1  # don't double count the delegation
+        return outputs
+
+
+@pytest.fixture(scope="module")
+def oracle_setup(tmp_path_factory):
+    from repro.datagen import DesignFilter, generate_dataset
+    from repro.devices import NMOS_65NM, PMOS_65NM
+    from repro.lut import build_lut
+
+    topology = FiveTransistorOTA()
+    rng = np.random.default_rng(11)
+    dataset = generate_dataset(
+        topology, 10, rng,
+        design_filter=DesignFilter(topology, check_icmr=False),
+        max_attempts=400,
+    )
+    assert len(dataset) >= 6
+    luts = {NMOS_65NM.name: build_lut(NMOS_65NM), PMOS_65NM.name: build_lut(PMOS_65NM)}
+    return topology, dataset.records, luts
+
+
+class TestEngineServing:
+    def _engine(self, oracle_setup, **kwargs):
+        topology, records, luts = oracle_setup
+        model = _BatchedOracleModel(topology, records, luts)
+        engine = SizingEngine(model, **kwargs)
+        engine.adopt_topology(topology)
+        return engine, model, records
+
+    def _achievable(self, record, **kwargs):
+        return SizingRequest.for_spec(
+            "5T-OTA",
+            record.gain_db * 0.995,
+            record.f3db_hz * 0.98,
+            record.ugf_hz * 0.98,
+            **kwargs,
+        )
+
+    def test_batch_uses_batched_decode_and_sizes(self, oracle_setup):
+        engine, model, records = self._engine(oracle_setup, cache_size=0)
+        requests = [self._achievable(r) for r in records[:4]]
+        responses = engine.size_batch(requests)
+        assert all(r.success for r in responses)
+        # The oracle is near-perfect: most specs close in one simulation,
+        # the rest within the copilot budget.
+        assert sum(r.single_simulation for r in responses) >= 3
+        assert model.batch_calls >= 1
+        assert engine.stats.spice_simulations == sum(r.spice_simulations for r in responses)
+
+    def test_single_request_uses_single_path(self, oracle_setup):
+        engine, model, records = self._engine(oracle_setup, cache_size=0)
+        response = engine.size(self._achievable(records[0]))
+        assert response.success
+        assert model.batch_calls == 0
+        assert model.single_calls >= 1
+
+    def test_cache_skips_inference_for_duplicates(self, oracle_setup):
+        engine, model, records = self._engine(oracle_setup, cache_size=16)
+        request = self._achievable(records[0], id="first")
+        first = engine.size(request)
+        sequences_after_first = engine.stats.inference_sequences
+        repeat = self._achievable(records[0], id="repeat")
+        second = engine.size(repeat)
+        assert engine.stats.inference_sequences == sequences_after_first
+        assert engine.stats.cache_hits == 1
+        assert second.cached and not first.cached
+        assert second.request_id == "repeat"
+        assert second.widths == first.widths
+
+    def test_in_batch_duplicates_coalesce(self, oracle_setup):
+        engine, model, records = self._engine(oracle_setup, cache_size=16)
+        requests = [
+            self._achievable(records[0], id="lead"),
+            self._achievable(records[1], id="other"),
+            self._achievable(records[0], id="dupe"),
+        ]
+        responses = engine.size_batch(requests)
+        assert [r.request_id for r in responses] == ["lead", "other", "dupe"]
+        assert responses[2].cached
+        assert responses[2].widths == responses[0].widths
+        assert engine.stats.spice_simulations == 2
+
+    def test_unknown_topology_yields_error_response(self, oracle_setup):
+        engine, model, records = self._engine(oracle_setup, cache_size=0)
+        good = self._achievable(records[0])
+        bad = SizingRequest.for_spec("MISSING-OTA", 25.0, 5e6, 8e7)
+        responses = engine.size_batch([bad, good])
+        assert not responses[0].success
+        assert "MISSING-OTA" in responses[0].error
+        assert responses[1].success
+
+    def test_failed_request_reports_best_iterate(self, oracle_setup):
+        """The 'best' tracker must keep the closest attempt, not the last."""
+        engine, model, records = self._engine(oracle_setup, cache_size=0)
+        impossible = SizingRequest.for_spec(
+            "5T-OTA", 90.0, 1e9, 1e11, max_iterations=3
+        )
+        response = engine.size(impossible)
+        assert not response.success
+        assert response.metrics is not None  # best effort reported
+        result = engine.size_result(impossible)
+        shortfalls = [
+            sum(impossible.spec.miss_fractions(t.metrics).values())
+            for t in result.trace if t.metrics is not None
+        ]
+        best_reported = sum(impossible.spec.miss_fractions(result.metrics).values())
+        assert best_reported == min(shortfalls)
+
+    def test_zero_iteration_budget_fails_gracefully(self, oracle_setup):
+        """max_iterations=0 returns a failed result without inference
+        (the pre-engine SizingFlow behavior)."""
+        engine, model, records = self._engine(oracle_setup, cache_size=0)
+        response = engine.size(self._achievable(records[0], max_iterations=0))
+        assert not response.success
+        assert response.iterations == 0
+        assert response.spice_simulations == 0
+        assert model.single_calls == 0
+
+        topology, _, luts = oracle_setup
+        flow = SizingFlow(topology, model)
+        result = flow.size(DesignSpec(25.0, 3e6, 6e7), max_iterations=0)
+        assert not result.success and result.iterations == 0
+
+    def test_flow_delegates_to_engine(self, oracle_setup):
+        topology, records, luts = oracle_setup
+        model = _BatchedOracleModel(topology, records, luts)
+        flow = SizingFlow(topology, model)
+        record = records[0]
+        spec = DesignSpec(record.gain_db * 0.995, record.f3db_hz * 0.98, record.ugf_hz * 0.98)
+        result = flow.size(spec)
+        assert result.success
+        assert result.single_simulation
+        assert model.batch_calls == 0  # sequential facade stays single-shot
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCLI:
+    def test_topologies_subcommand(self, capsys):
+        from repro.service.cli import main
+
+        assert main(["topologies"]) == 0
+        out = capsys.readouterr().out
+        assert "5T-OTA" in out and "CM-OTA" in out and "2S-OTA" in out
+
+    def test_size_jsonl_round_trip(self, tiny_artifacts, tmp_path):
+        from repro.service.cli import main
+
+        bundle = tmp_path / "bundle"
+        tiny_artifacts.model.save(bundle)
+        record = tiny_artifacts.val_records["5T-OTA"][0]
+        request = SizingRequest.for_spec(
+            "5T-OTA", record.gain_db, record.f3db_hz, record.ugf_hz,
+            id="cli-1", max_iterations=1,
+        )
+        requests_file = tmp_path / "requests.jsonl"
+        requests_file.write_text(
+            request.to_json_line() + "\n" + "this is not json\n"
+        )
+        responses_file = tmp_path / "responses.jsonl"
+        exit_code = main([
+            "size", "--bundle", str(bundle),
+            "-i", str(requests_file), "-o", str(responses_file),
+        ])
+        lines = responses_file.read_text().splitlines()
+        assert len(lines) == 2
+        # Every output line — including error lines — parses with the
+        # stable response schema.
+        response = SizingResponse.from_json_line(lines[0])
+        assert response.request_id == "cli-1"
+        assert response.iterations == 1
+        bad = SizingResponse.from_json_line(lines[1])
+        assert bad.success is False and "bad request line" in bad.error
+        assert exit_code == 1  # the malformed line is a tool-level failure
+
+    def test_size_infeasible_spec_is_not_a_tool_failure(self, tiny_artifacts, tmp_path):
+        """success=false with error=null must exit 0: the service worked."""
+        from repro.service.cli import main
+
+        bundle = tmp_path / "bundle"
+        tiny_artifacts.model.save(bundle)
+        record = tiny_artifacts.val_records["5T-OTA"][0]
+        request = SizingRequest.for_spec(
+            "5T-OTA", record.gain_db, record.f3db_hz, record.ugf_hz,
+            max_iterations=1,
+        )
+        requests_file = tmp_path / "requests.jsonl"
+        requests_file.write_text(request.to_json_line() + "\n")
+        responses_file = tmp_path / "responses.jsonl"
+        exit_code = main([
+            "size", "--bundle", str(bundle),
+            "-i", str(requests_file), "-o", str(responses_file),
+        ])
+        response = SizingResponse.from_json_line(responses_file.read_text().splitlines()[0])
+        assert response.error is None
+        assert exit_code == 0

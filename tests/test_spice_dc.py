@@ -1,12 +1,11 @@
 """Tests of the nonlinear DC operating-point solver."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.devices import NMOS_65NM, PMOS_65NM
-from repro.spice import Circuit, ConvergenceError, solve_dc
+from repro.spice import Circuit, solve_dc
 
 L = 180e-9
 

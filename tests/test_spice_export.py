@@ -1,6 +1,5 @@
 """Tests of the SPICE deck exporter/parser round trip."""
 
-import numpy as np
 import pytest
 
 from repro.spice import solve_dc, run_ac, extract_metrics

@@ -1,13 +1,9 @@
 """Tests of the OTA topology generators (Fig. 6)."""
 
-import numpy as np
 import pytest
 
 from repro.topologies import (
     ALL_TOPOLOGIES,
-    CurrentMirrorOTA,
-    FiveTransistorOTA,
-    TwoStageOTA,
     topology_by_name,
 )
 
@@ -132,7 +128,7 @@ class TestDPSFGCaches:
 
     def test_structure_width_independent(self, five_t):
         """The DP-SFG structure must not depend on widths."""
-        from repro.dpsfg import build_dpsfg, enumerate_paths
+        from repro.dpsfg import build_dpsfg
 
         a = build_dpsfg(five_t.build({"M1": 1e-6, "M3": 10e-6, "M5": 2e-6}), "out")
         b = build_dpsfg(five_t.build({"M1": 2e-6, "M3": 20e-6, "M5": 4e-6}), "out")

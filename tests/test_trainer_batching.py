@@ -1,7 +1,6 @@
 """Extra tests for length-bucketed batching and flow robustness paths."""
 
 import numpy as np
-import pytest
 
 from repro.transformer import SequencePair, make_batches
 

@@ -214,7 +214,7 @@ class TestLoss:
 
 class TestOptimizer:
     def test_adam_minimizes_quadratic(self):
-        from repro.transformer import Linear, Module
+        from repro.transformer import Linear
 
         rng = np.random.default_rng(10)
         layer = Linear(1, 1, rng)
