@@ -30,15 +30,21 @@ Subpackages
 ``core``
     The end-to-end sizing flow (Stages I-IV), training pipeline, margin
     allocation and evaluation utilities.
+``solvers``
+    The unified solver API: every sizing method (transformer copilot and
+    the SA/PSO/DE baselines) behind one registry-dispatched ``Solver``
+    protocol, running on a batched SPICE evaluation backend.
 ``baselines``
-    SPICE-in-the-loop comparison optimizers (SA, PSO, DE) for Table IX.
+    Function-style adapters over the registered SA/PSO/DE solvers
+    (Table IX comparison).
 ``service``
     The batched request/response sizing engine, topology-registry-backed,
     with JSON-serializable requests and the ``python -m repro`` CLI.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
+from . import solvers
 from .core import DesignSpec, SizingFlow, SizingModel, train_sizing_model
 from .service import SizingEngine, SizingRequest, SizingResponse
 from .topologies import (
@@ -51,6 +57,7 @@ from .topologies import (
 )
 
 __all__ = [
+    "solvers",
     "DesignSpec",
     "SizingFlow",
     "SizingModel",

@@ -1,4 +1,9 @@
-"""SPICE-in-the-loop sizing baselines for the Table IX comparison."""
+"""SPICE-in-the-loop sizing baselines for the Table IX comparison.
+
+Since the solver redesign these are thin adapters over the registered
+solvers in :mod:`repro.solvers` (``"sa"``, ``"pso"``, ``"de"``), kept
+for the classic function-call interface and ``BaselineResult`` record.
+"""
 
 from .common import BaselineResult, Objective, SearchSpace
 from .de import differential_evolution

@@ -2,14 +2,13 @@
 
 Table IX compares the paper's approach against stochastic optimizers that
 call SPICE inside their search loop (simulated annealing, particle swarm
-optimization, differential evolution).  All three share:
+optimization, differential evolution).  Since the solver redesign, the
+algorithms themselves live in :mod:`repro.solvers` behind the unified
+``Solver`` protocol; this package keeps the original function-style entry
+points and result type as thin adapters.
 
-* the search space -- log-width coordinates per device group, so a point is
-  a vector in ``[0, 1]^n`` mapped onto the group width bounds;
-* the objective -- total relative shortfall against the specification
-  (0 means every spec is met), with a penalty for designs that fail to
-  converge or violate device regions;
-* SPICE-call accounting, the quantity the paper's comparison hinges on.
+``SearchSpace`` and the objective bookkeeping are re-exported from
+:mod:`repro.solvers.base`, the one place that owns them now.
 """
 
 from __future__ import annotations
@@ -20,79 +19,38 @@ from typing import Optional
 import numpy as np
 
 from ..core.specs import DesignSpec
-from ..spice import ConvergenceError
+from ..solvers.backend import EvalBackend, ScalarBackend
+from ..solvers.base import PENALTY, SearchObjective, SearchSpace, SolveResult
 from ..topologies import OTATopology
 
-__all__ = ["SearchSpace", "Objective", "BaselineResult"]
-
-#: Objective value assigned to non-simulatable / invalid designs.
-PENALTY = 10.0
+__all__ = ["SearchSpace", "Objective", "BaselineResult", "PENALTY"]
 
 
-class SearchSpace:
-    """Log-uniform box over per-group widths, normalized to [0, 1]^n."""
+class Objective(SearchObjective):
+    """Spec-shortfall objective with SPICE-call counting.
 
-    def __init__(self, topology: OTATopology):
-        self.topology = topology
-        self.names = list(topology.group_names)
-        self._log_low = np.array(
-            [np.log(topology.group(name).width_bounds[0]) for name in self.names]
-        )
-        self._log_high = np.array(
-            [np.log(topology.group(name).width_bounds[1]) for name in self.names]
-        )
-
-    @property
-    def dimension(self) -> int:
-        return len(self.names)
-
-    def decode(self, point: np.ndarray) -> dict[str, float]:
-        """[0,1]^n point -> width dictionary."""
-        clipped = np.clip(np.asarray(point, dtype=float), 0.0, 1.0)
-        log_widths = self._log_low + clipped * (self._log_high - self._log_low)
-        return {name: float(np.exp(w)) for name, w in zip(self.names, log_widths)}
-
-    def random_point(self, rng: np.random.Generator) -> np.ndarray:
-        return rng.random(self.dimension)
-
-
-class Objective:
-    """Spec-shortfall objective with SPICE-call counting."""
+    The historical callable interface over the shared
+    :class:`~repro.solvers.SearchObjective` bookkeeping; evaluates one
+    point per call through the (sequential) scalar backend by default.
+    """
 
     def __init__(
         self,
         topology: OTATopology,
         spec: DesignSpec,
         check_regions: bool = False,
+        backend: Optional[EvalBackend] = None,
     ):
-        self.topology = topology
-        self.spec = spec
-        self.check_regions = check_regions
-        self.space = SearchSpace(topology)
-        self.spice_calls = 0
-        self.best_value = float("inf")
-        self.best_widths: Optional[dict[str, float]] = None
+        super().__init__(
+            topology,
+            spec,
+            backend=backend if backend is not None else ScalarBackend(),
+            check_regions=check_regions,
+        )
 
     def __call__(self, point: np.ndarray) -> float:
         """Evaluate one normalized point; lower is better, 0 means success."""
-        widths = self.space.decode(point)
-        self.spice_calls += 1
-        try:
-            result = self.topology.measure(widths)
-        except ConvergenceError:
-            return PENALTY
-        if self.check_regions and not self.topology.regions_ok(result.dc):
-            return PENALTY / 2.0
-        misses = self.spec.miss_fractions(result.metrics)
-        value = float(sum(misses.values()))
-        if value < self.best_value:
-            self.best_value = value
-            self.best_widths = widths
-        return value
-
-    @property
-    def satisfied(self) -> bool:
-        return self.best_value <= 0.0
+        return self.evaluate_one(point)
 
 
 @dataclass
@@ -106,3 +64,15 @@ class BaselineResult:
     best_value: float
     best_widths: Optional[dict[str, float]]
     history: list[float] = field(default_factory=list)
+
+    @classmethod
+    def from_solve_result(cls, algorithm: str, result: SolveResult) -> "BaselineResult":
+        return cls(
+            algorithm=algorithm,
+            success=result.success,
+            spice_calls=result.spice_calls,
+            wall_time_s=result.wall_time_s,
+            best_value=result.best_value,
+            best_widths=result.best_widths,
+            history=list(result.history),
+        )

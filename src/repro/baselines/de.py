@@ -1,18 +1,18 @@
 """Differential-evolution sizing baseline (Table IX, Liu et al. style).
 
-Classic DE/rand/1/bin over the normalized log-width box; terminates as
-soon as any member satisfies the specification.
+Function-style adapter over
+:class:`repro.solvers.DifferentialEvolutionSolver`; see that module for
+the algorithm.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from ..core.specs import DesignSpec
+from ..solvers.evolution import DifferentialEvolutionSolver
 from ..topologies import OTATopology
-from .common import BaselineResult, Objective
+from .common import BaselineResult
 
 __all__ = ["differential_evolution"]
 
@@ -27,36 +27,11 @@ def differential_evolution(
     crossover: float = 0.8,
 ) -> BaselineResult:
     """Minimize the spec shortfall with DE/rand/1/bin."""
-    objective = Objective(topology, spec)
-    start = time.perf_counter()
-    dim = objective.space.dimension
-
-    population = rng.random((population_size, dim))
-    values = np.array([objective(p) for p in population])
-    history = [objective.best_value]
-
-    while objective.spice_calls < max_evaluations and not objective.satisfied:
-        for i in range(population_size):
-            if objective.spice_calls >= max_evaluations or objective.satisfied:
-                break
-            candidates = [j for j in range(population_size) if j != i]
-            a, b, c = rng.choice(candidates, size=3, replace=False)
-            mutant = population[a] + mutation * (population[b] - population[c])
-            cross = rng.random(dim) < crossover
-            cross[rng.integers(dim)] = True
-            trial = np.clip(np.where(cross, mutant, population[i]), 0.0, 1.0)
-            value = objective(trial)
-            history.append(objective.best_value)
-            if value <= values[i]:
-                population[i] = trial
-                values[i] = value
-
-    return BaselineResult(
-        algorithm="DE",
-        success=objective.satisfied,
-        spice_calls=objective.spice_calls,
-        wall_time_s=time.perf_counter() - start,
-        best_value=objective.best_value,
-        best_widths=objective.best_widths,
-        history=history,
+    solver = DifferentialEvolutionSolver(
+        topology,
+        population_size=population_size,
+        mutation=mutation,
+        crossover=crossover,
     )
+    result = solver.solve(spec, budget=max_evaluations, rng=rng)
+    return BaselineResult.from_solve_result("DE", result)

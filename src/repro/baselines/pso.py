@@ -1,18 +1,17 @@
 """Particle-swarm-optimization sizing baseline (Table IX, Vural & Yildirim).
 
-Standard global-best PSO with inertia damping over the normalized
-log-width box; terminates as soon as a particle satisfies the spec.
+Function-style adapter over :class:`repro.solvers.ParticleSwarmSolver`;
+see that module for the algorithm.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from ..core.specs import DesignSpec
+from ..solvers.swarm import ParticleSwarmSolver
 from ..topologies import OTATopology
-from .common import BaselineResult, Objective
+from .common import BaselineResult
 
 __all__ = ["particle_swarm"]
 
@@ -28,46 +27,12 @@ def particle_swarm(
     social: float = 1.49,
 ) -> BaselineResult:
     """Minimize the spec shortfall with PSO."""
-    objective = Objective(topology, spec)
-    start = time.perf_counter()
-    dim = objective.space.dimension
-
-    positions = rng.random((swarm_size, dim))
-    velocities = rng.normal(0.0, 0.1, size=(swarm_size, dim))
-    personal_best = positions.copy()
-    personal_values = np.array([objective(p) for p in positions])
-    history = [objective.best_value]
-
-    global_idx = int(np.argmin(personal_values))
-    global_best = personal_best[global_idx].copy()
-    global_value = float(personal_values[global_idx])
-
-    while objective.spice_calls < max_evaluations and not objective.satisfied:
-        for i in range(swarm_size):
-            if objective.spice_calls >= max_evaluations or objective.satisfied:
-                break
-            r1, r2 = rng.random(dim), rng.random(dim)
-            velocities[i] = (
-                inertia * velocities[i]
-                + cognitive * r1 * (personal_best[i] - positions[i])
-                + social * r2 * (global_best - positions[i])
-            )
-            positions[i] = np.clip(positions[i] + velocities[i], 0.0, 1.0)
-            value = objective(positions[i])
-            history.append(objective.best_value)
-            if value < personal_values[i]:
-                personal_values[i] = value
-                personal_best[i] = positions[i].copy()
-                if value < global_value:
-                    global_value = value
-                    global_best = positions[i].copy()
-
-    return BaselineResult(
-        algorithm="PSO",
-        success=objective.satisfied,
-        spice_calls=objective.spice_calls,
-        wall_time_s=time.perf_counter() - start,
-        best_value=objective.best_value,
-        best_widths=objective.best_widths,
-        history=history,
+    solver = ParticleSwarmSolver(
+        topology,
+        swarm_size=swarm_size,
+        inertia=inertia,
+        cognitive=cognitive,
+        social=social,
     )
+    result = solver.solve(spec, budget=max_evaluations, rng=rng)
+    return BaselineResult.from_solve_result("PSO", result)

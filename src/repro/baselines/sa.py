@@ -1,20 +1,19 @@
 """Simulated-annealing sizing baseline (Table IX, Gielen et al. style).
 
-Gaussian moves in the normalized log-width space with a geometric cooling
-schedule and Metropolis acceptance.  Terminates early as soon as the
-specification shortfall reaches zero, so the reported SPICE-call count is
-the cost *to reach a satisfying design*.
+Function-style adapter over
+:class:`repro.solvers.SimulatedAnnealingSolver`; see that module for the
+algorithm.  Kept for back-compat and for callers that want the classic
+``BaselineResult`` record instead of the unified ``SolveResult``.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from ..core.specs import DesignSpec
+from ..solvers.annealing import SimulatedAnnealingSolver
 from ..topologies import OTATopology
-from .common import BaselineResult, Objective
+from .common import BaselineResult
 
 __all__ = ["simulated_annealing"]
 
@@ -27,34 +26,15 @@ def simulated_annealing(
     initial_temperature: float = 1.0,
     cooling: float = 0.97,
     step_scale: float = 0.15,
+    chains: int = 4,
 ) -> BaselineResult:
     """Minimize the spec shortfall with simulated annealing."""
-    objective = Objective(topology, spec)
-    start = time.perf_counter()
-
-    current = objective.space.random_point(rng)
-    current_value = objective(current)
-    history = [objective.best_value]
-    temperature = initial_temperature
-
-    while objective.spice_calls < max_evaluations and not objective.satisfied:
-        candidate = np.clip(
-            current + rng.normal(0.0, step_scale, size=current.shape), 0.0, 1.0
-        )
-        candidate_value = objective(candidate)
-        history.append(objective.best_value)
-        delta = candidate_value - current_value
-        if delta <= 0 or rng.random() < np.exp(-delta / max(temperature, 1e-9)):
-            current = candidate
-            current_value = candidate_value
-        temperature *= cooling
-
-    return BaselineResult(
-        algorithm="SA",
-        success=objective.satisfied,
-        spice_calls=objective.spice_calls,
-        wall_time_s=time.perf_counter() - start,
-        best_value=objective.best_value,
-        best_widths=objective.best_widths,
-        history=history,
+    solver = SimulatedAnnealingSolver(
+        topology,
+        chains=chains,
+        initial_temperature=initial_temperature,
+        cooling=cooling,
+        step_scale=step_scale,
     )
+    result = solver.solve(spec, budget=max_evaluations, rng=rng)
+    return BaselineResult.from_solve_result("SA", result)

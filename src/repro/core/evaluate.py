@@ -158,8 +158,14 @@ def run_sizing_study(
     max_iterations: int = 6,
     rel_tol: float = 0.0,
 ) -> SizingStudy:
-    """Size every spec and collect Table VIII statistics."""
-    study = SizingStudy(topology_name=flow.topology.name)
-    for spec in specs:
-        study.results.append(flow.size(spec, max_iterations=max_iterations, rel_tol=rel_tol))
-    return study
+    """Size every spec and collect Table VIII statistics.
+
+    Runs through ``SizingFlow.size_many`` (the engine's batched path), so
+    every copilot round fuses all still-active specs into one greedy
+    decode; per-spec results are bit-identical to the sequential loop this
+    used to be.
+    """
+    return SizingStudy(
+        topology_name=flow.topology.name,
+        results=flow.size_many(specs, max_iterations=max_iterations, rel_tol=rel_tol),
+    )

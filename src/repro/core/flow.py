@@ -21,7 +21,7 @@ requests (``engine.size_batch``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..spice import PerformanceMetrics
 from ..topologies import OTATopology
@@ -137,13 +137,31 @@ class SizingFlow:
         rel_tol: float = 0.0,
     ) -> SizingResult:
         """Run the full Fig. 3 flow for one specification."""
+        return self.size_many([spec], max_iterations=max_iterations, rel_tol=rel_tol)[0]
+
+    def size_many(
+        self,
+        specs: Sequence[DesignSpec],
+        max_iterations: int = 6,
+        rel_tol: float = 0.0,
+    ) -> list[SizingResult]:
+        """Run the flow for many specifications with batched inference.
+
+        Every copilot round fuses all still-active specs into one greedy
+        decode (``SizingEngine.size_results``); results are bit-identical
+        to calling :meth:`size` per spec, in input order, with full
+        iteration traces.
+        """
         from ..service.requests import SizingRequest
 
         self._sync_engine()
-        request = SizingRequest(
-            topology=self.topology.name,
-            spec=spec,
-            max_iterations=max_iterations,
-            rel_tol=rel_tol,
-        )
-        return self._engine.size_result(request)
+        requests = [
+            SizingRequest(
+                topology=self.topology.name,
+                spec=spec,
+                max_iterations=max_iterations,
+                rel_tol=rel_tol,
+            )
+            for spec in specs
+        ]
+        return self._engine.size_results(requests)

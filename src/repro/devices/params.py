@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 __all__ = [
     "TechParams",
     "NMOS_65NM",
@@ -106,14 +108,19 @@ class TechParams:
         """Return a copy with selected fields replaced (for what-if studies)."""
         return replace(self, **kwargs)
 
-    def spec_current(self, width: float, length: float) -> float:
+    def spec_current(self, width, length):
         """Specific (technology) current ``Ispec = 2 n kp (W/L) Ut^2`` in A.
 
         ``Ispec`` normalizes the drain current into the inversion coefficient
         ``IC = Id / Ispec`` used for region-of-operation checks; ``IC < 1`` is
-        weak inversion, ``IC > 10`` strong inversion.
+        weak inversion, ``IC > 10`` strong inversion.  ``width`` may be an
+        array (one entry per candidate in a batched evaluation).
         """
-        if width <= 0 or length <= 0:
+        if isinstance(width, np.ndarray):
+            if np.any(width <= 0) or length <= 0:
+                raise ValueError("width and length must be positive")
+        elif width <= 0 or length <= 0:
+            # Scalar fast path: this sits inside the DC Newton hot loop.
             raise ValueError("width and length must be positive")
         return 2.0 * self.n_slope * self.kp * (width / length) * self.ut**2
 

@@ -14,6 +14,11 @@ serving-shaped API:
 
 ``SizingFlow`` (the original single-spec API) now delegates to the
 engine, so both paths share one implementation.
+
+Requests may name any registered solver (``method="sa"``/``"pso"``/
+``"de"``, see :mod:`repro.solvers`); the engine dispatches them through
+the unified solver API and returns the same response schema, so the
+copilot and the SPICE-in-the-loop baselines are served by one endpoint.
 """
 
 from .cache import ResultCache

@@ -40,7 +40,12 @@ class ResultCache:
 
     @staticmethod
     def key(request: SizingRequest) -> Hashable:
-        """Cache key: topology + quantized targets + loop parameters."""
+        """Cache key: topology + quantized targets + loop parameters.
+
+        ``method`` and ``budget`` are part of the key for safety, although
+        the engine only consults the cache for deterministic copilot
+        requests (stochastic solver results must not be replayed).
+        """
         return (
             request.topology,
             quantize_spec(request.spec.gain_db),
@@ -48,6 +53,8 @@ class ResultCache:
             quantize_spec(request.spec.ugf_hz),
             request.max_iterations,
             request.rel_tol,
+            request.method,
+            request.budget,
         )
 
     def __len__(self) -> int:

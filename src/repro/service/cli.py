@@ -9,6 +9,12 @@ Subcommands:
 
         python -m repro size --bundle path/to/bundle < requests.jsonl > responses.jsonl
 
+    ``--method`` dispatches every request to a registered solver
+    (``copilot`` / ``sa`` / ``pso`` / ``de``), overriding the per-request
+    ``method`` field; ``--budget`` caps each solver's SPICE evaluations::
+
+        python -m repro size --bundle path/to/bundle --method pso --budget 400 ...
+
 ``train``
     Run the one-time training pipeline and save the model bundle::
 
@@ -16,6 +22,9 @@ Subcommands:
 
 ``topologies``
     List the circuits currently in the topology registry.
+
+``solvers``
+    List the sizing methods currently in the solver registry.
 """
 
 from __future__ import annotations
@@ -23,9 +32,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import IO, Iterator, Optional, Sequence
 
+from ..solvers import available_solvers
 from ..topologies import available_topologies
 from .engine import SizingEngine
 from .requests import SizingRequest, SizingResponse
@@ -61,6 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="requests per engine batch (default 64)")
     size.add_argument("--cache-size", type=int, default=256,
                       help="LRU result-cache entries, 0 disables (default 256)")
+    size.add_argument("--method", default=None, metavar="SOLVER",
+                      help="dispatch every request to this registered solver "
+                           "(overrides the per-request 'method' field; "
+                           "see 'python -m repro solvers')")
+    size.add_argument("--budget", type=int, default=None,
+                      help="per-request SPICE-evaluation budget for the solver "
+                           "(copilot: verification iterations)")
     size.add_argument("--stats", action="store_true",
                       help="print engine serving counters to stderr when done")
 
@@ -80,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--quiet", action="store_true", help="suppress progress logging")
 
     sub.add_parser("topologies", help="list registered topologies")
+    sub.add_parser("solvers", help="list registered sizing methods")
     return parser
 
 
@@ -109,6 +128,13 @@ def _batched_lines(stream: IO[str], batch_size: int) -> Iterator[list[str]]:
 def _run_size(args: argparse.Namespace) -> int:
     from ..core.bundle import SizingModel
 
+    if args.method is not None and args.method not in available_solvers():
+        print(
+            f"error: unknown solver {args.method!r} "
+            f"(registered: {', '.join(available_solvers())})",
+            file=sys.stderr,
+        )
+        return 2
     if not (args.bundle / "bundle.json").exists():
         print(
             f"error: no model bundle at {args.bundle} "
@@ -118,6 +144,12 @@ def _run_size(args: argparse.Namespace) -> int:
         return 2
     model = SizingModel.load(args.bundle)
     engine = SizingEngine(model, cache_size=args.cache_size)
+
+    overrides = {}
+    if args.method is not None:
+        overrides["method"] = args.method
+    if args.budget is not None:
+        overrides["budget"] = args.budget
 
     source = _open_input(args.input)
     sink = _open_output(args.output)
@@ -132,7 +164,8 @@ def _run_size(args: argparse.Namespace) -> int:
             parse_errors: dict[int, str] = {}
             for index, line in enumerate(lines):
                 try:
-                    requests.append(SizingRequest.from_json_line(line))
+                    request = SizingRequest.from_json_line(line)
+                    requests.append(replace(request, **overrides) if overrides else request)
                 except (ValueError, KeyError, json.JSONDecodeError) as error:
                     requests.append(None)
                     parse_errors[index] = str(error)
@@ -171,7 +204,8 @@ def _run_size(args: argparse.Namespace) -> int:
             f"batches={stats.batches} inference_calls={stats.inference_calls} "
             f"inference_sequences={stats.inference_sequences} "
             f"inference_seconds={stats.inference_seconds:.2f} "
-            f"spice_simulations={stats.spice_simulations}",
+            f"spice_simulations={stats.spice_simulations} "
+            f"solver_requests={stats.solver_requests}",
             file=sys.stderr,
         )
     return 1 if failures else 0
@@ -219,6 +253,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_train(args)
     if args.command == "topologies":
         for name in available_topologies():
+            print(name)
+        return 0
+    if args.command == "solvers":
+        for name in available_solvers():
             print(name)
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -16,13 +16,22 @@ texts and widths).
 
 A bounded LRU cache keyed by (topology, quantized spec) absorbs repeated
 and near-duplicate requests without touching the transformer at all.
+
+Requests may also name any registered solver (``method="pso"`` etc., see
+:mod:`repro.solvers`): those are dispatched to the unified solver API --
+running SPICE-in-the-loop on the batched evaluation backend -- and come
+back in the same response schema, so one service endpoint serves copilot
+and baseline sizing alike.
 """
 
 from __future__ import annotations
 
 import time
+import zlib
 from dataclasses import dataclass
 from typing import Optional, Sequence
+
+import numpy as np
 
 from ..core.bundle import SizingModel
 from ..core.flow import IterationTrace, SizingResult
@@ -53,6 +62,7 @@ class EngineStats:
     inference_sequences: int = 0
     inference_seconds: float = 0.0
     spice_simulations: int = 0
+    solver_requests: int = 0
 
 
 class _ActiveRequest:
@@ -247,7 +257,7 @@ class SizingEngine:
         self._finish_if_exhausted(s)
 
     def _finish_if_exhausted(self, s: _ActiveRequest) -> None:
-        if s.result is None and s.iteration >= s.request.max_iterations:
+        if s.result is None and s.iteration >= s.request.iteration_budget:
             widths, metrics = s.best if s.best is not None else (None, None)
             s.result = SizingResult(
                 success=False,
@@ -261,17 +271,94 @@ class SizingEngine:
             )
 
     # ------------------------------------------------------------------
+    # Non-copilot methods: dispatch through the solver registry
+    # ------------------------------------------------------------------
+    def _solve_with_method(self, request: SizingRequest) -> SizingResponse:
+        """Serve one request through a registered solver (``method`` != copilot).
+
+        Stochastic solvers are seeded from a stable hash of the request id,
+        so reruns of the same request stream are reproducible while distinct
+        requests explore independently.  ``rel_tol`` derates the targets the
+        solver chases, matching the copilot's tolerance semantics.
+        """
+        from .. import solvers
+
+        self.stats.solver_requests += 1
+
+        def error_response(message: str) -> SizingResponse:
+            return SizingResponse(
+                request_id=request.id,
+                topology=request.topology,
+                method=request.method,
+                success=False,
+                widths=None,
+                metrics=None,
+                iterations=0,
+                spice_simulations=0,
+                wall_time_s=0.0,
+                error=message,
+            )
+
+        try:
+            topology = self.topology(request.topology)
+        except KeyError as error:
+            return error_response(str(error))
+        try:
+            factory = solvers.solver_factory(request.method)
+        except KeyError as error:
+            return error_response(str(error))
+
+        solver = factory(topology, model=self.model)
+        spec = request.spec
+        if request.rel_tol:
+            derate = 1.0 - request.rel_tol
+            spec = spec.scaled({"gain_db": derate, "f3db_hz": derate, "ugf_hz": derate})
+        rng = np.random.default_rng(zlib.crc32(request.id.encode("utf-8")))
+        result = solver.solve(spec, budget=request.budget, rng=rng)
+        self.stats.spice_simulations += result.spice_calls
+        return SizingResponse(
+            request_id=request.id,
+            topology=request.topology,
+            method=request.method,
+            success=result.success,
+            widths=result.best_widths,
+            metrics=result.best_metrics,
+            iterations=result.iterations,
+            spice_simulations=result.spice_calls,
+            wall_time_s=result.wall_time_s,
+        )
+
+    # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def size_result(self, request: SizingRequest) -> SizingResult:
         """Single-shot path returning the full :class:`SizingResult` with
         its iteration trace.  Bypasses the result cache — this is the
         back-compat engine of ``SizingFlow.size``."""
-        self.stats.requests += 1
-        state = _ActiveRequest(request, self.topology(request.topology))
-        self._run([state])
-        assert state.result is not None
-        return state.result
+        return self.size_results([request])[0]
+
+    def size_results(self, requests: Sequence[SizingRequest]) -> list[SizingResult]:
+        """Batched copilot path returning full :class:`SizingResult` objects
+        (with iteration traces), cache-free; inference is fused across the
+        whole batch exactly as in :meth:`size_batch`.  Raises for unknown
+        topologies and non-copilot methods — this is the programmatic
+        engine behind ``SizingFlow``/``run_sizing_study``, not the wire API.
+        """
+        states = []
+        for request in requests:
+            if request.method != "copilot":
+                raise ValueError(
+                    f"size_results serves the copilot flow only, got method={request.method!r} "
+                    "(use size_batch for registry-dispatched solvers)"
+                )
+            self.stats.requests += 1
+            states.append(_ActiveRequest(request, self.topology(request.topology)))
+        self._run(states)
+        results = []
+        for state in states:
+            assert state.result is not None
+            results.append(state.result)
+        return results
 
     def size(self, request: SizingRequest) -> SizingResponse:
         """Serve one request (cache-aware single-shot path)."""
@@ -285,8 +372,12 @@ class SizingEngine:
         do *exact* in-batch duplicates, which coalesce onto one
         computation (cache enabled only; near-duplicates run their own
         Stage IV but still share the batched decode).  An unknown
-        topology yields an error response instead of raising, so one bad
-        request cannot poison a batch.
+        topology or solver method yields an error response instead of
+        raising, so one bad request cannot poison a batch.
+
+        Requests naming a non-copilot ``method`` are dispatched to the
+        solver registry (see :meth:`_solve_with_method`); the copilot
+        requests of the batch still fuse into one decode.
         """
         self.stats.batches += 1
         responses: list[Optional[SizingResponse]] = [None] * len(requests)
@@ -296,6 +387,11 @@ class SizingEngine:
 
         for index, request in enumerate(requests):
             self.stats.requests += 1
+            if request.method != "copilot":
+                # Registry-dispatched solver: runs SPICE-in-the-loop on the
+                # batched evaluation backend.  Never cached (stochastic).
+                responses[index] = self._solve_with_method(request)
+                continue
             if self.cache is not None:
                 hit = self.cache.get(request)
                 if hit is not None:
@@ -308,6 +404,7 @@ class SizingEngine:
                 responses[index] = SizingResponse(
                     request_id=request.id,
                     topology=request.topology,
+                    method=request.method,
                     success=False,
                     widths=None,
                     metrics=None,
@@ -322,7 +419,10 @@ class SizingEngine:
                 # deterministic, so the leader's outcome is theirs too.
                 # Near-duplicates run on their own (Stage IV judges the
                 # exact spec) — they still share the batched decode.
-                key = (request.topology, request.spec, request.max_iterations, request.rel_tol)
+                key = (
+                    request.topology, request.spec,
+                    request.iteration_budget, request.rel_tol,
+                )
                 if key in leaders:
                     followers[index] = leaders[key]
                     self.stats.cache_hits += 1

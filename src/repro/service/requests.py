@@ -7,12 +7,19 @@ round trip:
 Request line::
 
     {"id": "req-000001", "topology": "5T-OTA", "gain_db": 25.0,
-     "f3db_hz": 5e6, "ugf_hz": 8e7, "max_iterations": 6, "rel_tol": 0.0}
+     "f3db_hz": 5e6, "ugf_hz": 8e7, "max_iterations": 6, "rel_tol": 0.0,
+     "method": "copilot", "budget": null}
+
+``method`` names any registered solver (``repro.solvers``): the default
+``"copilot"`` runs the transformer flow, ``"sa"``/``"pso"``/``"de"`` run
+the SPICE-in-the-loop baselines.  ``budget`` caps the solver's SPICE
+evaluations (for the copilot: verification iterations); ``null`` selects
+the per-method default (``max_iterations`` for the copilot).
 
 Response line::
 
-    {"request_id": "req-000001", "topology": "5T-OTA", "success": true,
-     "widths": {"M1": 1.2e-06, ...},
+    {"request_id": "req-000001", "topology": "5T-OTA", "method": "copilot",
+     "success": true, "widths": {"M1": 1.2e-06, ...},
      "metrics": {"gain_db": 25.3, "f3db_hz": 5.4e6, "ugf_hz": 9.1e7},
      "iterations": 1, "spice_simulations": 1, "wall_time_s": 0.21,
      "cached": false, "error": null, "decoded_texts": ["gmM1=..."]}
@@ -47,6 +54,8 @@ class SizingRequest:
     id: str = field(default_factory=_next_request_id)
     max_iterations: int = 6
     rel_tol: float = 0.0
+    method: str = "copilot"
+    budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.topology or not isinstance(self.topology, str):
@@ -57,6 +66,15 @@ class SizingRequest:
             raise ValueError("max_iterations must be non-negative")
         if not (0.0 <= self.rel_tol < 1.0):
             raise ValueError("rel_tol must be in [0, 1)")
+        if not self.method or not isinstance(self.method, str):
+            raise ValueError("method must be a non-empty string")
+        if self.budget is not None and self.budget < 0:
+            raise ValueError("budget must be non-negative")
+
+    @property
+    def iteration_budget(self) -> int:
+        """Copilot rounds: ``budget`` when given, else ``max_iterations``."""
+        return self.max_iterations if self.budget is None else self.budget
 
     # ------------------------------------------------------------------
     @classmethod
@@ -80,6 +98,8 @@ class SizingRequest:
             "ugf_hz": self.spec.ugf_hz,
             "max_iterations": self.max_iterations,
             "rel_tol": self.rel_tol,
+            "method": self.method,
+            "budget": self.budget,
         }
 
     def to_json_line(self) -> str:
@@ -88,7 +108,10 @@ class SizingRequest:
     @classmethod
     def from_json(cls, payload: Mapping[str, Any]) -> "SizingRequest":
         """Parse the stable flat schema; extra keys are rejected loudly."""
-        known = {"id", "topology", "gain_db", "f3db_hz", "ugf_hz", "max_iterations", "rel_tol"}
+        known = {
+            "id", "topology", "gain_db", "f3db_hz", "ugf_hz",
+            "max_iterations", "rel_tol", "method", "budget",
+        }
         unknown = set(payload) - known
         if unknown:
             raise ValueError(f"unknown request fields: {sorted(unknown)}")
@@ -107,6 +130,10 @@ class SizingRequest:
             kwargs["max_iterations"] = int(payload["max_iterations"])
         if "rel_tol" in payload:
             kwargs["rel_tol"] = float(payload["rel_tol"])
+        if "method" in payload:
+            kwargs["method"] = str(payload["method"])
+        if payload.get("budget") is not None:
+            kwargs["budget"] = int(payload["budget"])
         return cls(topology=str(payload["topology"]), spec=spec, **kwargs)
 
     @classmethod
@@ -129,6 +156,7 @@ class SizingResponse:
     cached: bool = False
     error: Optional[str] = None
     decoded_texts: tuple[str, ...] = ()
+    method: str = "copilot"
 
     @property
     def single_simulation(self) -> bool:
@@ -154,6 +182,7 @@ class SizingResponse:
         return {
             "request_id": self.request_id,
             "topology": self.topology,
+            "method": self.method,
             "success": self.success,
             "widths": dict(self.widths) if self.widths is not None else None,
             "metrics": metrics,
@@ -191,6 +220,7 @@ class SizingResponse:
             cached=bool(payload.get("cached", False)),
             error=payload.get("error"),
             decoded_texts=tuple(payload.get("decoded_texts", ())),
+            method=str(payload.get("method", "copilot")),
         )
 
     @classmethod

@@ -1,0 +1,69 @@
+"""Unified solver API over a batched SPICE evaluation backend.
+
+Every sizing method -- the transformer copilot and the SPICE-in-the-loop
+baselines (SA / PSO / DE) -- implements one protocol::
+
+    solver = repro.solvers.get("pso")(topology)          # or .create(...)
+    result = solver.solve(spec, budget=400, rng=rng)     # -> SolveResult
+
+with unified success / SPICE-call / wall-time / history accounting, and
+all methods are dispatchable by name through the registry (mirroring the
+topology registry), the sizing engine (``SizingRequest.method``) and the
+CLI (``python -m repro size --method pso``).
+
+Underneath, population-based solvers submit whole generations to an
+:class:`EvalBackend`; the default :class:`BatchedBackend` vectorizes the
+per-candidate small-signal AC solves (one stacked complex MNA solve over
+population x frequency grid) and amortizes the DC Newton assembly across
+candidates, with per-candidate failure isolation -- bit-identical to the
+sequential path, just faster (``bench_table9`` pins both claims).
+"""
+
+from .backend import BatchedBackend, EvalBackend, ScalarBackend
+from .base import (
+    DEFAULT_BUDGET,
+    PENALTY,
+    SearchObjective,
+    SearchSolver,
+    SearchSpace,
+    Solver,
+    SolveResult,
+)
+from .registry import (
+    available_solvers,
+    create,
+    get,
+    register,
+    solver_factory,
+    unregister,
+)
+
+# Importing the solver modules registers the stock methods.
+from .annealing import SimulatedAnnealingSolver
+from .copilot import CopilotSolver, solve_result_from_sizing
+from .evolution import DifferentialEvolutionSolver
+from .swarm import ParticleSwarmSolver
+
+__all__ = [
+    "BatchedBackend",
+    "EvalBackend",
+    "ScalarBackend",
+    "DEFAULT_BUDGET",
+    "PENALTY",
+    "SearchObjective",
+    "SearchSolver",
+    "SearchSpace",
+    "Solver",
+    "SolveResult",
+    "available_solvers",
+    "create",
+    "get",
+    "register",
+    "solver_factory",
+    "unregister",
+    "SimulatedAnnealingSolver",
+    "CopilotSolver",
+    "solve_result_from_sizing",
+    "DifferentialEvolutionSolver",
+    "ParticleSwarmSolver",
+]

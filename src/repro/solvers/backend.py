@@ -1,0 +1,72 @@
+"""Evaluation backends: how solvers talk to the SPICE substrate.
+
+Every sizing method -- stochastic optimizer or transformer copilot --
+ultimately asks the same question: *measure this candidate design*.  The
+backend abstraction decouples solvers from how that measurement is
+executed:
+
+* :class:`ScalarBackend` calls ``topology.measure`` once per candidate --
+  the reference semantics (and the pre-redesign behavior of the Table IX
+  baselines);
+* :class:`BatchedBackend` routes whole populations through
+  ``topology.measure_many``, which vectorizes the per-candidate AC solves
+  (stacked complex MNA over population x frequency grid) and amortizes
+  the DC Newton assembly across candidates.
+
+Both produce the same :class:`~repro.topologies.MeasureOutcome` list --
+bit-identical metrics, per-candidate failure isolation -- so solvers can
+switch backends without changing results (``bench_table9`` pins the
+parity and reports the throughput gap).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping, Sequence
+
+from ..spice import ConvergenceError
+from ..topologies import MeasureOutcome, OTATopology
+
+__all__ = ["EvalBackend", "ScalarBackend", "BatchedBackend"]
+
+
+class EvalBackend(ABC):
+    """Strategy for evaluating candidate width vectors of one topology."""
+
+    @abstractmethod
+    def measure_many(
+        self, topology: OTATopology, widths_list: Sequence[Mapping[str, float]]
+    ) -> list[MeasureOutcome]:
+        """Measure every candidate; one aligned outcome per width vector."""
+
+    def measure(
+        self, topology: OTATopology, widths: Mapping[str, float]
+    ) -> MeasureOutcome:
+        """Single-candidate convenience wrapper over :meth:`measure_many`."""
+        return self.measure_many(topology, [widths])[0]
+
+
+class ScalarBackend(EvalBackend):
+    """Sequential reference backend: one full SPICE run per candidate."""
+
+    def measure_many(
+        self, topology: OTATopology, widths_list: Sequence[Mapping[str, float]]
+    ) -> list[MeasureOutcome]:
+        outcomes: list[MeasureOutcome] = []
+        for widths in widths_list:
+            outcome = MeasureOutcome(widths=dict(widths))
+            try:
+                outcome.result = topology.measure(widths)
+            except (ConvergenceError, KeyError, ValueError) as error:
+                outcome.error = str(error)
+            outcomes.append(outcome)
+        return outcomes
+
+
+class BatchedBackend(EvalBackend):
+    """Vectorized bulk backend over ``topology.measure_many``."""
+
+    def measure_many(
+        self, topology: OTATopology, widths_list: Sequence[Mapping[str, float]]
+    ) -> list[MeasureOutcome]:
+        return topology.measure_many(list(widths_list))

@@ -1,0 +1,230 @@
+"""The unified solver API: one protocol for every sizing method.
+
+The paper's Table IX pits the transformer copilot against SPICE-in-the-
+loop optimizers; this module makes them interchangeable.  A *solver*
+takes a specification, a budget and an rng and returns a
+:class:`SolveResult` with unified success / SPICE-call / wall-time /
+history accounting::
+
+    result = repro.solvers.get("pso")(topology).solve(spec, budget=400, rng=rng)
+
+Search-based solvers (SA / PSO / DE) share :class:`SearchObjective`, the
+one place that owns best-value and history bookkeeping (previously
+copy-pasted across the three baseline modules) and submits whole
+populations to an :class:`~repro.solvers.backend.EvalBackend` so
+generation evaluation is vectorized.
+
+``history`` semantics are identical for every solver: entry ``k`` is the
+best objective value seen after SPICE call ``k+1`` (best-so-far, hence
+monotonically non-increasing).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.specs import DesignSpec
+from ..spice import PerformanceMetrics
+from ..topologies import MeasureOutcome, OTATopology
+from .backend import BatchedBackend, EvalBackend
+
+__all__ = [
+    "PENALTY",
+    "DEFAULT_BUDGET",
+    "SearchSpace",
+    "SearchObjective",
+    "SolveResult",
+    "Solver",
+    "SearchSolver",
+]
+
+#: Objective value assigned to non-simulatable / invalid designs.
+PENALTY = 10.0
+
+#: Default SPICE-evaluation budget of the search-based solvers.
+DEFAULT_BUDGET = 500
+
+
+class SearchSpace:
+    """Log-uniform box over per-group widths, normalized to [0, 1]^n."""
+
+    def __init__(self, topology: OTATopology):
+        self.topology = topology
+        self.names = list(topology.group_names)
+        self._log_low = np.array(
+            [np.log(topology.group(name).width_bounds[0]) for name in self.names]
+        )
+        self._log_high = np.array(
+            [np.log(topology.group(name).width_bounds[1]) for name in self.names]
+        )
+
+    @property
+    def dimension(self) -> int:
+        return len(self.names)
+
+    def decode(self, point: np.ndarray) -> dict[str, float]:
+        """[0,1]^n point -> width dictionary."""
+        clipped = np.clip(np.asarray(point, dtype=float), 0.0, 1.0)
+        log_widths = self._log_low + clipped * (self._log_high - self._log_low)
+        return {name: float(np.exp(w)) for name, w in zip(self.names, log_widths)}
+
+    def random_point(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.random(self.dimension)
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one solver run, comparable across all sizing methods."""
+
+    solver: str
+    success: bool
+    spice_calls: int
+    wall_time_s: float
+    best_value: float
+    best_widths: Optional[dict[str, float]]
+    best_metrics: Optional[PerformanceMetrics] = None
+    history: list[float] = field(default_factory=list)
+    iterations: int = 0
+
+
+class SearchObjective:
+    """Spec-shortfall objective with unified SPICE-call/best bookkeeping.
+
+    The objective is the total relative shortfall against the
+    specification (0 means every target is met) with a penalty for
+    designs that fail to simulate or violate device regions.  Candidates
+    are submitted to the evaluation backend in bulk; accounting stays
+    per SPICE call.
+    """
+
+    def __init__(
+        self,
+        topology: OTATopology,
+        spec: DesignSpec,
+        backend: Optional[EvalBackend] = None,
+        check_regions: bool = False,
+    ):
+        self.topology = topology
+        self.spec = spec
+        self.backend = backend if backend is not None else BatchedBackend()
+        self.check_regions = check_regions
+        self.space = SearchSpace(topology)
+        self.spice_calls = 0
+        self.best_value = float("inf")
+        self.best_widths: Optional[dict[str, float]] = None
+        self.best_metrics: Optional[PerformanceMetrics] = None
+        self.history: list[float] = []
+
+    def evaluate_many(self, points: Sequence[np.ndarray]) -> np.ndarray:
+        """Evaluate a population of normalized points; lower is better."""
+        widths_list = [self.space.decode(point) for point in points]
+        outcomes = self.backend.measure_many(self.topology, widths_list)
+        return np.array(
+            [self._record(w, o) for w, o in zip(widths_list, outcomes)], dtype=float
+        )
+
+    def evaluate_one(self, point: np.ndarray) -> float:
+        return float(self.evaluate_many(np.asarray(point, dtype=float)[None, :])[0])
+
+    def _record(self, widths: dict[str, float], outcome: MeasureOutcome) -> float:
+        self.spice_calls += 1
+        if not outcome.ok:
+            value = PENALTY
+        elif self.check_regions and not self.topology.regions_ok(outcome.result.dc):
+            value = PENALTY / 2.0
+        else:
+            metrics = outcome.result.metrics
+            value = float(sum(self.spec.miss_fractions(metrics).values()))
+            if value < self.best_value:
+                self.best_value = value
+                self.best_widths = widths
+                self.best_metrics = metrics
+        self.history.append(self.best_value)
+        return value
+
+    @property
+    def satisfied(self) -> bool:
+        return self.best_value <= 0.0
+
+
+class Solver(ABC):
+    """One sizing method over one topology.
+
+    Every registered solver is constructed as
+    ``factory(topology, backend=..., model=...)``: search-based solvers
+    use the evaluation backend (``None`` means the batched one), the
+    copilot uses the trained model; each ignores what it does not need,
+    so callers can instantiate any registry entry uniformly.
+    """
+
+    #: Registry name, e.g. ``"sa"``; also stamped on results.
+    name: str = "solver"
+
+    def __init__(
+        self,
+        topology: OTATopology,
+        *,
+        backend: Optional[EvalBackend] = None,
+        model=None,
+    ):
+        self.topology = topology
+        self.backend = backend if backend is not None else BatchedBackend()
+        self.model = model
+
+    @abstractmethod
+    def solve(
+        self,
+        spec: DesignSpec,
+        budget: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> SolveResult:
+        """Search for a design meeting ``spec`` within ``budget`` SPICE calls.
+
+        ``budget`` bounds the number of SPICE evaluations (for the copilot:
+        verification iterations, each costing at most one simulation);
+        ``None`` selects the solver's default.  ``rng`` drives any
+        stochastic choices; ``None`` means a fixed default seed.
+        """
+
+
+class SearchSolver(Solver):
+    """Shared plumbing of the stochastic SPICE-in-the-loop solvers."""
+
+    check_regions: bool = False
+
+    def _objective(self, spec: DesignSpec) -> SearchObjective:
+        return SearchObjective(
+            self.topology, spec, backend=self.backend, check_regions=self.check_regions
+        )
+
+    @staticmethod
+    def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+        return rng if rng is not None else np.random.default_rng(0)
+
+    @staticmethod
+    def _budget(budget: Optional[int]) -> int:
+        if budget is None:
+            return DEFAULT_BUDGET
+        if budget < 0:
+            raise ValueError(f"budget must be non-negative, got {budget}")
+        return budget
+
+    def _finish(
+        self, objective: SearchObjective, start: float, iterations: int
+    ) -> SolveResult:
+        return SolveResult(
+            solver=self.name,
+            success=objective.satisfied,
+            spice_calls=objective.spice_calls,
+            wall_time_s=time.perf_counter() - start,
+            best_value=objective.best_value,
+            best_widths=objective.best_widths,
+            best_metrics=objective.best_metrics,
+            history=list(objective.history),
+            iterations=iterations,
+        )

@@ -1,7 +1,7 @@
 """SPICE substrate: netlists, DC operating point, AC analysis, sweeps."""
 
-from .ac import ACResult, default_frequency_grid, run_ac
-from .dc import ConvergenceError, DCSolution, solve_dc
+from .ac import ACResult, default_frequency_grid, run_ac, run_ac_many
+from .dc import ConvergenceError, DCSolution, solve_dc, solve_dc_many
 from .export import parse_netlist, to_spice
 from .metrics import PerformanceMetrics, crossing_frequency, extract_metrics
 from .netlist import GROUND, Capacitor, Circuit, ISource, Resistor, VSource
@@ -17,11 +17,13 @@ __all__ = [
     "ACResult",
     "default_frequency_grid",
     "run_ac",
+    "run_ac_many",
     "ConvergenceError",
     "parse_netlist",
     "to_spice",
     "DCSolution",
     "solve_dc",
+    "solve_dc_many",
     "PerformanceMetrics",
     "crossing_frequency",
     "extract_metrics",

@@ -30,7 +30,7 @@ import numpy as np
 from ..devices import OperatingPoint
 from .netlist import GROUND, Circuit
 
-__all__ = ["DCSolution", "ConvergenceError", "solve_dc"]
+__all__ = ["DCSolution", "ConvergenceError", "solve_dc", "solve_dc_many"]
 
 #: Shunt conductance to ground added at every node for conditioning (S).
 GMIN = 1e-12
@@ -272,21 +272,45 @@ def solve_dc(
         If plain Newton, gmin stepping and source stepping all fail.
     """
     system = _MNASystem(circuit)
+    x0 = _initial_point(system, initial_guess)
+    return _solve_with_continuation(system, x0, max_iterations)
+
+
+def _initial_point(
+    system: _MNASystem, initial_guess: Optional[dict[str, float]]
+) -> np.ndarray:
+    """Starting vector: heuristic guess overridden by the caller's hints."""
     x0 = _default_guess(system)
     if initial_guess:
         for name, value in initial_guess.items():
             idx = system.node_index(name)
             if idx is not None:
                 x0[idx] = value
+    return x0
 
+
+def _solve_with_continuation(
+    system: _MNASystem,
+    x0: np.ndarray,
+    max_iterations: int,
+    skip_plain_newton: bool = False,
+) -> DCSolution:
+    """Run the stacked continuation strategies from ``x0``.
+
+    ``skip_plain_newton`` lets the batched solver hand over candidates whose
+    plain-Newton stage already (provably, bit-identically) failed without
+    paying for a second identical failure.
+    """
+    circuit = system.circuit
     total_iterations = 0
 
     # Strategy 1: plain damped Newton.
-    try:
-        x, iters = _newton(system, x0, 1.0, GMIN, max_iterations)
-        return _finalize(system, x, iters, "newton")
-    except ConvergenceError:
-        pass
+    if not skip_plain_newton:
+        try:
+            x, iters = _newton(system, x0, 1.0, GMIN, max_iterations)
+            return _finalize(system, x, iters, "newton")
+        except ConvergenceError:
+            pass
 
     # Strategy 2: gmin stepping.
     x = x0.copy()
@@ -311,6 +335,258 @@ def solve_dc(
         raise ConvergenceError(
             f"DC solve failed for circuit {circuit.name!r} with all strategies"
         ) from exc
+
+
+def solve_dc_many(
+    circuits: list,
+    initial_guess: Optional[dict[str, float]] = None,
+    max_iterations: int = 150,
+) -> list:
+    """Solve the DC operating point of many structurally similar circuits.
+
+    The bulk path of the batched evaluation backend: circuits that share
+    one MNA structure (same nodes and elements, only MOSFET widths differ
+    -- exactly what one topology's ``build`` produces over a population of
+    width vectors) run the plain-Newton stage *together*, with the
+    residual/Jacobian assembly vectorized over the candidate axis and one
+    stacked ``np.linalg.solve`` per iteration.  Every per-candidate
+    floating-point operation is elementwise-identical to the scalar path,
+    so the returned solutions are bit-identical to ``solve_dc`` run one
+    candidate at a time (the parity tests pin this).
+
+    Failures are isolated per candidate: a design whose plain Newton stage
+    diverges falls back to the scalar continuation strategies, and if those
+    fail too its slot holds the :class:`ConvergenceError` instead of a
+    :class:`DCSolution` -- one bad design never aborts the batch.
+
+    Returns a list aligned with ``circuits`` whose entries are either
+    :class:`DCSolution` or :class:`ConvergenceError`.
+    """
+    results: list = [None] * len(circuits)
+    groups: dict = {}
+    for index, circuit in enumerate(circuits):
+        groups.setdefault(_structure_key(circuit), []).append(index)
+    for indices in groups.values():
+        batch = [circuits[i] for i in indices]
+        for i, outcome in zip(indices, _solve_batch(batch, initial_guess, max_iterations)):
+            results[i] = outcome
+    return results
+
+
+def _structure_key(circuit: Circuit):
+    """Hashable MNA-structure signature: everything but MOSFET widths."""
+    return (
+        tuple(circuit.nodes()),
+        tuple((r.node1, r.node2, r.resistance) for r in circuit.resistors),
+        tuple((s.pos, s.neg, s.dc) for s in circuit.isources),
+        tuple((s.pos, s.neg, s.dc) for s in circuit.vsources),
+        tuple(
+            (m.name, m.drain, m.gate, m.source, m.tech, m.length)
+            for m in circuit.mosfets
+        ),
+    )
+
+
+def _solve_batch(
+    circuits: list, initial_guess: Optional[dict[str, float]], max_iterations: int
+) -> list:
+    """Solve one structure-sharing group; see :func:`solve_dc_many`."""
+    system = _MNASystem(circuits[0])
+    x0 = _initial_point(system, initial_guess)
+    slot_widths = [
+        np.array([circuit.mosfets[slot].width for circuit in circuits])
+        for slot in range(len(circuits[0].mosfets))
+    ]
+    xs, iters, converged = _newton_batch(
+        system, len(circuits), slot_widths, x0, 1.0, GMIN, max_iterations
+    )
+    outcomes: list = []
+    for j, circuit in enumerate(circuits):
+        # _finalize extracts operating points from the candidate's *own*
+        # MOSFET instances, so rebuild the (cheap) per-candidate system.
+        if converged[j]:
+            outcomes.append(_finalize(_MNASystem(circuit), xs[j], int(iters[j]), "newton"))
+            continue
+        try:
+            outcomes.append(
+                _solve_with_continuation(
+                    _MNASystem(circuit), x0.copy(), max_iterations, skip_plain_newton=True
+                )
+            )
+        except ConvergenceError as error:
+            outcomes.append(error)
+    return outcomes
+
+
+def _residual_and_jacobian_batch(
+    system: _MNASystem,
+    slot_widths: list,
+    x: np.ndarray,
+    source_scale: float,
+    gmin: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized counterpart of ``_MNASystem.residual_and_jacobian``.
+
+    ``x`` has shape ``(P, size)`` -- one unknown vector per candidate --
+    and ``slot_widths[k]`` holds candidate ``k``-th MOSFET widths.  Every
+    stamp mirrors the scalar assembly operation for operation; because
+    numpy ufuncs are elementwise, each candidate's row is bit-identical to
+    what the scalar assembly produces for that candidate alone.
+    """
+    circuit = system.circuit
+    n = system.n_nodes
+    batch = x.shape[0]
+    f = np.zeros((batch, system.size))
+    jac = np.zeros((batch, system.size, system.size))
+
+    def volt(idx: Optional[int]):
+        return 0.0 if idx is None else x[:, idx]
+
+    # gmin shunts keep floating subcircuits well-conditioned.
+    if n:
+        f[:, :n] += gmin * x[:, :n]
+        diag = np.arange(n)
+        jac[:, diag, diag] += gmin
+
+    for res in circuit.resistors:
+        i1, i2 = system.node_index(res.node1), system.node_index(res.node2)
+        g = res.conductance
+        current = g * (volt(i1) - volt(i2))
+        if i1 is not None:
+            f[:, i1] += current
+            jac[:, i1, i1] += g
+            if i2 is not None:
+                jac[:, i1, i2] -= g
+        if i2 is not None:
+            f[:, i2] -= current
+            jac[:, i2, i2] += g
+            if i1 is not None:
+                jac[:, i2, i1] -= g
+
+    for src in circuit.isources:
+        ip, in_ = system.node_index(src.pos), system.node_index(src.neg)
+        value = src.dc * source_scale
+        if ip is not None:
+            f[:, ip] += value
+        if in_ is not None:
+            f[:, in_] -= value
+
+    for slot, mosfet in enumerate(circuit.mosfets):
+        id_, ig, is_ = (
+            system.node_index(mosfet.drain),
+            system.node_index(mosfet.gate),
+            system.node_index(mosfet.source),
+        )
+        vd, vg, vs = volt(id_), volt(ig), volt(is_)
+        widths = slot_widths[slot]
+        pol = mosfet.tech.polarity
+        # Mirrors MOSFET.ids / MOSFET.conductances with a width vector.
+        vgs = pol * (vg - vs)
+        vds = pol * (vd - vs)
+        ids = pol * mosfet.model.drain_current(vgs, vds, widths, mosfet.length)
+        gm = mosfet.model.transconductance(vgs, vds, widths, mosfet.length)
+        gds = mosfet.model.output_conductance(vgs, vds, widths, mosfet.length)
+        # Current i_ds leaves the drain node and enters the source node.
+        if id_ is not None:
+            f[:, id_] += ids
+            jac[:, id_, id_] += gds
+            if ig is not None:
+                jac[:, id_, ig] += gm
+            if is_ is not None:
+                jac[:, id_, is_] -= gm + gds
+        if is_ is not None:
+            f[:, is_] -= ids
+            jac[:, is_, is_] += gm + gds
+            if id_ is not None:
+                jac[:, is_, id_] -= gds
+            if ig is not None:
+                jac[:, is_, ig] -= gm
+
+    for k, src in enumerate(circuit.vsources):
+        row = n + k
+        ip, in_ = system.node_index(src.pos), system.node_index(src.neg)
+        branch_current = x[:, row]
+        # Branch current flows out of the positive node.
+        if ip is not None:
+            f[:, ip] += branch_current
+            jac[:, ip, row] += 1.0
+        if in_ is not None:
+            f[:, in_] -= branch_current
+            jac[:, in_, row] -= 1.0
+        f[:, row] = volt(ip) - volt(in_) - src.dc * source_scale
+        if ip is not None:
+            jac[:, row, ip] += 1.0
+        if in_ is not None:
+            jac[:, row, in_] -= 1.0
+
+    return f, jac
+
+
+def _solve_newton_steps(jac: np.ndarray, f: np.ndarray) -> np.ndarray:
+    """Stacked ``J dx = -f`` solve with the scalar path's lstsq fallback."""
+    try:
+        return np.linalg.solve(jac, -f[..., None])[..., 0]
+    except np.linalg.LinAlgError:
+        dx = np.empty_like(f)
+        for k in range(f.shape[0]):
+            try:
+                dx[k] = np.linalg.solve(jac[k], -f[k])
+            except np.linalg.LinAlgError:
+                dx[k] = np.linalg.lstsq(jac[k], -f[k], rcond=None)[0]
+        return dx
+
+
+def _newton_batch(
+    system: _MNASystem,
+    batch: int,
+    slot_widths: list,
+    x0: np.ndarray,
+    source_scale: float,
+    gmin: float,
+    max_iterations: int = 150,
+    abstol: float = 1e-10,
+    reltol: float = 1e-9,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Damped Newton over a ``batch``-candidate group; per-candidate convergence.
+
+    Candidates freeze the moment their own convergence criterion fires, so
+    each trajectory reproduces the scalar ``_newton`` iteration for that
+    candidate exactly.  Returns ``(solutions, iterations, converged)``.
+    """
+    n = system.n_nodes
+    x = np.tile(x0, (batch, 1))
+    solutions = np.array(x, copy=True)
+    iterations = np.zeros(batch, dtype=int)
+    converged = np.zeros(batch, dtype=bool)
+    active = np.arange(batch)
+
+    for iteration in range(1, max_iterations + 1):
+        widths_active = [w[active] for w in slot_widths]
+        f, jac = _residual_and_jacobian_batch(
+            system, widths_active, x[active], source_scale, gmin
+        )
+        dx = _solve_newton_steps(jac, f)
+        # Voltage-step damping: scale each candidate's update so no node
+        # moves more than MAX_STEP volts in one iteration.
+        if n:
+            v_step = np.max(np.abs(dx[:, :n]), axis=1)
+            over = v_step > MAX_STEP
+            if np.any(over):
+                dx[over] *= (MAX_STEP / v_step[over])[:, None]
+        x[active] += dx
+        node_residual = (
+            np.max(np.abs(f[:, :n]), axis=1) if n else np.zeros(len(active))
+        )
+        done = (node_residual < abstol) & (np.max(np.abs(dx), axis=1) < reltol)
+        if np.any(done):
+            newly = active[done]
+            solutions[newly] = x[newly]
+            iterations[newly] = iteration
+            converged[newly] = True
+            active = active[~done]
+            if active.size == 0:
+                break
+    return solutions, iterations, converged
 
 
 def _finalize(system: _MNASystem, x: np.ndarray, iterations: int, strategy: str) -> DCSolution:

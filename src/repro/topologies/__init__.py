@@ -7,7 +7,7 @@ no dispatch table to edit.
 """
 
 from .active_inductor import build_active_inductor
-from .base import DeviceGroup, MeasurementResult, OTATopology
+from .base import DeviceGroup, MeasureOutcome, MeasurementResult, OTATopology
 from .current_mirror import CurrentMirrorOTA
 from .five_t import FiveTransistorOTA
 from .registry import (
@@ -22,6 +22,7 @@ from .two_stage import TwoStageOTA
 __all__ = [
     "build_active_inductor",
     "DeviceGroup",
+    "MeasureOutcome",
     "MeasurementResult",
     "OTATopology",
     "CurrentMirrorOTA",

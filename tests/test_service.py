@@ -63,7 +63,8 @@ class TestRegistry:
 class TestRequestJSON:
     def test_round_trip(self):
         request = SizingRequest.for_spec(
-            "5T-OTA", 25.0, 5e6, 8e7, id="r1", max_iterations=4, rel_tol=0.01
+            "5T-OTA", 25.0, 5e6, 8e7, id="r1", max_iterations=4, rel_tol=0.01,
+            method="pso", budget=200,
         )
         restored = SizingRequest.from_json_line(request.to_json_line())
         assert restored == request
@@ -79,6 +80,13 @@ class TestRequestJSON:
         )
         assert request.max_iterations == 6
         assert request.rel_tol == 0.0
+        assert request.method == "copilot"
+        assert request.budget is None
+        assert request.iteration_budget == 6
+
+    def test_budget_overrides_copilot_iterations(self):
+        request = SizingRequest.for_spec("5T-OTA", 25.0, 5e6, 8e7, budget=2)
+        assert request.iteration_budget == 2
 
     def test_missing_fields_rejected(self):
         with pytest.raises(ValueError, match="missing"):
@@ -98,6 +106,10 @@ class TestRequestJSON:
             SizingRequest.for_spec("5T-OTA", 25.0, 5e6, 8e7, max_iterations=-1)
         with pytest.raises(ValueError):
             SizingRequest.for_spec("5T-OTA", 25.0, 5e6, 8e7, rel_tol=1.5)
+        with pytest.raises(ValueError):
+            SizingRequest.for_spec("5T-OTA", 25.0, 5e6, 8e7, method="")
+        with pytest.raises(ValueError):
+            SizingRequest.for_spec("5T-OTA", 25.0, 5e6, 8e7, budget=-1)
 
 
 class TestResponseJSON:
@@ -138,6 +150,15 @@ class TestResponseJSON:
         assert self._response().single_simulation
         assert not self._response(spice_simulations=2).single_simulation
         assert not self._response(success=False).single_simulation
+
+    def test_method_round_trips_and_defaults(self):
+        response = self._response(method="de")
+        restored = SizingResponse.from_json_line(response.to_json_line())
+        assert restored.method == "de"
+        # Pre-redesign payloads (no method key) parse as copilot responses.
+        payload = json.loads(self._response().to_json_line())
+        del payload["method"]
+        assert SizingResponse.from_json(payload).method == "copilot"
 
 
 # ----------------------------------------------------------------------
@@ -469,6 +490,30 @@ class TestEngineServing:
         flow = SizingFlow(topology, model)
         result = flow.size(DesignSpec(25.0, 3e6, 6e7), max_iterations=0)
         assert not result.success and result.iterations == 0
+
+    def test_run_sizing_study_uses_batched_inference(self, oracle_setup):
+        """Table VIII studies must ride the engine's fused-decode path and
+        stay identical to the sequential facade."""
+        from repro.core import run_sizing_study
+
+        topology, records, luts = oracle_setup
+        model = _BatchedOracleModel(topology, records, luts)
+        flow = SizingFlow(topology, model)
+        specs = [
+            DesignSpec(r.gain_db * 0.995, r.f3db_hz * 0.98, r.ugf_hz * 0.98)
+            for r in records[:4]
+        ]
+        study = run_sizing_study(flow, specs)
+        assert study.total == len(specs)
+        assert model.batch_calls >= 1  # fused decode, not a per-spec loop
+
+        reference_flow = SizingFlow(topology, _BatchedOracleModel(topology, records, luts))
+        for spec, result in zip(specs, study.results):
+            reference = reference_flow.size(spec)
+            assert reference.widths == result.widths
+            assert reference.success == result.success
+            assert reference.spice_simulations == result.spice_simulations
+            assert reference.iterations == result.iterations
 
     def test_flow_delegates_to_engine(self, oracle_setup):
         topology, records, luts = oracle_setup

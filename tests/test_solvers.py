@@ -1,0 +1,429 @@
+"""Tests of the unified solver API and the batched evaluation backend.
+
+The parity classes are the contract of the API redesign: the bulk
+``measure_many`` path (vectorized AC, amortized DC Newton) must produce
+*bit-identical* measurements to the sequential ``measure`` path, with
+per-candidate failure isolation; and every sizing method — copilot and
+SPICE-in-the-loop baselines — must be dispatchable through
+``repro.solvers`` and the service layers built on it.
+"""
+
+import numpy as np
+import pytest
+
+from repro import solvers
+from repro.core import DesignSpec
+from repro.core.bundle import SizingModel
+from repro.datagen import SequenceBuilder, SequenceConfig
+from repro.datagen.serialize import ParsedParams
+from repro.devices import NMOS_65NM, PMOS_65NM
+from repro.service import SizingEngine, SizingRequest
+from repro.solvers import (
+    BatchedBackend,
+    ScalarBackend,
+    SearchSolver,
+    SearchSpace,
+    SolveResult,
+)
+from repro.spice import ConvergenceError
+from repro.topologies import FiveTransistorOTA
+
+from tests.conftest import GOOD_WIDTHS
+
+#: Width value that makes _PoisonedOTA.build emit a non-convergent circuit.
+POISON_WIDTH = 3.333e-6
+
+
+class _PoisonedOTA(FiveTransistorOTA):
+    """5T-OTA whose build plants an unsatisfiable current source when the
+    marker width appears — a deterministic ConvergenceError generator."""
+
+    def build(self, widths, vcm=None):
+        circuit = super().build(widths, vcm=vcm)
+        if widths.get("M1") == POISON_WIDTH:
+            # 1 A pulled out of a floating node: only the gmin shunt can
+            # carry it, so every Newton strategy runs out of iterations.
+            circuit.add_isource("IPOISON", "poison", "0", dc=1.0)
+        return circuit
+
+
+@pytest.fixture(scope="module")
+def easy_spec(five_t_module):
+    metrics = five_t_module.measure(GOOD_WIDTHS["5T-OTA"]).metrics
+    return DesignSpec(metrics.gain_db * 0.9, metrics.f3db_hz * 0.5, metrics.ugf_hz * 0.5)
+
+
+@pytest.fixture(scope="module")
+def five_t_module():
+    return FiveTransistorOTA()
+
+
+# ----------------------------------------------------------------------
+# Solver registry
+# ----------------------------------------------------------------------
+class TestSolverRegistry:
+    def test_stock_solvers_registered(self):
+        assert {"sa", "pso", "de", "copilot"} <= set(solvers.available_solvers())
+
+    def test_register_create_unregister_round_trip(self, five_t_module, easy_spec):
+        class NominalSolver(SearchSolver):
+            """Evaluates only the nominal design — enough to round-trip."""
+
+            name = "nominal"
+
+            def solve(self, spec, budget=None, rng=None):
+                import time
+
+                objective = self._objective(spec)
+                start = time.perf_counter()
+                point = np.full(objective.space.dimension, 0.5)
+                objective.evaluate_many(point[None, :])
+                return self._finish(objective, start, iterations=1)
+
+        solvers.register(NominalSolver)
+        try:
+            assert "nominal" in solvers.available_solvers()
+            assert solvers.get("nominal") is NominalSolver
+            solver = solvers.create("nominal", five_t_module)
+            result = solver.solve(easy_spec)
+            assert isinstance(result, SolveResult)
+            assert result.solver == "nominal"
+            assert result.spice_calls == 1
+        finally:
+            solvers.unregister("nominal")
+        assert "nominal" not in solvers.available_solvers()
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            solvers.register(solvers.ParticleSwarmSolver)
+
+    def test_replace_allows_shadowing(self):
+        solvers.register(solvers.ParticleSwarmSolver, replace=True)
+        assert solvers.get("pso") is solvers.ParticleSwarmSolver
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(KeyError, match="registered:"):
+            solvers.get("annealing-but-wrong")
+
+    def test_factory_without_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            solvers.register(lambda topology, **kwargs: None)
+
+
+# ----------------------------------------------------------------------
+# measure_many parity with the sequential measure path
+# ----------------------------------------------------------------------
+class TestMeasureManyParity:
+    def _population(self, topology, count, seed=11):
+        rng = np.random.default_rng(seed)
+        space = SearchSpace(topology)
+        return [space.decode(space.random_point(rng)) for _ in range(count)]
+
+    def _assert_identical(self, sequential, outcome):
+        assert outcome.ok
+        result = outcome.result
+        # Bit-identical metrics (NaN-safe elementwise comparison).
+        assert np.array_equal(
+            sequential.metrics.as_array(), result.metrics.as_array(), equal_nan=True
+        )
+        assert sequential.dc.node_voltages == result.dc.node_voltages
+        assert sequential.dc.iterations == result.dc.iterations
+        assert sequential.dc.strategy == result.dc.strategy
+        assert sequential.device_params == result.device_params
+
+    def test_bit_identical_to_sequential(self, five_t_module):
+        population = self._population(five_t_module, 8)
+        sequential = [five_t_module.measure(w) for w in population]
+        outcomes = five_t_module.measure_many(population)
+        assert len(outcomes) == len(population)
+        for ref, outcome in zip(sequential, outcomes):
+            self._assert_identical(ref, outcome)
+
+    def test_non_convergent_candidate_is_isolated(self):
+        topology = _PoisonedOTA()
+        population = self._population(topology, 4, seed=5)
+        poisoned = dict(population[1])
+        poisoned["M1"] = POISON_WIDTH
+        batch = [population[0], poisoned, population[2], population[3]]
+
+        with pytest.raises(ConvergenceError):
+            topology.measure(poisoned)  # the sequential path gives up...
+
+        outcomes = topology.measure_many(batch)
+        assert not outcomes[1].ok  # ...the bulk path isolates the failure
+        assert outcomes[1].error is not None
+        for index in (0, 2, 3):
+            self._assert_identical(topology.measure(batch[index]), outcomes[index])
+
+    def test_unbuildable_candidate_is_isolated(self, five_t_module):
+        population = self._population(five_t_module, 2)
+        bad = dict(population[0])
+        bad.pop("M5")  # missing group -> build-time KeyError
+        outcomes = five_t_module.measure_many([bad, population[1]])
+        assert not outcomes[0].ok and "M5" in outcomes[0].error
+        self._assert_identical(five_t_module.measure(population[1]), outcomes[1])
+
+    def test_empty_population(self, five_t_module):
+        assert five_t_module.measure_many([]) == []
+
+    def test_backends_agree(self, five_t_module):
+        population = self._population(five_t_module, 3, seed=2)
+        scalar = ScalarBackend().measure_many(five_t_module, population)
+        batched = BatchedBackend().measure_many(five_t_module, population)
+        for s, b in zip(scalar, batched):
+            assert s.ok and b.ok
+            assert np.array_equal(
+                s.result.metrics.as_array(), b.result.metrics.as_array(), equal_nan=True
+            )
+
+
+# ----------------------------------------------------------------------
+# Search solvers through the unified API
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["sa", "pso", "de"])
+class TestSearchSolvers:
+    def test_finds_easy_spec_with_unified_accounting(self, name, five_t_module, easy_spec):
+        solver = solvers.get(name)(five_t_module)
+        result = solver.solve(easy_spec, budget=250, rng=np.random.default_rng(5))
+        assert result.solver == name
+        assert result.success, f"{name} best={result.best_value}"
+        assert result.best_widths is not None
+        assert result.best_metrics is not None
+        assert easy_spec.satisfied(result.best_metrics)
+        assert 1 <= result.spice_calls <= 250
+
+    def test_history_is_best_so_far_per_spice_call(self, name, five_t_module, easy_spec):
+        solver = solvers.create(name, five_t_module)
+        result = solver.solve(easy_spec, budget=100, rng=np.random.default_rng(7))
+        assert len(result.history) == result.spice_calls
+        history = np.array(result.history)
+        finite = history[np.isfinite(history)]
+        assert np.all(np.diff(finite) <= 1e-12)
+        assert history[-1] == result.best_value
+
+    def test_budget_is_a_hard_cap(self, name, five_t_module):
+        hard = DesignSpec(gain_db=80.0, f3db_hz=1e10, ugf_hz=1e12)
+        solver = solvers.create(name, five_t_module)
+        result = solver.solve(hard, budget=30, rng=np.random.default_rng(6))
+        assert not result.success
+        assert result.spice_calls <= 30
+
+    def test_scalar_backend_supported(self, name, five_t_module, easy_spec):
+        solver = solvers.create(name, five_t_module, backend=ScalarBackend())
+        result = solver.solve(easy_spec, budget=60, rng=np.random.default_rng(5))
+        assert result.spice_calls <= 60
+
+
+# ----------------------------------------------------------------------
+# Copilot through the unified API (perfect-prediction stand-in model)
+# ----------------------------------------------------------------------
+class _OneShotModel(SizingModel):
+    """Always predicts the device parameters of one known-good design."""
+
+    def __init__(self, topology, values, luts):
+        builder = SequenceBuilder(topology, SequenceConfig())
+        super().__init__(
+            transformer=None,
+            bpe=None,
+            vocab=None,
+            sequence_config=builder.config,
+            builders={topology.name: builder},
+            luts=luts,
+        )
+        self._values = values
+
+    def predict_params(self, topology_name, spec, max_len=None):
+        values = {group: dict(params) for group, params in self._values.items()}
+        return ParsedParams(values=values, complete=True), "<oneshot>"
+
+    def predict_params_many(self, specs_by_topology, max_len=None):
+        return {
+            name: [self.predict_params(name, spec, max_len) for spec in specs]
+            for name, specs in specs_by_topology.items()
+        }
+
+
+@pytest.fixture(scope="module")
+def oneshot_model(five_t_module, nmos_lut, pmos_lut):
+    measurement = five_t_module.measure(GOOD_WIDTHS["5T-OTA"])
+    values = {
+        group.name: measurement.device_params[group.name]
+        for group in five_t_module.groups
+    }
+    luts = {NMOS_65NM.name: nmos_lut, PMOS_65NM.name: pmos_lut}
+    return _OneShotModel(five_t_module, values, luts)
+
+
+@pytest.fixture(scope="module")
+def achievable_spec(five_t_module):
+    """Targets the one-shot model's own design reaches after LUT round-trip."""
+    metrics = five_t_module.measure(GOOD_WIDTHS["5T-OTA"]).metrics
+    return DesignSpec(metrics.gain_db * 0.98, metrics.f3db_hz * 0.9, metrics.ugf_hz * 0.9)
+
+
+class TestCopilotSolver:
+    def test_unified_call_and_accounting(self, five_t_module, oneshot_model, achievable_spec):
+        solver = solvers.get("copilot")(five_t_module, model=oneshot_model)
+        result = solver.solve(achievable_spec)
+        assert result.solver == "copilot"
+        assert result.success
+        assert result.spice_calls == 1
+        assert result.iterations == 1
+        assert result.history == [0.0]
+        assert result.best_value == 0.0
+        assert achievable_spec.satisfied(result.best_metrics)
+
+    def test_budget_caps_iterations(self, five_t_module, oneshot_model):
+        impossible = DesignSpec(gain_db=90.0, f3db_hz=1e10, ugf_hz=1e12)
+        solver = solvers.create("copilot", five_t_module, model=oneshot_model)
+        result = solver.solve(impossible, budget=3)
+        assert not result.success
+        assert result.iterations == 3
+        assert result.spice_calls <= 3
+        # Best-iterate reporting survives the conversion.
+        assert result.best_metrics is not None
+        assert np.isfinite(result.best_value)
+        assert len(result.history) == result.spice_calls
+
+    def test_requires_model_or_engine(self, five_t_module):
+        with pytest.raises(ValueError, match="model"):
+            solvers.create("copilot", five_t_module)
+
+
+# ----------------------------------------------------------------------
+# Engine dispatch by request method
+# ----------------------------------------------------------------------
+class TestEngineMethodDispatch:
+    def _engine(self, oneshot_model, five_t_module, **kwargs):
+        engine = SizingEngine(oneshot_model, **kwargs)
+        engine.adopt_topology(five_t_module)
+        return engine
+
+    def _request(self, spec, **kwargs):
+        return SizingRequest(topology="5T-OTA", spec=spec, **kwargs)
+
+    def test_mixed_methods_in_one_batch(self, five_t_module, oneshot_model, achievable_spec):
+        engine = self._engine(oneshot_model, five_t_module, cache_size=0)
+        requests = [
+            self._request(achievable_spec, id="cop"),
+            self._request(achievable_spec, id="swarm", method="pso", budget=60),
+            self._request(achievable_spec, id="anneal", method="sa", budget=60),
+        ]
+        responses = engine.size_batch(requests)
+        assert [r.request_id for r in responses] == ["cop", "swarm", "anneal"]
+        assert [r.method for r in responses] == ["copilot", "pso", "sa"]
+        for response in responses:
+            assert response.error is None
+            assert response.success
+            assert achievable_spec.satisfied(response.metrics)
+        assert responses[1].spice_simulations <= 60
+        assert responses[2].spice_simulations <= 60
+
+    def test_solver_responses_reproducible_per_request_id(
+        self, five_t_module, oneshot_model, achievable_spec
+    ):
+        engine = self._engine(oneshot_model, five_t_module, cache_size=0)
+        first = engine.size_batch([self._request(achievable_spec, id="r", method="de", budget=60)])
+        second = engine.size_batch([self._request(achievable_spec, id="r", method="de", budget=60)])
+        assert first[0].widths == second[0].widths
+        assert first[0].spice_simulations == second[0].spice_simulations
+
+    def test_solver_requests_bypass_cache(self, five_t_module, oneshot_model, achievable_spec):
+        engine = self._engine(oneshot_model, five_t_module, cache_size=16)
+        request = self._request(achievable_spec, method="sa", budget=40)
+        engine.size(request)
+        engine.size(self._request(achievable_spec, method="sa", budget=40, id="again"))
+        assert engine.stats.cache_hits == 0
+        assert engine.stats.solver_requests == 2
+
+    def test_unknown_method_yields_error_response(
+        self, five_t_module, oneshot_model, achievable_spec
+    ):
+        engine = self._engine(oneshot_model, five_t_module, cache_size=0)
+        response = engine.size(self._request(achievable_spec, method="gradient-descent"))
+        assert not response.success
+        assert "gradient-descent" in response.error
+
+    def test_json_round_trip_with_method_and_budget(self, achievable_spec):
+        request = self._request(achievable_spec, method="pso", budget=123)
+        restored = SizingRequest.from_json_line(request.to_json_line())
+        assert restored == request
+        assert restored.method == "pso"
+        assert restored.budget == 123
+
+
+# ----------------------------------------------------------------------
+# CLI `size --method` dispatch for every registered solver
+# ----------------------------------------------------------------------
+_MICRO_CONFIG_KWARGS = dict(
+    designs_per_topology=(("5T-OTA", 18),),
+    epochs=1,
+    d_model=32,
+    n_heads=4,
+    d_ff=48,
+    dropout=0.0,
+    num_merges=120,
+    encoder_max_paths=1,
+    learning_rate=1e-3,
+    batch_size=8,
+    dtype="float32",
+    seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def micro_bundle(tmp_path_factory):
+    """A real (minutes-of-nothing-scale) trained bundle saved to disk."""
+    from repro.core import PipelineConfig, train_sizing_model
+
+    artifacts = train_sizing_model(PipelineConfig(**_MICRO_CONFIG_KWARGS))
+    bundle = tmp_path_factory.mktemp("bundle") / "micro"
+    artifacts.model.save(bundle)
+    return bundle
+
+
+class TestCLIMethodDispatch:
+    #: SPICE budgets keeping each method's run small in CI.
+    BUDGETS = {"sa": 40, "pso": 40, "de": 40, "copilot": 2}
+
+    def test_solvers_subcommand_lists_registry(self, capsys):
+        from repro.service.cli import main
+
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out.split()
+        assert {"sa", "pso", "de", "copilot"} <= set(out)
+
+    @pytest.mark.parametrize("method", ["sa", "pso", "de", "copilot"])
+    def test_size_dispatches_every_registered_solver(
+        self, method, micro_bundle, easy_spec, tmp_path
+    ):
+        from repro.service.cli import main
+        from repro.service.requests import SizingResponse
+
+        request = SizingRequest(topology="5T-OTA", spec=easy_spec, id=f"cli-{method}")
+        requests_file = tmp_path / "requests.jsonl"
+        requests_file.write_text(request.to_json_line() + "\n")
+        responses_file = tmp_path / "responses.jsonl"
+        budget = self.BUDGETS[method]
+        exit_code = main([
+            "size", "--bundle", str(micro_bundle),
+            "--method", method, "--budget", str(budget),
+            "-i", str(requests_file), "-o", str(responses_file),
+        ])
+        assert exit_code == 0
+        response = SizingResponse.from_json_line(responses_file.read_text().splitlines()[0])
+        assert response.request_id == f"cli-{method}"
+        assert response.method == method
+        assert response.error is None
+        assert response.spice_simulations <= budget
+        if method != "copilot":  # the micro model may miss; the search won't
+            assert response.success
+
+    def test_unknown_method_flag_exits_2(self, micro_bundle, tmp_path):
+        from repro.service.cli import main
+
+        exit_code = main([
+            "size", "--bundle", str(micro_bundle), "--method", "bogus",
+            "-i", str(tmp_path / "none.jsonl"), "-o", "-",
+        ])
+        assert exit_code == 2

@@ -65,6 +65,28 @@ class TestACAnalysis:
         result = run_ac(dc, np.array([1.0]))
         assert result.magnitude_db("out")[0] == pytest.approx(0.0, abs=1e-6)
 
+    def test_transfer_uses_index_map(self):
+        """transfer() resolves nodes through the precomputed name map."""
+        circuit = rc_lowpass()
+        dc = solve_dc(circuit)
+        result = run_ac(dc, np.array([1e3, 1e6]))
+        for i, name in enumerate(result.node_names):
+            np.testing.assert_array_equal(result.transfer(name), result.phasors[:, i])
+        assert not result.transfer("0").any()  # ground is identically zero
+        with pytest.raises(ValueError, match="not a node"):
+            result.transfer("missing-node")
+
+    def test_run_ac_many_bitwise_matches_run_ac(self):
+        from repro.spice import run_ac_many
+
+        freqs = np.logspace(2, 9, 40)
+        solutions = [solve_dc(rc_lowpass(r=r)) for r in (5e2, 1e3, 2e3, 8e3)]
+        stacked = run_ac_many(solutions, freqs)
+        for dc, result in zip(solutions, stacked):
+            reference = run_ac(dc, freqs)
+            assert result.node_names == reference.node_names
+            np.testing.assert_array_equal(result.phasors, reference.phasors)
+
     def test_default_grid_spans_requested_range(self):
         grid = default_frequency_grid(1.0, 1e9, 10)
         assert grid[0] == pytest.approx(1.0)

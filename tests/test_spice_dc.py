@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.devices import NMOS_65NM, PMOS_65NM
-from repro.spice import Circuit, solve_dc
+from repro.spice import Circuit, solve_dc, solve_dc_many
 
 L = 180e-9
 
@@ -127,3 +127,39 @@ class TestRobustness:
     def test_solution_strategy_reported(self):
         solution = solve_dc(resistor_divider())
         assert solution.strategy in ("newton", "gmin-stepping", "source-stepping")
+
+
+class TestSolveDCMany:
+    def _cs_stage(self, width):
+        circuit = Circuit("cs")
+        circuit.add_vsource("VDD", "vdd", "0", 1.2)
+        circuit.add_vsource("VIN", "g", "0", 0.55)
+        circuit.add_resistor("RL", "vdd", "d", 20e3)
+        circuit.add_mosfet("M", "d", "g", "0", NMOS_65NM, width, L)
+        return circuit
+
+    def test_bitwise_matches_scalar_over_width_batch(self):
+        widths = [1e-6, 2e-6, 5e-6, 12e-6, 30e-6]
+        batched = solve_dc_many([self._cs_stage(w) for w in widths])
+        for width, solution in zip(widths, batched):
+            reference = solve_dc(self._cs_stage(width))
+            assert solution.node_voltages == reference.node_voltages
+            assert solution.source_currents == reference.source_currents
+            assert solution.iterations == reference.iterations
+            assert solution.strategy == reference.strategy
+
+    def test_mosfet_free_batch(self):
+        """A structure group with no MOSFETs (nothing to vectorize) still
+        solves every candidate."""
+        solutions = solve_dc_many([resistor_divider(), resistor_divider()])
+        assert len(solutions) == 2
+        for solution in solutions:
+            assert solution.voltage("mid") == pytest.approx(1.2 * 3.0 / 4.0, rel=1e-9)
+
+    def test_mixed_structures_are_grouped(self):
+        """Structurally different circuits in one call still all solve."""
+        mixed = [self._cs_stage(2e-6), resistor_divider(), self._cs_stage(5e-6)]
+        solutions = solve_dc_many(mixed)
+        assert solutions[1].voltage("mid") == pytest.approx(1.2 * 3.0 / 4.0, rel=1e-9)
+        assert solutions[0].node_voltages == solve_dc(self._cs_stage(2e-6)).node_voltages
+        assert solutions[2].node_voltages == solve_dc(self._cs_stage(5e-6)).node_voltages
