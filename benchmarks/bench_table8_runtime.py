@@ -19,10 +19,22 @@ before/after number of the service redesign: inference-stage throughput
 of ``SizingEngine.size_batch`` over a mixed-topology batch vs the
 sequential ``SizingFlow.size`` path, with decoded texts pinned
 bit-identical between the two.
+
+``test_table8_verification_throughput`` is the Stage IV counterpart (and
+the CI smoke of the round-batched verification path): one multi-request
+copilot round verified through the engine's batched backend (one
+``measure_many`` per topology per round) vs the sequential per-candidate
+backend, responses pinned bit-identical.  It needs no trained model — a
+measured-oracle stand-in drives the round — so it stays minutes-free.
 """
+
+import time
+
+import numpy as np
 
 from repro.core import DesignSpec, SizingFlow, run_sizing_study
 from repro.service import SizingEngine, SizingRequest
+from repro.solvers import BatchedBackend, EvalBackend, ScalarBackend, SearchSpace
 
 from conftest import write_result
 
@@ -31,6 +43,11 @@ N_SPECS = 25
 
 #: Mixed-topology batch size of the throughput comparison.
 N_BATCH_PER_TOPOLOGY = 11
+
+#: Requests per round in the verification-throughput comparison (a busy
+#: serving round; matches bench_table9's population scale).
+N_VERIFY_ROUND = 24
+VERIFY_REPEATS = 3
 
 PAPER_ROWS = {
     "5T-OTA": "paper: 8.5h train | 95/100 single (37s) | 5/100 multi (111s, ~3 iters)",
@@ -158,3 +175,152 @@ def test_table8_batched_inference_throughput(artifact, topologies):
     write_result("table8_batched_throughput", lines)
 
     assert speedup >= 3.0
+
+
+# ----------------------------------------------------------------------
+# Stage IV verification throughput (round-batched vs sequential backend)
+# ----------------------------------------------------------------------
+class _TimedBackend(EvalBackend):
+    """Wraps a backend and accounts its bulk-verification wall time."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.seconds = 0.0
+        self.calls = 0
+        self.candidates = 0
+
+    def measure_many(self, topology, widths_list):
+        start = time.perf_counter()
+        outcomes = self.inner.measure_many(topology, widths_list)
+        self.seconds += time.perf_counter() - start
+        self.calls += 1
+        self.candidates += len(widths_list)
+        return outcomes
+
+
+def _measured_oracle(topology, count, rng):
+    """A model-free 'perfect transformer' stand-in: per-spec device
+    parameters measured from real random designs of the topology."""
+    from repro.core.bundle import SizingModel
+    from repro.datagen import SequenceBuilder, SequenceConfig
+    from repro.datagen.serialize import ParsedParams
+    from repro.spice import ConvergenceError
+
+    space = SearchSpace(topology)
+    params_by_spec = {}
+    attempts = 0
+    while len(params_by_spec) < count and attempts < count * 20:
+        attempts += 1
+        widths = space.decode(space.random_point(rng))
+        try:
+            measurement = topology.measure(widths)
+        except ConvergenceError:
+            continue
+        metrics = measurement.metrics
+        if not metrics.is_valid():
+            continue
+        spec = DesignSpec.from_metrics(metrics, slack=0.05)
+        params_by_spec[spec] = {
+            group.name: dict(measurement.device_params[group.name])
+            for group in topology.groups
+        }
+    assert len(params_by_spec) >= count // 2, "too few simulatable designs"
+
+    class _Oracle(SizingModel):
+        def __init__(self):
+            builder = SequenceBuilder(topology, SequenceConfig())
+            super().__init__(
+                transformer=None, bpe=None, vocab=None,
+                sequence_config=builder.config,
+                builders={topology.name: builder},
+                luts=_oracle_luts(),
+            )
+
+        def predict_params(self, topology_name, spec, max_len=None):
+            values = {g: dict(p) for g, p in params_by_spec[spec].items()}
+            return ParsedParams(values=values, complete=True), f"<oracle:{spec.gain_db:.4f}>"
+
+        def predict_params_many(self, specs_by_topology, max_len=None):
+            return {
+                name: [self.predict_params(name, spec, max_len) for spec in specs]
+                for name, specs in specs_by_topology.items()
+            }
+
+    return _Oracle(), list(params_by_spec)
+
+
+def _oracle_luts():
+    from repro.devices import NMOS_65NM, PMOS_65NM
+    from repro.lut import build_lut
+
+    return {NMOS_65NM.name: build_lut(NMOS_65NM), PMOS_65NM.name: build_lut(PMOS_65NM)}
+
+
+def test_table8_verification_throughput(topologies):
+    """Round-batched Stage IV vs the sequential verification backend:
+    bit-identical responses, >=2x wall-clock on a multi-request round.
+
+    The engine round is driven by a measured-oracle model (no training),
+    so the timed difference isolates the verification stage: one
+    ``measure_many`` over the round's candidates vs one ``measure`` per
+    candidate through the same engine code path.
+    """
+    topology = topologies["5T-OTA"]
+    model, specs = _measured_oracle(topology, N_VERIFY_ROUND, np.random.default_rng(17))
+    requests = [
+        SizingRequest(topology=topology.name, spec=spec, id=f"verify-{i}", max_iterations=1)
+        for i, spec in enumerate(specs)
+    ]
+
+    def run(inner_backend):
+        backend = _TimedBackend(inner_backend)
+        engine = SizingEngine(model, cache_size=0, backend=backend)
+        engine.adopt_topology(topology)
+        return engine.size_batch(requests), backend
+
+    # Warm both paths (imports, first-touch allocations).
+    run(ScalarBackend())
+    run(BatchedBackend())
+
+    scalar_s, batched_s = float("inf"), float("inf")
+    for _ in range(VERIFY_REPEATS):
+        scalar_responses, scalar_backend = run(ScalarBackend())
+        scalar_s = min(scalar_s, scalar_backend.seconds)
+        batched_responses, batched_backend = run(BatchedBackend())
+        batched_s = min(batched_s, batched_backend.seconds)
+
+    # Parity: bit-identical responses, request by request.
+    for reference, response in zip(scalar_responses, batched_responses):
+        assert reference.request_id == response.request_id
+        assert reference.success == response.success
+        assert reference.widths == response.widths
+        assert reference.iterations == response.iterations
+        assert reference.spice_simulations == response.spice_simulations
+        assert (reference.metrics is None) == (response.metrics is None)
+        if reference.metrics is not None:
+            assert np.array_equal(
+                reference.metrics.as_array(), response.metrics.as_array(), equal_nan=True
+            )
+
+    # The whole round's surviving candidates shared one bulk call.
+    assert batched_backend.calls == 1
+    assert batched_backend.candidates == scalar_backend.candidates
+    assert batched_backend.candidates >= len(requests) // 2
+
+    verified = batched_backend.candidates
+    speedup = scalar_s / batched_s
+    lines = [
+        "Table VIII addendum -- Stage IV verification throughput (round-batched)",
+        "",
+        f"round: {len(requests)} copilot requests, {verified} verifiable candidates, "
+        f"best of {VERIFY_REPEATS} runs",
+        f"sequential per-candidate backend: {scalar_s:8.3f} s "
+        f"({verified / scalar_s:7.1f} verifications/s)",
+        f"round-batched measure_many path: {batched_s:8.3f} s "
+        f"({verified / batched_s:7.1f} verifications/s)",
+        f"verification-stage speedup: {speedup:.1f}x",
+        "responses: bit-identical to the sequential backend",
+    ]
+    write_result("table8_verification_throughput", lines)
+
+    assert speedup >= 2.0

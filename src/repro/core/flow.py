@@ -76,6 +76,7 @@ class SizingFlow:
         model: SizingModel,
         width_bounds: tuple[float, float] = (0.1e-6, 200e-6),
         max_candidate_spread: float = 5.0,
+        backend=None,
     ):
         # Local import: repro.service builds on repro.core.
         from ..service.engine import SizingEngine
@@ -87,6 +88,7 @@ class SizingFlow:
             cache_size=0,
             width_bounds=width_bounds,
             max_candidate_spread=max_candidate_spread,
+            backend=backend,
         )
         self._engine.adopt_topology(topology)
 
@@ -145,12 +147,14 @@ class SizingFlow:
         max_iterations: int = 6,
         rel_tol: float = 0.0,
     ) -> list[SizingResult]:
-        """Run the flow for many specifications with batched inference.
+        """Run the flow for many specifications with batched inference
+        and batched verification.
 
         Every copilot round fuses all still-active specs into one greedy
-        decode (``SizingEngine.size_results``); results are bit-identical
-        to calling :meth:`size` per spec, in input order, with full
-        iteration traces.
+        decode (``SizingEngine.size_results``) and verifies the round's
+        surviving candidates in one ``measure_many`` call; results are
+        bit-identical to calling :meth:`size` per spec, in input order,
+        with full iteration traces.
         """
         from ..service.requests import SizingRequest
 

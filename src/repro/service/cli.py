@@ -201,6 +201,7 @@ def _run_size(args: argparse.Namespace) -> int:
         stats = engine.stats
         print(
             f"requests={stats.requests} cache_hits={stats.cache_hits} "
+            f"coalesced={stats.coalesced} "
             f"batches={stats.batches} inference_calls={stats.inference_calls} "
             f"inference_sequences={stats.inference_sequences} "
             f"inference_seconds={stats.inference_seconds:.2f} "

@@ -6,13 +6,17 @@ loop is *round based*: every copilot iteration, all still-active requests
 are grouped by topology (serialization and parsing are per-topology) and
 translated in one greedy decode whose batch spans the whole round — one
 model serves every topology, so the fusion crosses topology boundaries
-(Stage I/II).  Each request then independently runs width estimation
-(Stage III) and one verification simulation (Stage IV).  Throughput
-therefore scales with the batch size instead of with Python loop
-iterations, while per-request semantics — margin allocation, retry
-nudges, iteration accounting — stay identical to the sequential
-``SizingFlow.size`` path (the parity tests pin bit-identical decoded
-texts and widths).
+(Stage I/II).  Each request then runs width estimation (Stage III), and
+the round's verifiable candidates are verified together: one
+``measure_many`` call per topology through the engine's pluggable
+:class:`~repro.solvers.EvalBackend` (Stage IV), so the verification
+SPICE simulations of a round share one stacked complex MNA factorization
+instead of running one at a time.  Throughput therefore scales with the
+batch size instead of with Python loop iterations, while per-request
+semantics — margin allocation, retry nudges, iteration accounting,
+per-candidate ``ConvergenceError`` isolation — stay identical to the
+sequential ``SizingFlow.size`` path (the parity tests pin bit-identical
+decoded texts, widths and traces).
 
 A bounded LRU cache keyed by (topology, quantized spec) absorbs repeated
 and near-duplicate requests without touching the transformer at all.
@@ -39,8 +43,9 @@ from ..core.margin import tighten_spec
 from ..core.specs import DesignSpec
 from ..datagen.serialize import ParsedParams
 from ..lut import DeviceParams, estimate_width
-from ..spice import ConvergenceError, PerformanceMetrics
-from ..topologies import OTATopology, topology_by_name
+from ..solvers.backend import BatchedBackend, EvalBackend
+from ..spice import PerformanceMetrics
+from ..topologies import MeasureOutcome, OTATopology, topology_by_name
 from .cache import ResultCache
 from .requests import SizingRequest, SizingResponse
 
@@ -57,6 +62,9 @@ class EngineStats:
 
     requests: int = 0
     cache_hits: int = 0
+    #: In-batch exact duplicates coalesced onto a leader's computation
+    #: (no cache lookup involved, so not counted under ``cache_hits``).
+    coalesced: int = 0
     batches: int = 0
     inference_calls: int = 0
     inference_sequences: int = 0
@@ -97,9 +105,13 @@ class SizingEngine:
         cache_size: int = 256,
         width_bounds: tuple[float, float] = (0.1e-6, 200e-6),
         max_candidate_spread: float = 5.0,
+        backend: Optional[EvalBackend] = None,
     ):
         self.model = model
         self.width_bounds = width_bounds
+        #: Stage IV evaluation strategy, shared with registry-dispatched
+        #: solvers so SPICE-call accounting flows through one place.
+        self.backend = backend if backend is not None else BatchedBackend()
         #: Reject an inference whose Algorithm-1 width candidates disagree
         #: by more than this relative spread: wildly inconsistent predicted
         #: parameters cannot describe any physical device, so re-inferring
@@ -197,13 +209,32 @@ class SizingEngine:
             outputs = self._infer_round(
                 {name: [s.current for s in group] for name, group in by_topology.items()}
             )
+            # Stage III for every request of the round; the candidates that
+            # survive width estimation queue up for one bulk verification
+            # per topology instead of one simulation per request.
+            verifiable: dict[str, list[tuple[_ActiveRequest, dict[str, float]]]] = {}
             for name, group in by_topology.items():
                 for state, (parsed, text) in zip(group, outputs[name]):
-                    self._advance(state, parsed, text)
+                    widths = self._stage_iii(state, parsed, text)
+                    if widths is not None:
+                        verifiable.setdefault(name, []).append((state, widths))
+            for name, pairs in verifiable.items():
+                outcomes = self.backend.measure_many(
+                    pairs[0][0].topology, [widths for _, widths in pairs]
+                )
+                for (state, widths), outcome in zip(pairs, outcomes):
+                    self._stage_iv(state, widths, outcome)
             active = [s for s in active if s.result is None]
 
-    def _advance(self, s: _ActiveRequest, parsed: ParsedParams, text: str) -> None:
-        """Consume one inference result: Stage III + Stage IV for one request."""
+    def _stage_iii(
+        self, s: _ActiveRequest, parsed: ParsedParams, text: str
+    ) -> Optional[dict[str, float]]:
+        """Consume one inference result: record the decode, estimate widths.
+
+        Returns the width vector to verify, or ``None`` when this iteration
+        produced nothing verifiable (the request was nudged for the next
+        round and finished if its budget ran out).
+        """
         s.iteration += 1
         s.decoded_texts.append(text)
         requested = s.current
@@ -212,24 +243,34 @@ class SizingEngine:
             s.trace.append(IterationTrace(requested, text, False, None, None, False))
             # Unparseable output: nudge the request and retry inference.
             s.current = requested.scaled(_NUDGE)
-            return self._finish_if_exhausted(s)
+            self._finish_if_exhausted(s)
+            return None
 
         widths = self.widths_from_params(s.topology, parsed.values)
         if widths is None:
             s.trace.append(IterationTrace(requested, text, True, None, None, False))
             s.current = requested.scaled(_NUDGE)
-            return self._finish_if_exhausted(s)
+            self._finish_if_exhausted(s)
+            return None
+        return widths
 
-        try:
-            measurement = s.topology.measure(widths)
-        except ConvergenceError:
+    def _stage_iv(
+        self, s: _ActiveRequest, widths: dict[str, float], outcome: MeasureOutcome
+    ) -> None:
+        """Judge one verification outcome exactly as the sequential path."""
+        requested = s.current
+        text = s.decoded_texts[-1]
+
+        if not outcome.ok:
+            # Non-converging design (the backend's per-candidate stand-in
+            # for ConvergenceError): costs no simulation, nudge and retry.
             s.trace.append(IterationTrace(requested, text, True, widths, None, False))
             s.current = requested.scaled(_NUDGE)
             return self._finish_if_exhausted(s)
 
         s.spice_count += 1
         self.stats.spice_simulations += 1
-        metrics = measurement.metrics
+        metrics = outcome.result.metrics
         satisfied = s.original.satisfied(metrics, rel_tol=s.request.rel_tol)
         s.trace.append(IterationTrace(requested, text, True, widths, metrics, satisfied))
 
@@ -308,7 +349,7 @@ class SizingEngine:
         except KeyError as error:
             return error_response(str(error))
 
-        solver = factory(topology, model=self.model)
+        solver = factory(topology, model=self.model, backend=self.backend)
         spec = request.spec
         if request.rel_tol:
             derate = 1.0 - request.rel_tol
@@ -425,7 +466,7 @@ class SizingEngine:
                 )
                 if key in leaders:
                     followers[index] = leaders[key]
-                    self.stats.cache_hits += 1
+                    self.stats.coalesced += 1
                     continue
                 leaders[key] = index
             states[index] = _ActiveRequest(request, topology)
@@ -438,6 +479,7 @@ class SizingEngine:
             response = SizingResponse(
                 request_id=state.request.id,
                 topology=state.request.topology,
+                method=state.request.method,
                 success=result.success,
                 widths=result.widths,
                 metrics=result.metrics,

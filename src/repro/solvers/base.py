@@ -119,6 +119,11 @@ class SearchObjective:
         self.best_widths: Optional[dict[str, float]] = None
         self.best_metrics: Optional[PerformanceMetrics] = None
         self.history: list[float] = []
+        #: Running minimum over *observed* objective values, penalties
+        #: included — what ``history`` records.  Unlike ``best_value`` it
+        #: is finite from the very first SPICE call (a penalized candidate
+        #: scored PENALTY; it did not score infinity).
+        self._best_seen = float("inf")
 
     def evaluate_many(self, points: Sequence[np.ndarray]) -> np.ndarray:
         """Evaluate a population of normalized points; lower is better."""
@@ -144,7 +149,12 @@ class SearchObjective:
                 self.best_value = value
                 self.best_widths = widths
                 self.best_metrics = metrics
-        self.history.append(self.best_value)
+        # ``best_value`` stays inf until the first simulatable candidate;
+        # history records the best *observed* value instead (an
+        # all-penalized prefix records PENALTY, not Infinity), keeping
+        # every entry finite, JSON-serializable and monotone.
+        self._best_seen = min(self._best_seen, value)
+        self.history.append(self._best_seen)
         return value
 
     @property

@@ -81,7 +81,10 @@ class CopilotSolver(Solver):
                 raise ValueError("CopilotSolver needs a trained model= or an engine=")
             from ..service.engine import SizingEngine
 
-            engine = SizingEngine(model, cache_size=0)
+            # The solver's backend becomes the engine's Stage IV strategy,
+            # so verification accounting flows through the same place as
+            # the search-based solvers'.
+            engine = SizingEngine(model, cache_size=0, backend=self.backend)
         engine.adopt_topology(topology)
         self.engine = engine
         self.rel_tol = rel_tol

@@ -62,17 +62,21 @@ def crossing_frequency(
     mags = np.asarray(magnitude_db, dtype=float)
     if freqs.shape != mags.shape or freqs.ndim != 1:
         raise ValueError("frequencies and magnitude_db must be 1-D and equal length")
+    # Vectorized sign-change scan (this runs once per metric per candidate
+    # on the Stage IV hot path): a crossing is a grid interval whose left
+    # edge is at-or-above the level and whose right edge is below.
     above = mags >= level_db
-    for i in range(len(freqs) - 1):
-        if above[i] and not above[i + 1]:
-            # Linear interpolation in (log f, dB) space.
-            log_f1, log_f2 = np.log10(freqs[i]), np.log10(freqs[i + 1])
-            m1, m2 = mags[i], mags[i + 1]
-            if m1 == m2:
-                return float(freqs[i])
-            frac = (m1 - level_db) / (m1 - m2)
-            return float(10.0 ** (log_f1 + frac * (log_f2 - log_f1)))
-    return float("nan")
+    crossings = np.nonzero(above[:-1] & ~above[1:])[0]
+    if crossings.size == 0:
+        return float("nan")
+    i = int(crossings[0])
+    # Linear interpolation in (log f, dB) space.
+    log_f1, log_f2 = np.log10(freqs[i]), np.log10(freqs[i + 1])
+    m1, m2 = mags[i], mags[i + 1]
+    if m1 == m2:
+        return float(freqs[i])
+    frac = (m1 - level_db) / (m1 - m2)
+    return float(10.0 ** (log_f1 + frac * (log_f2 - log_f1)))
 
 
 def extract_metrics(result: ACResult, output_node: str) -> PerformanceMetrics:

@@ -2,7 +2,10 @@
 
 The parity tests are the contract of the service redesign: batched
 decoding (padded sources, per-sequence EOS) must produce *bit-identical*
-decoded texts and widths to the sequential ``SizingFlow.size`` path.
+decoded texts and widths to the sequential ``SizingFlow.size`` path, and
+the round-batched Stage IV (one ``measure_many`` per topology per round)
+must produce bit-identical traces and accounting to the sequential
+per-candidate verification backend.
 """
 
 import json
@@ -15,6 +18,7 @@ from repro.core import DesignSpec, PipelineConfig, SizingFlow, train_sizing_mode
 from repro.core.bundle import SizingModel
 from repro.datagen import SequenceBuilder, SequenceConfig
 from repro.service import ResultCache, SizingEngine, SizingRequest, SizingResponse
+from repro.solvers import BatchedBackend, ScalarBackend
 from repro.spice import PerformanceMetrics
 from repro.topologies import (
     FiveTransistorOTA,
@@ -315,6 +319,9 @@ class TestBatchedDecodeParity:
         engine = SizingEngine(tiny_artifacts.model, cache_size=0)
         responses = engine.size_batch(requests)
         assert [r.request_id for r in responses] == [r.id for r in requests]
+        # The wire schema stamps the request's method explicitly, never
+        # relying on the dataclass default.
+        assert [r.method for r in responses] == ["copilot"] * len(requests)
         for result, response in zip(sequential, responses):
             assert [t.decoded_text for t in result.trace] == list(response.decoded_texts)
             assert result.widths == response.widths
@@ -450,6 +457,41 @@ class TestEngineServing:
         assert responses[2].widths == responses[0].widths
         assert engine.stats.spice_simulations == 2
 
+    def test_cache_and_coalesce_counters_agree(self, oracle_setup):
+        """``EngineStats.cache_hits`` must mirror ``ResultCache.hits``;
+        in-batch duplicate followers are counted under ``coalesced``."""
+        engine, model, records = self._engine(oracle_setup, cache_size=16)
+        warm = self._achievable(records[0], id="warm")
+        engine.size(warm)  # populates the cache (a miss on the way in)
+        requests = [
+            self._achievable(records[0], id="hit"),       # cache hit
+            self._achievable(records[1], id="lead"),
+            self._achievable(records[1], id="dupe"),      # in-batch duplicate
+            self._achievable(records[2], id="fresh"),
+        ]
+        responses = engine.size_batch(requests)
+        assert [r.request_id for r in responses] == ["hit", "lead", "dupe", "fresh"]
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.coalesced == 1
+        # The drift this pins: engine counters and cache counters agree.
+        assert engine.stats.cache_hits == engine.cache.hits
+        # warm, lead, dupe and fresh consulted the cache and missed (the
+        # duplicate coalesces on the in-batch leader, not on the cache).
+        assert engine.cache.misses == 4
+
+    def test_responses_stamp_request_method(self, oracle_setup):
+        """Success, failure and error responses all carry the request's
+        method explicitly (never the dataclass default)."""
+        engine, model, records = self._engine(oracle_setup, cache_size=16)
+        ok = engine.size(self._achievable(records[0]))
+        assert ok.success and ok.method == "copilot"
+        failed = engine.size(
+            SizingRequest.for_spec("5T-OTA", 90.0, 1e9, 1e11, max_iterations=1)
+        )
+        assert not failed.success and failed.method == "copilot"
+        error = engine.size(SizingRequest.for_spec("MISSING-OTA", 25.0, 5e6, 8e7))
+        assert error.error is not None and error.method == "copilot"
+
     def test_unknown_topology_yields_error_response(self, oracle_setup):
         engine, model, records = self._engine(oracle_setup, cache_size=0)
         good = self._achievable(records[0])
@@ -525,6 +567,241 @@ class TestEngineServing:
         assert result.success
         assert result.single_simulation
         assert model.batch_calls == 0  # sequential facade stays single-shot
+
+
+# ----------------------------------------------------------------------
+# Round-batched Stage IV parity with the sequential verification backend
+# ----------------------------------------------------------------------
+class _MixedOracleModel(SizingModel):
+    """The oracle stand-in generalized to several topologies: answers each
+    request with the parameters of that topology's closest dataset design."""
+
+    def __init__(self, topologies, records_by_name, luts):
+        builders = {
+            topology.name: SequenceBuilder(topology, SequenceConfig())
+            for topology in topologies
+        }
+        super().__init__(
+            transformer=None,
+            bpe=None,
+            vocab=None,
+            sequence_config=SequenceConfig(),
+            builders=builders,
+            luts=luts,
+        )
+        self._records = records_by_name
+
+    def predict_params(self, topology_name, spec, max_len=None):
+        from repro.datagen.serialize import ParsedParams
+
+        def distance(record):
+            return (
+                abs(np.log(record.gain_db / spec.gain_db))
+                + abs(np.log(record.f3db_hz / spec.f3db_hz))
+                + abs(np.log(record.ugf_hz / spec.ugf_hz))
+            )
+
+        best = min(self._records[topology_name], key=distance)
+        values = {g: dict(p) for g, p in best.device_params.items()}
+        return ParsedParams(values=values, complete=True), f"<oracle:{best.gain_db:.3f}>"
+
+    def predict_params_many(self, specs_by_topology, max_len=None):
+        return {
+            name: [self.predict_params(name, spec, max_len) for spec in specs]
+            for name, specs in specs_by_topology.items()
+        }
+
+
+@pytest.fixture(scope="module")
+def mixed_oracle_setup():
+    """Small measured datasets for both paper topologies plus shared LUTs."""
+    from repro.datagen import DesignFilter, generate_dataset
+    from repro.devices import NMOS_65NM, PMOS_65NM
+    from repro.lut import build_lut
+
+    topologies = {name: topology_by_name(name) for name in ("5T-OTA", "CM-OTA")}
+    records_by_name = {}
+    for seed, (name, topology) in enumerate(topologies.items(), start=21):
+        dataset = generate_dataset(
+            topology, 6, np.random.default_rng(seed),
+            design_filter=DesignFilter(topology, check_icmr=False),
+            max_attempts=400,
+        )
+        assert len(dataset) >= 3
+        records_by_name[name] = dataset.records
+    luts = {NMOS_65NM.name: build_lut(NMOS_65NM), PMOS_65NM.name: build_lut(PMOS_65NM)}
+    return topologies, records_by_name, luts
+
+
+class _CountingBackend(BatchedBackend):
+    """Records every bulk verification call: (topology name, #candidates)."""
+
+    def __init__(self):
+        self.calls: list[tuple[str, int]] = []
+
+    def measure_many(self, topology, widths_list):
+        self.calls.append((topology.name, len(widths_list)))
+        return super().measure_many(topology, widths_list)
+
+
+class _PoisonWidthOTA(FiveTransistorOTA):
+    """5T-OTA whose build plants an unsatisfiable current source when the
+    marker M1 width appears — a deterministic ConvergenceError generator
+    *inside* an engine round (the widths come out of Stage III)."""
+
+    def __init__(self, poison_width):
+        super().__init__()
+        self._poison = poison_width
+
+    def build(self, widths, vcm=None):
+        circuit = super().build(widths, vcm=vcm)
+        if widths.get("M1") == self._poison:
+            circuit.add_isource("IPOISON", "poison", "0", dc=1.0)
+        return circuit
+
+
+def _assert_responses_identical(sequential, batched):
+    """Field-by-field bit-identity of two response lists."""
+    assert len(sequential) == len(batched)
+    for ref, got in zip(sequential, batched):
+        assert ref.request_id == got.request_id
+        assert ref.success == got.success
+        assert ref.widths == got.widths
+        assert ref.iterations == got.iterations
+        assert ref.spice_simulations == got.spice_simulations
+        assert ref.decoded_texts == got.decoded_texts
+        assert (ref.metrics is None) == (got.metrics is None)
+        if ref.metrics is not None:
+            assert np.array_equal(
+                ref.metrics.as_array(), got.metrics.as_array(), equal_nan=True
+            )
+
+
+class TestBatchedStageIVParity:
+    """The tentpole contract: routing Stage IV through ``measure_many``
+    changes throughput, never results."""
+
+    def _engines(self, oracle_setup, topology=None):
+        setup_topology, records, luts = oracle_setup
+        engines = []
+        for backend in (ScalarBackend(), BatchedBackend()):
+            model = _BatchedOracleModel(setup_topology, records, luts)
+            engine = SizingEngine(model, cache_size=0, backend=backend)
+            engine.adopt_topology(topology if topology is not None else setup_topology)
+            engines.append(engine)
+        return engines
+
+    def _requests(self, records, **kwargs):
+        return [
+            SizingRequest.for_spec(
+                "5T-OTA",
+                r.gain_db * 0.995,
+                r.f3db_hz * 0.98,
+                r.ugf_hz * 0.98,
+                id=f"p-{i}",
+                **kwargs,
+            )
+            for i, r in enumerate(records)
+        ]
+
+    def test_round_batched_verification_matches_sequential(self, oracle_setup):
+        _, records, _ = oracle_setup
+        engine_seq, engine_batched = self._engines(oracle_setup)
+        requests = self._requests(records[:4])
+        sequential = engine_seq.size_batch(requests)
+        batched = engine_batched.size_batch(requests)
+        _assert_responses_identical(sequential, batched)
+        assert engine_seq.stats.spice_simulations == engine_batched.stats.spice_simulations
+        # Traces too (size_results exposes them): requested specs, parse
+        # flags, widths, metrics and verdicts, iteration by iteration.
+        traces_seq = engine_seq.size_results(requests)
+        traces_batched = engine_batched.size_results(requests)
+        for ref, got in zip(traces_seq, traces_batched):
+            assert len(ref.trace) == len(got.trace)
+            for t_ref, t_got in zip(ref.trace, got.trace):
+                assert t_ref.requested_spec == t_got.requested_spec
+                assert t_ref.parsed_ok == t_got.parsed_ok
+                assert t_ref.widths == t_got.widths
+                assert t_ref.satisfied == t_got.satisfied
+
+    def test_one_measure_many_call_per_round(self, oracle_setup):
+        """All verifiable candidates of a round share one backend call."""
+        topology, records, luts = oracle_setup
+        model = _BatchedOracleModel(topology, records, luts)
+        backend = _CountingBackend()
+        engine = SizingEngine(model, cache_size=0, backend=backend)
+        engine.adopt_topology(topology)
+        requests = self._requests(records[:4], max_iterations=1)
+        engine.size_batch(requests)
+        assert backend.calls == [("5T-OTA", 4)]
+
+    def test_poisoned_candidate_inside_a_round_is_isolated(self, oracle_setup):
+        """One non-converging design must cost its own request a retry and
+        nothing else — identically on both backends."""
+        _, records, _ = oracle_setup
+        # Learn the deterministic Stage III widths of one request, then
+        # poison exactly that design's DC solve.
+        _, probe = self._engines(oracle_setup)
+        requests = self._requests(records[:3], max_iterations=2)
+        probe_response = probe.size_batch([requests[1]])[0]
+        assert probe_response.widths is not None
+        poisoned_topology = _PoisonWidthOTA(probe_response.widths["M1"])
+
+        engine_seq, engine_batched = self._engines(oracle_setup, topology=poisoned_topology)
+        sequential = engine_seq.size_batch(requests)
+        batched = engine_batched.size_batch(requests)
+        _assert_responses_identical(sequential, batched)
+        # The neighbors still verified and sized normally.
+        assert batched[0].success and batched[2].success
+        # The poisoned first iteration consumed no simulation but the
+        # request kept iterating (retry-nudge semantics intact).
+        assert batched[1].iterations == 2
+        assert batched[1].spice_simulations < batched[1].iterations
+
+    def test_zero_iteration_budget_skips_the_backend(self, oracle_setup):
+        topology, records, luts = oracle_setup
+        model = _BatchedOracleModel(topology, records, luts)
+        backend = _CountingBackend()
+        engine = SizingEngine(model, cache_size=0, backend=backend)
+        engine.adopt_topology(topology)
+        responses = engine.size_batch(self._requests(records[:2], max_iterations=0))
+        assert all(not r.success and r.iterations == 0 for r in responses)
+        assert all(r.spice_simulations == 0 for r in responses)
+        assert backend.calls == []
+
+    def test_mixed_topology_round_groups_by_topology(self, mixed_oracle_setup):
+        """Mixed-topology batches verify per topology, bit-identically to
+        the sequential backend."""
+        topologies, records_by_name, luts = mixed_oracle_setup
+        requests = []
+        for name, records in records_by_name.items():
+            for i, record in enumerate(records[:3]):
+                requests.append(
+                    SizingRequest.for_spec(
+                        name,
+                        record.gain_db * 0.995,
+                        record.f3db_hz * 0.98,
+                        record.ugf_hz * 0.98,
+                        id=f"{name}-{i}",
+                        max_iterations=2,
+                    )
+                )
+
+        def engine(backend):
+            model = _MixedOracleModel(topologies.values(), records_by_name, luts)
+            eng = SizingEngine(model, cache_size=0, backend=backend)
+            for topology in topologies.values():
+                eng.adopt_topology(topology)
+            return eng
+
+        counting = _CountingBackend()
+        sequential = engine(ScalarBackend()).size_batch(requests)
+        batched = engine(counting).size_batch(requests)
+        _assert_responses_identical(sequential, batched)
+        # Round 1: one bulk verification per topology, spanning all of its
+        # surviving candidates (the oracle's decodes all survive Stage III).
+        assert counting.calls[:2] == [("5T-OTA", 3), ("CM-OTA", 3)]
+        assert {name for name, _ in counting.calls} <= {"5T-OTA", "CM-OTA"}
 
 
 # ----------------------------------------------------------------------

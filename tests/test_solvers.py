@@ -19,8 +19,11 @@ from repro.datagen.serialize import ParsedParams
 from repro.devices import NMOS_65NM, PMOS_65NM
 from repro.service import SizingEngine, SizingRequest
 from repro.solvers import (
+    PENALTY,
     BatchedBackend,
+    EvalBackend,
     ScalarBackend,
+    SearchObjective,
     SearchSolver,
     SearchSpace,
     SolveResult,
@@ -175,6 +178,96 @@ class TestMeasureManyParity:
             assert np.array_equal(
                 s.result.metrics.as_array(), b.result.metrics.as_array(), equal_nan=True
             )
+
+
+# ----------------------------------------------------------------------
+# SearchObjective history bookkeeping
+# ----------------------------------------------------------------------
+class _FailingBackend(EvalBackend):
+    """Every candidate fails to simulate — an all-penalized generation."""
+
+    def measure_many(self, topology, widths_list):
+        from repro.topologies import MeasureOutcome
+
+        return [
+            MeasureOutcome(widths=dict(widths), error="synthetic failure")
+            for widths in widths_list
+        ]
+
+
+class TestSearchObjectiveHistory:
+    def test_all_penalized_first_generation_records_finite_history(self, five_t_module, easy_spec):
+        """Before the first simulatable candidate, ``best_value`` is inf;
+        recorded history must clamp to PENALTY (finite, JSON-safe) instead
+        of leaking Infinity into serialization and convergence plots."""
+        import json
+
+        objective = SearchObjective(five_t_module, easy_spec, backend=_FailingBackend())
+        points = [np.full(objective.space.dimension, 0.5) for _ in range(4)]
+        values = objective.evaluate_many(points)
+        assert list(values) == [PENALTY] * 4
+        assert objective.history == [PENALTY] * 4
+        assert np.all(np.isfinite(objective.history))
+        # JSON round trip: would raise/produce Infinity before the fix.
+        assert json.loads(json.dumps(objective.history)) == objective.history
+
+    def test_history_recovers_after_first_simulatable_candidate(self, five_t_module, easy_spec):
+        objective = SearchObjective(five_t_module, easy_spec)
+        failing = SearchObjective(five_t_module, easy_spec, backend=_FailingBackend())
+        point = np.full(objective.space.dimension, 0.5)
+        failing.history.extend([PENALTY, PENALTY])  # simulate a dead generation
+        value = float(objective.evaluate_many(point[None, :])[0])
+        failing.backend = objective.backend
+        failing.evaluate_many(point[None, :])
+        assert failing.history == [PENALTY, PENALTY, min(value, PENALTY)]
+        # Best-so-far stays monotonically non-increasing and finite.
+        history = np.array(failing.history, dtype=float)
+        assert np.all(np.isfinite(history))
+        assert np.all(np.diff(history) <= 0.0 + 1e-12)
+
+    def test_simulatable_candidate_worse_than_penalty_recorded_truthfully(self, five_t_module):
+        """A candidate that simulates but scores worse than PENALTY (e.g. a
+        deeply negative gain) must be recorded as-is — never replaced by a
+        clamped value no candidate ever achieved."""
+        from types import SimpleNamespace
+
+        from repro.spice import PerformanceMetrics
+        from repro.topologies import MeasureOutcome
+
+        class _TerribleBackend(EvalBackend):
+            def measure_many(self, topology, widths_list):
+                metrics = PerformanceMetrics(gain_db=-140.0, f3db_hz=1.0, ugf_hz=1.0)
+                return [
+                    MeasureOutcome(widths=dict(w), result=SimpleNamespace(metrics=metrics))
+                    for w in widths_list
+                ]
+
+        spec = DesignSpec(10.0, 1e6, 1e8)
+        objective = SearchObjective(five_t_module, spec, backend=_TerribleBackend())
+        point = np.full(objective.space.dimension, 0.5)
+        value = float(objective.evaluate_many(point[None, :])[0])
+        assert value > PENALTY  # the scenario this test is about
+        assert objective.history == [value]
+        assert objective.best_value == value
+        # ...and once a penalized candidate scores better (PENALTY < value),
+        # the best *seen* is the penalty, monotone from there on.
+        objective.backend = _FailingBackend()
+        objective.evaluate_many(point[None, :])
+        objective.backend = _TerribleBackend()
+        objective.evaluate_many(point[None, :])
+        assert objective.history == [value, PENALTY, PENALTY]
+
+    def test_solver_history_json_safe_when_nothing_simulates(self, five_t_module, easy_spec):
+        """A whole solver run over a dead backend yields a finite,
+        JSON-round-trippable history."""
+        import json
+
+        solver = solvers.create("pso", five_t_module, backend=_FailingBackend())
+        result = solver.solve(easy_spec, budget=24, rng=np.random.default_rng(1))
+        assert not result.success
+        assert len(result.history) == result.spice_calls
+        assert result.history == [PENALTY] * result.spice_calls
+        assert json.loads(json.dumps(result.history)) == result.history
 
 
 # ----------------------------------------------------------------------

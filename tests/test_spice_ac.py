@@ -123,6 +123,54 @@ class TestMetricExtraction:
         mags = np.array([5.0, 5.0, 5.0])
         assert np.isnan(crossing_frequency(freqs, mags, 0.0))
 
+    def test_level_above_response_returns_nan(self):
+        """A response entirely below the level never crosses from above."""
+        freqs = np.array([1.0, 10.0, 100.0])
+        mags = np.array([5.0, 4.0, 3.0])
+        assert np.isnan(crossing_frequency(freqs, mags, 10.0))
+
+    def test_first_point_crossing(self):
+        """Crossing within the very first grid interval."""
+        freqs = np.array([1.0, 10.0, 100.0])
+        mags = np.array([20.0, 5.0, 1.0])
+        frac = (20.0 - 10.0) / (20.0 - 5.0)
+        expected = 10.0 ** (0.0 + frac * (np.log10(10.0) - np.log10(1.0)))
+        assert crossing_frequency(freqs, mags, 10.0) == expected
+
+    def test_flat_segment_before_crossing(self):
+        """A flat at-level plateau: the crossing interval starts at the
+        plateau's last point, and interpolation lands exactly on it."""
+        freqs = np.array([1.0, 10.0, 100.0])
+        mags = np.array([20.0, 20.0, 0.0])
+        assert crossing_frequency(freqs, mags, 20.0) == 10.0
+
+    def test_vectorized_scan_matches_reference_loop(self):
+        """Bit-identity pin of the numpy sign-change scan against the
+        original pure-Python loop, over random grids (NaN tails included)."""
+
+        def reference(freqs, mags, level_db):
+            above = mags >= level_db
+            for i in range(len(freqs) - 1):
+                if above[i] and not above[i + 1]:
+                    log_f1, log_f2 = np.log10(freqs[i]), np.log10(freqs[i + 1])
+                    m1, m2 = mags[i], mags[i + 1]
+                    if m1 == m2:
+                        return float(freqs[i])
+                    frac = (m1 - level_db) / (m1 - m2)
+                    return float(10.0 ** (log_f1 + frac * (log_f2 - log_f1)))
+            return float("nan")
+
+        rng = np.random.default_rng(8)
+        freqs = np.logspace(0, 9, 181)
+        for case in range(50):
+            mags = np.cumsum(rng.normal(-0.5, 2.0, freqs.size))
+            if case % 5 == 0:
+                mags[-rng.integers(1, 20):] = np.nan  # unresolved band edge
+            for level in (-10.0, 0.0, float(mags[0]), 10.0):
+                expected = reference(freqs, mags, level)
+                got = crossing_frequency(freqs, mags, level)
+                assert (np.isnan(expected) and np.isnan(got)) or expected == got
+
     def test_shape_mismatch_rejected(self):
         with pytest.raises(ValueError):
             crossing_frequency(np.array([1.0, 2.0]), np.array([1.0]), 0.0)
