@@ -26,6 +26,13 @@ copilot round verified through the engine's batched backend (one
 ``measure_many`` per topology per round) vs the sequential per-candidate
 backend, responses pinned bit-identical.  It needs no trained model — a
 measured-oracle stand-in drives the round — so it stays minutes-free.
+
+``test_table8_corner_throughput`` benchmarks the corner-aware evaluation
+refactor (also model-free, also a CI smoke): a population evaluated at
+the tt/ss/ff PVT corners through the stacked-corner batched path (the
+population x corner block shares one DC Newton batch and one stacked AC
+factorization) vs per-corner sequential evaluation, outcomes pinned
+bit-identical per (candidate, corner) pair and >=2x asserted.
 """
 
 import time
@@ -48,6 +55,12 @@ N_BATCH_PER_TOPOLOGY = 11
 #: serving round; matches bench_table9's population scale).
 N_VERIFY_ROUND = 24
 VERIFY_REPEATS = 3
+
+#: Population and repeats of the corner-throughput comparison.
+N_CORNER_POP = 16
+CORNER_REPEATS = 3
+#: PVT corner axis of the corner-throughput comparison.
+CORNER_AXIS = ("tt", "ss", "ff")
 
 PAPER_ROWS = {
     "5T-OTA": "paper: 8.5h train | 95/100 single (37s) | 5/100 multi (111s, ~3 iters)",
@@ -322,5 +335,91 @@ def test_table8_verification_throughput(topologies):
         "responses: bit-identical to the sequential backend",
     ]
     write_result("table8_verification_throughput", lines)
+
+    assert speedup >= 2.0
+
+
+# ----------------------------------------------------------------------
+# Corner-aware evaluation throughput (stacked corners vs per-corner seq)
+# ----------------------------------------------------------------------
+def test_table8_corner_throughput(topologies):
+    """Stacked-corner batched evaluation vs per-corner sequential:
+    bit-identical per-(candidate, corner) outcomes, >=2x wall-clock.
+
+    Model-free: the population is random simulatable designs; the batched
+    path evaluates the whole population x corner block through one
+    ``measure_many(corners=...)`` call (the corner axis stacks into the
+    same batched DC Newton and complex AC factorization as the population
+    axis), the sequential reference measures one (candidate, corner) pair
+    per SPICE run.
+    """
+    from repro.spice import ConvergenceError
+
+    topology = topologies["5T-OTA"]
+    rng = np.random.default_rng(23)
+    space = SearchSpace(topology)
+    population = []
+    attempts = 0
+    while len(population) < N_CORNER_POP and attempts < N_CORNER_POP * 20:
+        attempts += 1
+        widths = space.decode(space.random_point(rng))
+        try:
+            topology.measure(widths)
+        except ConvergenceError:
+            continue
+        population.append(widths)
+    assert len(population) >= N_CORNER_POP // 2, "too few simulatable designs"
+
+    scalar_backend, batched_backend = ScalarBackend(), BatchedBackend()
+    # Warm both paths (imports, first-touch allocations).
+    scalar_backend.measure_many(topology, population[:2], corners=CORNER_AXIS)
+    batched_backend.measure_many(topology, population[:2], corners=CORNER_AXIS)
+
+    scalar_s = batched_s = float("inf")
+    for _ in range(CORNER_REPEATS):
+        start = time.perf_counter()
+        scalar_sweeps = scalar_backend.measure_many(
+            topology, population, corners=CORNER_AXIS
+        )
+        scalar_s = min(scalar_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        batched_sweeps = batched_backend.measure_many(
+            topology, population, corners=CORNER_AXIS
+        )
+        batched_s = min(batched_s, time.perf_counter() - start)
+
+    # Parity: bit-identical outcomes per (candidate, corner) pair.
+    for reference, sweep in zip(scalar_sweeps, batched_sweeps):
+        assert reference.corners == sweep.corners
+        for ref_outcome, outcome in zip(reference.outcomes, sweep.outcomes):
+            assert ref_outcome.ok == outcome.ok
+            if not ref_outcome.ok:
+                continue
+            assert np.array_equal(
+                ref_outcome.result.metrics.as_array(),
+                outcome.result.metrics.as_array(),
+                equal_nan=True,
+            )
+            assert (
+                ref_outcome.result.dc.node_voltages
+                == outcome.result.dc.node_voltages
+            )
+
+    pairs = len(population) * len(CORNER_AXIS)
+    speedup = scalar_s / batched_s
+    lines = [
+        "Table VIII addendum -- corner-aware evaluation throughput",
+        "",
+        f"population: {len(population)} candidates x {len(CORNER_AXIS)} corners "
+        f"({', '.join(CORNER_AXIS)}) = {pairs} evaluations, "
+        f"best of {CORNER_REPEATS} runs",
+        f"per-corner sequential evaluation:  {scalar_s:8.3f} s "
+        f"({pairs / scalar_s:7.1f} evals/s)",
+        f"stacked-corner batched evaluation: {batched_s:8.3f} s "
+        f"({pairs / batched_s:7.1f} evals/s)",
+        f"corner-evaluation speedup: {speedup:.1f}x",
+        "outcomes: bit-identical per (candidate, corner) pair",
+    ]
+    write_result("table8_corner_throughput", lines)
 
     assert speedup >= 2.0

@@ -45,7 +45,13 @@ class IterationTrace:
 
 @dataclass
 class SizingResult:
-    """Outcome of one sizing request."""
+    """Outcome of one sizing request.
+
+    On corner-aware requests, ``metrics`` refers to the binding *worst*
+    corner (a design passes only when every corner passes),
+    ``corner_metrics`` carries the per-corner measurements keyed by corner
+    name, and ``worst_corner`` names the binding corner.
+    """
 
     success: bool
     spec: DesignSpec
@@ -55,6 +61,8 @@ class SizingResult:
     spice_simulations: int
     wall_time_s: float
     trace: list[IterationTrace] = field(default_factory=list)
+    corner_metrics: Optional[dict[str, PerformanceMetrics]] = None
+    worst_corner: Optional[str] = None
 
     @property
     def single_simulation(self) -> bool:
@@ -137,15 +145,25 @@ class SizingFlow:
         spec: DesignSpec,
         max_iterations: int = 6,
         rel_tol: float = 0.0,
+        corners: Sequence = (),
     ) -> SizingResult:
-        """Run the full Fig. 3 flow for one specification."""
-        return self.size_many([spec], max_iterations=max_iterations, rel_tol=rel_tol)[0]
+        """Run the full Fig. 3 flow for one specification.
+
+        ``corners`` (PVT preset names or :class:`~repro.devices.Corner`
+        objects) turns Stage IV into a worst-case-across-corners
+        verification: the result succeeds only when every corner meets the
+        spec, and reports per-corner metrics plus the binding corner.
+        """
+        return self.size_many(
+            [spec], max_iterations=max_iterations, rel_tol=rel_tol, corners=corners
+        )[0]
 
     def size_many(
         self,
         specs: Sequence[DesignSpec],
         max_iterations: int = 6,
         rel_tol: float = 0.0,
+        corners: Sequence = (),
     ) -> list[SizingResult]:
         """Run the flow for many specifications with batched inference
         and batched verification.
@@ -154,7 +172,9 @@ class SizingFlow:
         decode (``SizingEngine.size_results``) and verifies the round's
         surviving candidates in one ``measure_many`` call; results are
         bit-identical to calling :meth:`size` per spec, in input order,
-        with full iteration traces.
+        with full iteration traces.  With ``corners`` the round's
+        verification stacks the corner axis into the same batched solves
+        (see :meth:`size`).
         """
         from ..service.requests import SizingRequest
 
@@ -165,6 +185,7 @@ class SizingFlow:
                 spec=spec,
                 max_iterations=max_iterations,
                 rel_tol=rel_tol,
+                corners=tuple(corners),
             )
             for spec in specs
         ]

@@ -127,3 +127,20 @@ class MOSFET:
             width=width,
             length=self.length,
         )
+
+    def with_tech(self, tech: TechParams) -> "MOSFET":
+        """Return a copy under a different technology parameter set.
+
+        Used by the corner machinery: a PVT corner rebuilds every device of
+        a circuit with skewed ``TechParams`` (and the matching fresh
+        :class:`EKVModel`) while geometry and connectivity stay shared.
+        """
+        return MOSFET(
+            name=self.name,
+            drain=self.drain,
+            gate=self.gate,
+            source=self.source,
+            tech=tech,
+            width=self.width,
+            length=self.length,
+        )

@@ -13,9 +13,11 @@ satisfy the new request's own targets.  Anything else is a miss.
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import replace
 from typing import Hashable, Optional
 
 from ..core.specs import DesignSpec
+from ..topologies import binding_corner
 from .requests import SizingRequest, SizingResponse
 
 __all__ = ["ResultCache", "quantize_spec"]
@@ -44,7 +46,10 @@ class ResultCache:
 
         ``method`` and ``budget`` are part of the key for safety, although
         the engine only consults the cache for deterministic copilot
-        requests (stochastic solver results must not be replayed).
+        requests (stochastic solver results must not be replayed).  The
+        resolved ``corners`` tuple is part of the key too: a worst-case
+        verdict at one corner set says nothing about another, so requests
+        differing only in corners must never collide (pinned by tests).
         """
         return (
             request.topology,
@@ -55,6 +60,7 @@ class ResultCache:
             request.rel_tol,
             request.method,
             request.budget,
+            request.corners,
         )
 
     def __len__(self) -> int:
@@ -72,14 +78,29 @@ class ResultCache:
         if cached_spec == request.spec:
             # Identical request: the flow is deterministic, outcome included.
             return response
-        if (
-            response.success
-            and response.metrics is not None
-            and request.spec.satisfied(response.metrics, rel_tol=request.rel_tol)
-        ):
+        if response.success and response.metrics is not None:
             # Near-duplicate: the cached design measurably meets the new
-            # exact targets too, so success transfers.
-            return response
+            # exact targets too, so success transfers.  Corner-aware
+            # responses must re-validate *every* corner — the headline
+            # ``metrics`` is only the binding worst corner by total
+            # shortfall, which does not dominate per metric.
+            if response.corner_metrics:
+                if all(
+                    request.spec.satisfied(metrics, rel_tol=request.rel_tol)
+                    for metrics in response.corner_metrics.values()
+                ):
+                    # The binding corner is spec-dependent: re-rank the
+                    # per-corner measurements against the *new* request's
+                    # exact targets so worst_corner/headline metrics are
+                    # right for this request, not the cached one.
+                    worst_name, worst_metrics = binding_corner(
+                        request.spec, response.corner_metrics
+                    )
+                    return replace(
+                        response, worst_corner=worst_name, metrics=worst_metrics
+                    )
+            elif request.spec.satisfied(response.metrics, rel_tol=request.rel_tol):
+                return response
         return None
 
     def get(self, request: SizingRequest) -> Optional[SizingResponse]:

@@ -11,9 +11,12 @@ Subcommands:
 
     ``--method`` dispatches every request to a registered solver
     (``copilot`` / ``sa`` / ``pso`` / ``de``), overriding the per-request
-    ``method`` field; ``--budget`` caps each solver's SPICE evaluations::
+    ``method`` field; ``--budget`` caps each solver's SPICE evaluations;
+    ``--corners`` verifies every request worst-case across the named PVT
+    corners::
 
         python -m repro size --bundle path/to/bundle --method pso --budget 400 ...
+        python -m repro size --bundle path/to/bundle --corners tt,ss,ff ...
 
 ``train``
     Run the one-time training pipeline and save the model bundle::
@@ -79,6 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
     size.add_argument("--budget", type=int, default=None,
                       help="per-request SPICE-evaluation budget for the solver "
                            "(copilot: verification iterations)")
+    size.add_argument("--corners", default=None, metavar="C1,C2,...",
+                      help="comma-separated PVT corner presets (tt/ss/ff) applied "
+                           "to every request (overrides the per-request 'corners' "
+                           "field); a request succeeds only when the design meets "
+                           "spec at every corner")
     size.add_argument("--stats", action="store_true",
                       help="print engine serving counters to stderr when done")
 
@@ -127,6 +135,7 @@ def _batched_lines(stream: IO[str], batch_size: int) -> Iterator[list[str]]:
 
 def _run_size(args: argparse.Namespace) -> int:
     from ..core.bundle import SizingModel
+    from ..devices import resolve_corners
 
     if args.method is not None and args.method not in available_solvers():
         print(
@@ -135,6 +144,19 @@ def _run_size(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    corners = None
+    if args.corners is not None:
+        try:
+            corners = resolve_corners(
+                [name.strip() for name in args.corners.split(",") if name.strip()]
+            )
+            if not corners:
+                raise ValueError("no corner names given")
+        except ValueError as error:
+            # An empty override would silently *disable* per-request corner
+            # verification stream-wide; refuse it like a bad preset name.
+            print(f"error: bad --corners: {error}", file=sys.stderr)
+            return 2
     if not (args.bundle / "bundle.json").exists():
         print(
             f"error: no model bundle at {args.bundle} "
@@ -150,6 +172,8 @@ def _run_size(args: argparse.Namespace) -> int:
         overrides["method"] = args.method
     if args.budget is not None:
         overrides["budget"] = args.budget
+    if corners is not None:
+        overrides["corners"] = corners
 
     source = _open_input(args.input)
     sink = _open_output(args.output)

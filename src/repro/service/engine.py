@@ -26,6 +26,13 @@ Requests may also name any registered solver (``method="pso"`` etc., see
 running SPICE-in-the-loop on the batched evaluation backend -- and come
 back in the same response schema, so one service endpoint serves copilot
 and baseline sizing alike.
+
+Requests with a ``corners`` axis are verified **worst-case across PVT
+corners**: each round's candidates are measured at every corner (the
+population x corner block stacks into the same batched solves), margin
+allocation chases the binding worst corner, and success requires every
+corner to meet the spec.  The corner axis is part of the result-cache
+key and of the in-batch coalescing key, so corner sets never cross-talk.
 """
 
 from __future__ import annotations
@@ -79,6 +86,7 @@ class _ActiveRequest:
     __slots__ = (
         "request", "topology", "original", "current", "trace", "decoded_texts",
         "spice_count", "iteration", "best", "best_shortfall", "start", "result",
+        "best_corner_metrics", "best_worst_corner",
     )
 
     def __init__(self, request: SizingRequest, topology: OTATopology):
@@ -92,6 +100,9 @@ class _ActiveRequest:
         self.iteration = 0
         self.best: Optional[tuple[dict[str, float], PerformanceMetrics]] = None
         self.best_shortfall = float("inf")
+        #: Per-corner measurements of the best iterate (corner requests).
+        self.best_corner_metrics: Optional[dict[str, PerformanceMetrics]] = None
+        self.best_worst_corner: Optional[str] = None
         self.start = time.perf_counter()
         self.result: Optional[SizingResult] = None
 
@@ -211,19 +222,29 @@ class SizingEngine:
             )
             # Stage III for every request of the round; the candidates that
             # survive width estimation queue up for one bulk verification
-            # per topology instead of one simulation per request.
-            verifiable: dict[str, list[tuple[_ActiveRequest, dict[str, float]]]] = {}
+            # per (topology, corner axis) instead of one simulation per
+            # request -- corner requests stack population x corners into
+            # the same batched solves.
+            verifiable: dict[tuple, list[tuple[_ActiveRequest, dict[str, float]]]] = {}
             for name, group in by_topology.items():
                 for state, (parsed, text) in zip(group, outputs[name]):
                     widths = self._stage_iii(state, parsed, text)
                     if widths is not None:
-                        verifiable.setdefault(name, []).append((state, widths))
-            for name, pairs in verifiable.items():
-                outcomes = self.backend.measure_many(
-                    pairs[0][0].topology, [widths for _, widths in pairs]
-                )
-                for (state, widths), outcome in zip(pairs, outcomes):
-                    self._stage_iv(state, widths, outcome)
+                        key = (name, state.request.corners)
+                        verifiable.setdefault(key, []).append((state, widths))
+            for (name, corners), pairs in verifiable.items():
+                topology = pairs[0][0].topology
+                widths_list = [widths for _, widths in pairs]
+                if corners:
+                    sweeps = self.backend.measure_many(
+                        topology, widths_list, corners=corners
+                    )
+                    for (state, widths), sweep in zip(pairs, sweeps):
+                        self._stage_iv_corners(state, widths, sweep)
+                else:
+                    outcomes = self.backend.measure_many(topology, widths_list)
+                    for (state, widths), outcome in zip(pairs, outcomes):
+                        self._stage_iv(state, widths, outcome)
             active = [s for s in active if s.result is None]
 
     def _stage_iii(
@@ -297,6 +318,65 @@ class SizingEngine:
         s.current = tighten_spec(requested, s.original, metrics)
         self._finish_if_exhausted(s)
 
+    def _stage_iv_corners(
+        self, s: _ActiveRequest, widths: dict[str, float], sweep
+    ) -> None:
+        """Worst-case Stage IV: one candidate judged across every corner.
+
+        The candidate passes only when **all** corners meet the original
+        spec; the iteration trace and margin allocation run against the
+        binding worst corner (largest total shortfall), so retries tighten
+        toward the hardest operating condition.
+        """
+        requested = s.current
+        text = s.decoded_texts[-1]
+
+        # Partially converged sweeps still burned simulations; count them.
+        s.spice_count += sweep.n_ok
+        self.stats.spice_simulations += sweep.n_ok
+
+        if not sweep.ok:
+            # At least one corner failed to converge: like the nominal
+            # path's non-converging design -- nudge and retry inference.
+            s.trace.append(IterationTrace(requested, text, True, widths, None, False))
+            s.current = requested.scaled(_NUDGE)
+            return self._finish_if_exhausted(s)
+
+        worst_name, worst_metrics = sweep.worst_corner(s.original)
+        corner_metrics = sweep.metrics_by_corner()
+        satisfied = all(
+            s.original.satisfied(metrics, rel_tol=s.request.rel_tol)
+            for metrics in corner_metrics.values()
+        )
+        s.trace.append(
+            IterationTrace(requested, text, True, widths, worst_metrics, satisfied)
+        )
+
+        shortfall = sum(s.original.miss_fractions(worst_metrics).values())
+        if shortfall < s.best_shortfall:
+            s.best_shortfall = shortfall
+            s.best = (widths, worst_metrics)
+            s.best_corner_metrics = corner_metrics
+            s.best_worst_corner = worst_name
+
+        if satisfied:
+            s.result = SizingResult(
+                success=True,
+                spec=s.original,
+                widths=widths,
+                metrics=worst_metrics,
+                iterations=s.iteration,
+                spice_simulations=s.spice_count,
+                wall_time_s=time.perf_counter() - s.start,
+                trace=s.trace,
+                corner_metrics=corner_metrics,
+                worst_corner=worst_name,
+            )
+            return
+
+        s.current = tighten_spec(requested, s.original, worst_metrics)
+        self._finish_if_exhausted(s)
+
     def _finish_if_exhausted(self, s: _ActiveRequest) -> None:
         if s.result is None and s.iteration >= s.request.iteration_budget:
             widths, metrics = s.best if s.best is not None else (None, None)
@@ -309,6 +389,8 @@ class SizingEngine:
                 spice_simulations=s.spice_count,
                 wall_time_s=time.perf_counter() - s.start,
                 trace=s.trace,
+                corner_metrics=s.best_corner_metrics,
+                worst_corner=s.best_worst_corner,
             )
 
     # ------------------------------------------------------------------
@@ -349,7 +431,9 @@ class SizingEngine:
         except KeyError as error:
             return error_response(str(error))
 
-        solver = factory(topology, model=self.model, backend=self.backend)
+        solver = factory(
+            topology, model=self.model, backend=self.backend, corners=request.corners
+        )
         spec = request.spec
         if request.rel_tol:
             derate = 1.0 - request.rel_tol
@@ -367,6 +451,8 @@ class SizingEngine:
             iterations=result.iterations,
             spice_simulations=result.spice_calls,
             wall_time_s=result.wall_time_s,
+            corner_metrics=result.corner_metrics,
+            worst_corner=result.worst_corner,
         )
 
     # ------------------------------------------------------------------
@@ -462,7 +548,7 @@ class SizingEngine:
                 # exact spec) — they still share the batched decode.
                 key = (
                     request.topology, request.spec,
-                    request.iteration_budget, request.rel_tol,
+                    request.iteration_budget, request.rel_tol, request.corners,
                 )
                 if key in leaders:
                     followers[index] = leaders[key]
@@ -487,6 +573,8 @@ class SizingEngine:
                 spice_simulations=result.spice_simulations,
                 wall_time_s=result.wall_time_s,
                 decoded_texts=tuple(state.decoded_texts),
+                corner_metrics=result.corner_metrics,
+                worst_corner=result.worst_corner,
             )
             responses[index] = response
             if self.cache is not None:

@@ -8,7 +8,7 @@ Request line::
 
     {"id": "req-000001", "topology": "5T-OTA", "gain_db": 25.0,
      "f3db_hz": 5e6, "ugf_hz": 8e7, "max_iterations": 6, "rel_tol": 0.0,
-     "method": "copilot", "budget": null}
+     "method": "copilot", "budget": null, "corners": ["tt", "ss", "ff"]}
 
 ``method`` names any registered solver (``repro.solvers``): the default
 ``"copilot"`` runs the transformer flow, ``"sa"``/``"pso"``/``"de"`` run
@@ -16,13 +16,27 @@ the SPICE-in-the-loop baselines.  ``budget`` caps the solver's SPICE
 evaluations (for the copilot: verification iterations); ``null`` selects
 the per-method default (``max_iterations`` for the copilot).
 
+``corners`` selects the PVT evaluation contexts: preset names
+(``"tt"``/``"ss"``/``"ff"``) or explicit override objects (e.g.
+``{"process": "ss", "vdd_scale": 1.0}``, see
+:func:`repro.devices.resolve_corner`).  An empty/absent list is the
+nominal single-corner flow, bit-identical to the pre-corner service.
+With corners, a request succeeds only when the sized design meets the
+spec at **every** corner (worst-case semantics).
+
 Response line::
 
     {"request_id": "req-000001", "topology": "5T-OTA", "method": "copilot",
      "success": true, "widths": {"M1": 1.2e-06, ...},
      "metrics": {"gain_db": 25.3, "f3db_hz": 5.4e6, "ugf_hz": 9.1e7},
      "iterations": 1, "spice_simulations": 1, "wall_time_s": 0.21,
-     "cached": false, "error": null, "decoded_texts": ["gmM1=..."]}
+     "cached": false, "error": null, "decoded_texts": ["gmM1=..."],
+     "corner_metrics": {"tt": {...}, "ss": {...}}, "worst_corner": "ss"}
+
+On corner-aware requests ``metrics`` is the binding worst corner's
+measurement, ``corner_metrics`` maps every corner name to its metrics and
+``worst_corner`` names the binding corner; all three stay ``null``-free of
+corner keys on nominal requests.
 """
 
 from __future__ import annotations
@@ -34,9 +48,36 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Mapping, Optional
 
 from ..core.specs import DesignSpec
+from ..devices import Corner, resolve_corners
 from ..spice import PerformanceMetrics
 
 __all__ = ["SizingRequest", "SizingResponse"]
+
+
+def _metrics_json(metrics: Optional[PerformanceMetrics]) -> Optional[dict[str, Any]]:
+    """Flat JSON form of one metrics triple (non-finite values -> null)."""
+    if metrics is None:
+        return None
+
+    def finite(value: float) -> Optional[float]:
+        return value if math.isfinite(value) else None
+
+    return {
+        "gain_db": finite(metrics.gain_db),
+        "f3db_hz": finite(metrics.f3db_hz),
+        "ugf_hz": finite(metrics.ugf_hz),
+    }
+
+
+def _metrics_from_json(payload: Optional[Mapping[str, Any]]) -> Optional[PerformanceMetrics]:
+    if payload is None:
+        return None
+
+    def value(key: str) -> float:
+        raw = payload[key]
+        return float("nan") if raw is None else float(raw)
+
+    return PerformanceMetrics(value("gain_db"), value("f3db_hz"), value("ugf_hz"))
 
 _request_ids = itertools.count(1)
 
@@ -47,7 +88,14 @@ def _next_request_id() -> str:
 
 @dataclass(frozen=True)
 class SizingRequest:
-    """One unit of sizing work: a topology name plus minimum targets."""
+    """One unit of sizing work: a topology name plus minimum targets.
+
+    ``corners`` is the PVT corner axis: entries may be preset names,
+    override mappings or :class:`~repro.devices.Corner` objects and are
+    normalized to resolved corners at construction.  Empty (the default)
+    means the nominal single-corner flow; non-empty requests succeed only
+    when the design meets spec at every listed corner.
+    """
 
     topology: str
     spec: DesignSpec
@@ -56,6 +104,7 @@ class SizingRequest:
     rel_tol: float = 0.0
     method: str = "copilot"
     budget: Optional[int] = None
+    corners: tuple[Corner, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.topology or not isinstance(self.topology, str):
@@ -70,6 +119,10 @@ class SizingRequest:
             raise ValueError("method must be a non-empty string")
         if self.budget is not None and self.budget < 0:
             raise ValueError("budget must be non-negative")
+        # Normalize corner specifications (names / mappings / Corner
+        # objects) to resolved, hashable Corner tuples: the cache key and
+        # in-batch coalescing compare them structurally.
+        object.__setattr__(self, "corners", resolve_corners(self.corners))
 
     @property
     def iteration_budget(self) -> int:
@@ -100,6 +153,7 @@ class SizingRequest:
             "rel_tol": self.rel_tol,
             "method": self.method,
             "budget": self.budget,
+            "corners": [corner.to_json() for corner in self.corners],
         }
 
     def to_json_line(self) -> str:
@@ -110,7 +164,7 @@ class SizingRequest:
         """Parse the stable flat schema; extra keys are rejected loudly."""
         known = {
             "id", "topology", "gain_db", "f3db_hz", "ugf_hz",
-            "max_iterations", "rel_tol", "method", "budget",
+            "max_iterations", "rel_tol", "method", "budget", "corners",
         }
         unknown = set(payload) - known
         if unknown:
@@ -134,6 +188,8 @@ class SizingRequest:
             kwargs["method"] = str(payload["method"])
         if payload.get("budget") is not None:
             kwargs["budget"] = int(payload["budget"])
+        if payload.get("corners"):
+            kwargs["corners"] = tuple(payload["corners"])
         return cls(topology=str(payload["topology"]), spec=spec, **kwargs)
 
     @classmethod
@@ -143,7 +199,13 @@ class SizingRequest:
 
 @dataclass(frozen=True)
 class SizingResponse:
-    """Outcome of one :class:`SizingRequest`."""
+    """Outcome of one :class:`SizingRequest`.
+
+    On corner-aware requests ``metrics`` is the binding worst corner's
+    measurement, ``corner_metrics`` maps corner names to per-corner
+    metrics and ``worst_corner`` names the binding corner (``None`` on
+    nominal requests and when no design was measured).
+    """
 
     request_id: str
     topology: str
@@ -157,6 +219,8 @@ class SizingResponse:
     error: Optional[str] = None
     decoded_texts: tuple[str, ...] = ()
     method: str = "copilot"
+    corner_metrics: Optional[dict[str, PerformanceMetrics]] = None
+    worst_corner: Optional[str] = None
 
     @property
     def single_simulation(self) -> bool:
@@ -169,15 +233,11 @@ class SizingResponse:
 
     # ------------------------------------------------------------------
     def to_json(self) -> dict[str, Any]:
-        def finite(value: float) -> Optional[float]:
-            return value if math.isfinite(value) else None
-
-        metrics = None
-        if self.metrics is not None:
-            metrics = {
-                "gain_db": finite(self.metrics.gain_db),
-                "f3db_hz": finite(self.metrics.f3db_hz),
-                "ugf_hz": finite(self.metrics.ugf_hz),
+        corner_metrics = None
+        if self.corner_metrics is not None:
+            corner_metrics = {
+                name: _metrics_json(metrics)
+                for name, metrics in self.corner_metrics.items()
             }
         return {
             "request_id": self.request_id,
@@ -185,13 +245,15 @@ class SizingResponse:
             "method": self.method,
             "success": self.success,
             "widths": dict(self.widths) if self.widths is not None else None,
-            "metrics": metrics,
+            "metrics": _metrics_json(self.metrics),
             "iterations": self.iterations,
             "spice_simulations": self.spice_simulations,
             "wall_time_s": self.wall_time_s,
             "cached": self.cached,
             "error": self.error,
             "decoded_texts": list(self.decoded_texts),
+            "corner_metrics": corner_metrics,
+            "worst_corner": self.worst_corner,
         }
 
     def to_json_line(self) -> str:
@@ -199,21 +261,21 @@ class SizingResponse:
 
     @classmethod
     def from_json(cls, payload: Mapping[str, Any]) -> "SizingResponse":
-        metrics_payload = payload.get("metrics")
-        metrics = None
-        if metrics_payload is not None:
-            def value(key: str) -> float:
-                raw = metrics_payload[key]
-                return float("nan") if raw is None else float(raw)
-
-            metrics = PerformanceMetrics(value("gain_db"), value("f3db_hz"), value("ugf_hz"))
         widths = payload.get("widths")
+        corner_payload = payload.get("corner_metrics")
+        corner_metrics = None
+        if corner_payload is not None:
+            corner_metrics = {
+                name: _metrics_from_json(entry)
+                for name, entry in corner_payload.items()
+            }
+        worst_corner = payload.get("worst_corner")
         return cls(
             request_id=str(payload["request_id"]),
             topology=str(payload["topology"]),
             success=bool(payload["success"]),
             widths={k: float(v) for k, v in widths.items()} if widths is not None else None,
-            metrics=metrics,
+            metrics=_metrics_from_json(payload.get("metrics")),
             iterations=int(payload["iterations"]),
             spice_simulations=int(payload["spice_simulations"]),
             wall_time_s=float(payload["wall_time_s"]),
@@ -221,6 +283,8 @@ class SizingResponse:
             error=payload.get("error"),
             decoded_texts=tuple(payload.get("decoded_texts", ())),
             method=str(payload.get("method", "copilot")),
+            corner_metrics=corner_metrics,
+            worst_corner=str(worst_corner) if worst_corner is not None else None,
         )
 
     @classmethod

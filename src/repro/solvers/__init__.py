@@ -17,6 +17,13 @@ per-candidate small-signal AC solves (one stacked complex MNA solve over
 population x frequency grid) and amortizes the DC Newton assembly across
 candidates, with per-candidate failure isolation -- bit-identical to the
 sequential path, just faster (``bench_table9`` pins both claims).
+
+Every solver also accepts ``corners=`` (PVT presets ``"tt"/"ss"/"ff"`` or
+:class:`~repro.devices.Corner` objects).  With corners set, objectives
+are **worst-corner aggregates** -- each candidate is scored by its worst
+corner and a solve succeeds only when the design meets spec at *every*
+corner -- and the population x corner block stacks into the same batched
+solves (``bench_table8``'s corner mode pins parity and the >=2x gain).
 """
 
 from .backend import BatchedBackend, EvalBackend, ScalarBackend

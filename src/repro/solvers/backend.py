@@ -5,27 +5,34 @@ ultimately asks the same question: *measure this candidate design*.  The
 backend abstraction decouples solvers from how that measurement is
 executed:
 
-* :class:`ScalarBackend` calls ``topology.measure`` once per candidate --
-  the reference semantics (and the pre-redesign behavior of the Table IX
+* :class:`ScalarBackend` calls ``topology.measure`` once per candidate
+  (and, on the corner axis, once per candidate-corner pair) -- the
+  reference semantics (and the pre-redesign behavior of the Table IX
   baselines);
 * :class:`BatchedBackend` routes whole populations through
   ``topology.measure_many``, which vectorizes the per-candidate AC solves
   (stacked complex MNA over population x frequency grid) and amortizes
-  the DC Newton assembly across candidates.
+  the DC Newton assembly across candidates; with ``corners=`` the corner
+  axis stacks into the same batched solves, so a population x corner
+  block costs one DC Newton batch and one stacked AC factorization per
+  circuit structure.
 
-Both produce the same :class:`~repro.topologies.MeasureOutcome` list --
-bit-identical metrics, per-candidate failure isolation -- so solvers can
-switch backends without changing results (``bench_table9`` pins the
-parity and reports the throughput gap).
+Both produce the same result shapes -- ``list[MeasureOutcome]`` for flat
+calls, ``list[CornerSweep]`` when a ``corners=`` axis is requested --
+with bit-identical metrics and per-(candidate, corner) failure
+isolation, so solvers can switch backends without changing results
+(``bench_table9`` pins the flat parity and throughput gap;
+``bench_table8``'s corner mode pins the corner-axis counterpart).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
+from ..devices import Corner, CornerLike, resolve_corners
 from ..spice import ConvergenceError
-from ..topologies import MeasureOutcome, OTATopology
+from ..topologies import CornerSweep, MeasureOutcome, OTATopology
 
 __all__ = ["EvalBackend", "ScalarBackend", "BatchedBackend"]
 
@@ -35,23 +42,53 @@ class EvalBackend(ABC):
 
     @abstractmethod
     def measure_many(
-        self, topology: OTATopology, widths_list: Sequence[Mapping[str, float]]
-    ) -> list[MeasureOutcome]:
-        """Measure every candidate; one aligned outcome per width vector."""
+        self,
+        topology: OTATopology,
+        widths_list: Sequence[Mapping[str, float]],
+        corners: Optional[Sequence[CornerLike]] = None,
+    ) -> list:
+        """Measure every candidate; one aligned outcome per width vector.
+
+        ``corners=None`` evaluates at the nominal corner and returns
+        ``list[MeasureOutcome]`` (the pre-corner contract, bit-identical).
+        A corner sequence evaluates every candidate at every corner and
+        returns ``list[CornerSweep]`` with per-(candidate, corner)
+        isolation.
+        """
 
     def measure(
-        self, topology: OTATopology, widths: Mapping[str, float]
+        self,
+        topology: OTATopology,
+        widths: Mapping[str, float],
+        corner: CornerLike = None,
     ) -> MeasureOutcome:
         """Single-candidate convenience wrapper over :meth:`measure_many`."""
-        return self.measure_many(topology, [widths])[0]
+        if corner is None:
+            return self.measure_many(topology, [widths])[0]
+        sweep = self.measure_many(topology, [widths], corners=(corner,))[0]
+        return sweep.outcomes[0]
 
 
 class ScalarBackend(EvalBackend):
-    """Sequential reference backend: one full SPICE run per candidate."""
+    """Sequential reference backend: one full SPICE run per candidate
+    (per candidate-corner pair on the corner axis)."""
 
     def measure_many(
-        self, topology: OTATopology, widths_list: Sequence[Mapping[str, float]]
-    ) -> list[MeasureOutcome]:
+        self,
+        topology: OTATopology,
+        widths_list: Sequence[Mapping[str, float]],
+        corners: Optional[Sequence[CornerLike]] = None,
+    ) -> list:
+        if corners is not None:
+            resolved = resolve_corners(corners)
+            if not resolved:
+                # Same contract as the batched path (which inherits the
+                # check from topology.measure_many): an empty corner axis
+                # would yield vacuous all-pass sweeps.
+                raise ValueError("corners must be non-empty (use corners=None for nominal)")
+            return [
+                self._sweep_one(topology, widths, resolved) for widths in widths_list
+            ]
         outcomes: list[MeasureOutcome] = []
         for widths in widths_list:
             outcome = MeasureOutcome(widths=dict(widths))
@@ -62,11 +99,32 @@ class ScalarBackend(EvalBackend):
             outcomes.append(outcome)
         return outcomes
 
+    @staticmethod
+    def _sweep_one(
+        topology: OTATopology,
+        widths: Mapping[str, float],
+        corners: tuple[Corner, ...],
+    ) -> CornerSweep:
+        outcomes = []
+        for corner in corners:
+            outcome = MeasureOutcome(widths=dict(widths))
+            try:
+                outcome.result = topology.measure(widths, corner=corner)
+            except (ConvergenceError, KeyError, ValueError) as error:
+                outcome.error = str(error)
+            outcomes.append(outcome)
+        return CornerSweep(widths=dict(widths), corners=corners, outcomes=tuple(outcomes))
+
 
 class BatchedBackend(EvalBackend):
     """Vectorized bulk backend over ``topology.measure_many``."""
 
     def measure_many(
-        self, topology: OTATopology, widths_list: Sequence[Mapping[str, float]]
-    ) -> list[MeasureOutcome]:
+        self,
+        topology: OTATopology,
+        widths_list: Sequence[Mapping[str, float]],
+        corners: Optional[Sequence[CornerLike]] = None,
+    ) -> list:
+        if corners is not None:
+            return topology.measure_many(list(widths_list), corners=corners)
         return topology.measure_many(list(widths_list))

@@ -17,6 +17,13 @@ generation evaluation is vectorized.
 ``history`` semantics are identical for every solver: entry ``k`` is the
 best objective value seen after SPICE call ``k+1`` (best-so-far, hence
 monotonically non-increasing).
+
+**Corner-aware search.**  Every solver accepts ``corners=`` (PVT corner
+presets or :class:`~repro.devices.Corner` objects).  When set, objectives
+are **worst-corner aggregates**: each candidate is evaluated at every
+corner and scored by its *worst* corner's shortfall, so a solve succeeds
+only when the design meets the specification at **all** corners; each
+corner evaluation counts as one SPICE call toward the budget.
 """
 
 from __future__ import annotations
@@ -29,8 +36,9 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.specs import DesignSpec
+from ..devices import Corner, CornerLike, resolve_corners
 from ..spice import PerformanceMetrics
-from ..topologies import MeasureOutcome, OTATopology
+from ..topologies import CornerSweep, MeasureOutcome, OTATopology
 from .backend import BatchedBackend, EvalBackend
 
 __all__ = [
@@ -79,7 +87,13 @@ class SearchSpace:
 
 @dataclass
 class SolveResult:
-    """Outcome of one solver run, comparable across all sizing methods."""
+    """Outcome of one solver run, comparable across all sizing methods.
+
+    On corner-aware runs ``best_value``/``best_metrics`` refer to the best
+    design's *binding worst corner* (objectives are worst-corner
+    aggregates), ``corner_metrics`` carries its per-corner measurements
+    and ``worst_corner`` names the binding corner.
+    """
 
     solver: str
     success: bool
@@ -90,6 +104,8 @@ class SolveResult:
     best_metrics: Optional[PerformanceMetrics] = None
     history: list[float] = field(default_factory=list)
     iterations: int = 0
+    corner_metrics: Optional[dict[str, PerformanceMetrics]] = None
+    worst_corner: Optional[str] = None
 
 
 class SearchObjective:
@@ -100,6 +116,12 @@ class SearchObjective:
     designs that fail to simulate or violate device regions.  Candidates
     are submitted to the evaluation backend in bulk; accounting stays
     per SPICE call.
+
+    With ``corners`` set, the objective is the **worst-corner aggregate**:
+    each candidate's score is the maximum shortfall over its corners (a
+    corner that fails to simulate scores the full penalty), so the
+    objective reaches 0 only when every corner meets the specification.
+    Every corner evaluation counts as one SPICE call.
     """
 
     def __init__(
@@ -108,16 +130,22 @@ class SearchObjective:
         spec: DesignSpec,
         backend: Optional[EvalBackend] = None,
         check_regions: bool = False,
+        corners: Optional[Sequence[CornerLike]] = None,
     ):
         self.topology = topology
         self.spec = spec
         self.backend = backend if backend is not None else BatchedBackend()
         self.check_regions = check_regions
+        #: Resolved PVT corner axis; empty tuple = nominal-only (the
+        #: pre-corner single-evaluation path, bit-identical).
+        self.corners: tuple[Corner, ...] = resolve_corners(corners)
         self.space = SearchSpace(topology)
         self.spice_calls = 0
         self.best_value = float("inf")
         self.best_widths: Optional[dict[str, float]] = None
         self.best_metrics: Optional[PerformanceMetrics] = None
+        self.best_corner_metrics: Optional[dict[str, PerformanceMetrics]] = None
+        self.best_worst_corner: Optional[str] = None
         self.history: list[float] = []
         #: Running minimum over *observed* objective values, penalties
         #: included — what ``history`` records.  Unlike ``best_value`` it
@@ -128,6 +156,14 @@ class SearchObjective:
     def evaluate_many(self, points: Sequence[np.ndarray]) -> np.ndarray:
         """Evaluate a population of normalized points; lower is better."""
         widths_list = [self.space.decode(point) for point in points]
+        if self.corners:
+            sweeps = self.backend.measure_many(
+                self.topology, widths_list, corners=self.corners
+            )
+            return np.array(
+                [self._record_sweep(w, s) for w, s in zip(widths_list, sweeps)],
+                dtype=float,
+            )
         outcomes = self.backend.measure_many(self.topology, widths_list)
         return np.array(
             [self._record(w, o) for w, o in zip(widths_list, outcomes)], dtype=float
@@ -135,6 +171,51 @@ class SearchObjective:
 
     def evaluate_one(self, point: np.ndarray) -> float:
         return float(self.evaluate_many(np.asarray(point, dtype=float)[None, :])[0])
+
+    def _corner_value(self, outcome: MeasureOutcome) -> float:
+        """One corner's score with the flat path's penalty semantics."""
+        if not outcome.ok:
+            return PENALTY
+        if self.check_regions and not self.topology.regions_ok(outcome.result.dc):
+            return PENALTY / 2.0
+        return float(sum(self.spec.miss_fractions(outcome.result.metrics).values()))
+
+    def _record_sweep(self, widths: dict[str, float], sweep: CornerSweep) -> float:
+        """Worst-corner aggregate of one candidate's corner sweep."""
+        self.spice_calls += len(sweep.corners)
+        values = [self._corner_value(outcome) for outcome in sweep.outcomes]
+        value = max(values)
+        # ``best`` bookkeeping mirrors the flat path: only candidates whose
+        # every corner simulated (and, when checked, stayed in-region) can
+        # become the incumbent -- a penalized corner disqualifies.
+        eligible = sweep.ok and (
+            not self.check_regions
+            or all(
+                self.topology.regions_ok(outcome.result.dc)
+                for outcome in sweep.outcomes
+            )
+        )
+        if eligible and value < self.best_value:
+            self.best_value = value
+            self.best_widths = widths
+            # The binding corner by CornerSweep's two-level ranking: the
+            # worst miss, or the least margin when every corner passes.
+            worst_name, worst_metrics = sweep.worst_corner(self.spec)
+            self.best_metrics = worst_metrics
+            self.best_worst_corner = worst_name
+            self.best_corner_metrics = sweep.metrics_by_corner()
+        # One history entry per SPICE call, preserving the unified
+        # semantics (entry k = best observed after call k+1).  The
+        # candidate's worst-corner aggregate is only known once its *last*
+        # corner has simulated, so the in-sweep prefix records the prior
+        # best (floored at PENALTY -- an observed corner scores at worst
+        # PENALTY, keeping every entry finite) and the aggregate lands on
+        # the sweep's final call, never earlier.
+        prefix = min(self._best_seen, PENALTY)
+        self._best_seen = min(self._best_seen, value)
+        self.history.extend([prefix] * (len(sweep.corners) - 1))
+        self.history.append(self._best_seen)
+        return value
 
     def _record(self, widths: dict[str, float], outcome: MeasureOutcome) -> float:
         self.spice_calls += 1
@@ -166,10 +247,13 @@ class Solver(ABC):
     """One sizing method over one topology.
 
     Every registered solver is constructed as
-    ``factory(topology, backend=..., model=...)``: search-based solvers
-    use the evaluation backend (``None`` means the batched one), the
-    copilot uses the trained model; each ignores what it does not need,
-    so callers can instantiate any registry entry uniformly.
+    ``factory(topology, backend=..., model=..., corners=...)``:
+    search-based solvers use the evaluation backend (``None`` means the
+    batched one), the copilot uses the trained model; each ignores what it
+    does not need, so callers can instantiate any registry entry
+    uniformly.  ``corners`` selects the PVT corner axis -- when set, the
+    solver chases worst-corner-aggregate objectives and succeeds only when
+    the design meets spec at every corner.
     """
 
     #: Registry name, e.g. ``"sa"``; also stamped on results.
@@ -181,10 +265,13 @@ class Solver(ABC):
         *,
         backend: Optional[EvalBackend] = None,
         model=None,
+        corners: Optional[Sequence[CornerLike]] = None,
     ):
         self.topology = topology
         self.backend = backend if backend is not None else BatchedBackend()
         self.model = model
+        #: Resolved corner axis; empty = nominal-only evaluation.
+        self.corners: tuple[Corner, ...] = resolve_corners(corners)
 
     @abstractmethod
     def solve(
@@ -203,13 +290,22 @@ class Solver(ABC):
 
 
 class SearchSolver(Solver):
-    """Shared plumbing of the stochastic SPICE-in-the-loop solvers."""
+    """Shared plumbing of the stochastic SPICE-in-the-loop solvers.
+
+    The objective built by :meth:`_objective` inherits the solver's corner
+    axis, so with ``corners=`` set every generation is scored by
+    worst-corner aggregates (see :class:`SearchObjective`).
+    """
 
     check_regions: bool = False
 
     def _objective(self, spec: DesignSpec) -> SearchObjective:
         return SearchObjective(
-            self.topology, spec, backend=self.backend, check_regions=self.check_regions
+            self.topology,
+            spec,
+            backend=self.backend,
+            check_regions=self.check_regions,
+            corners=self.corners,
         )
 
     @staticmethod
@@ -237,4 +333,6 @@ class SearchSolver(Solver):
             best_metrics=objective.best_metrics,
             history=list(objective.history),
             iterations=iterations,
+            corner_metrics=objective.best_corner_metrics,
+            worst_corner=objective.best_worst_corner,
         )

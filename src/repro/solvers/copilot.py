@@ -54,6 +54,8 @@ def solve_result_from_sizing(name: str, spec: DesignSpec, result) -> SolveResult
         best_metrics=result.metrics,
         history=history,
         iterations=result.iterations,
+        corner_metrics=result.corner_metrics,
+        worst_corner=result.worst_corner,
     )
 
 
@@ -72,10 +74,11 @@ class CopilotSolver(Solver):
         *,
         backend=None,
         model=None,
+        corners=None,
         engine=None,
         rel_tol: float = 0.0,
     ):
-        super().__init__(topology, backend=backend, model=model)
+        super().__init__(topology, backend=backend, model=model, corners=corners)
         if engine is None:
             if model is None:
                 raise ValueError("CopilotSolver needs a trained model= or an engine=")
@@ -104,6 +107,7 @@ class CopilotSolver(Solver):
             spec=spec,
             max_iterations=self.default_iterations if budget is None else budget,
             rel_tol=self.rel_tol,
+            corners=self.corners,
         )
         result = self.engine.size_result(request)
         solved = solve_result_from_sizing(self.name, spec, result)

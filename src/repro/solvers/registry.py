@@ -36,8 +36,9 @@ __all__ = [
 
 F = TypeVar("F", bound=Callable[..., Solver])
 
-#: name -> factory ``(topology, *, backend=None, model=None, **options)``,
-#: in registration order.
+#: name -> factory
+#: ``(topology, *, backend=None, model=None, corners=None, **options)``,
+#: in registration order (``corners`` selects worst-case PVT evaluation).
 _REGISTRY: dict[str, Callable[..., Solver]] = {}
 
 

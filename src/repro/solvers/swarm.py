@@ -33,12 +33,13 @@ class ParticleSwarmSolver(SearchSolver):
         *,
         backend=None,
         model=None,
+        corners=None,
         swarm_size: int = 12,
         inertia: float = 0.72,
         cognitive: float = 1.49,
         social: float = 1.49,
     ):
-        super().__init__(topology, backend=backend, model=model)
+        super().__init__(topology, backend=backend, model=model, corners=corners)
         if swarm_size < 1:
             raise ValueError("swarm_size must be >= 1")
         self.swarm_size = swarm_size

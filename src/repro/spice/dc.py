@@ -23,11 +23,11 @@ These are the same continuation tricks production SPICE engines use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from ..devices import OperatingPoint
+from ..devices import EKVModel, OperatingPoint
 from .netlist import GROUND, Circuit
 
 __all__ = ["DCSolution", "ConvergenceError", "solve_dc", "solve_dc_many"]
@@ -339,20 +339,28 @@ def _solve_with_continuation(
 
 def solve_dc_many(
     circuits: list,
-    initial_guess: Optional[dict[str, float]] = None,
+    initial_guess: Union[dict[str, float], Sequence[Optional[dict[str, float]]], None] = None,
     max_iterations: int = 150,
 ) -> list:
     """Solve the DC operating point of many structurally similar circuits.
 
     The bulk path of the batched evaluation backend: circuits that share
-    one MNA structure (same nodes and elements, only MOSFET widths differ
-    -- exactly what one topology's ``build`` produces over a population of
-    width vectors) run the plain-Newton stage *together*, with the
-    residual/Jacobian assembly vectorized over the candidate axis and one
-    stacked ``np.linalg.solve`` per iteration.  Every per-candidate
+    one MNA structure (same nodes and element connectivity -- exactly what
+    one topology's ``build`` produces over a population of width vectors,
+    including the same population rebuilt at several PVT corners) run the
+    plain-Newton stage *together*, with the residual/Jacobian assembly
+    vectorized over the candidate axis and one stacked ``np.linalg.solve``
+    per iteration.  Candidates of one group may differ in MOSFET widths,
+    MOSFET technology parameters (corner-skewed ``vt0``/``kp``/``ut``) and
+    voltage-source DC values (corner-scaled supplies); every per-candidate
     floating-point operation is elementwise-identical to the scalar path,
     so the returned solutions are bit-identical to ``solve_dc`` run one
     candidate at a time (the parity tests pin this).
+
+    ``initial_guess`` is either one mapping shared by every candidate or a
+    sequence of per-candidate mappings aligned with ``circuits`` (the
+    corner path uses this: each corner pins the supply node at its own
+    scaled rail).
 
     Failures are isolated per candidate: a design whose plain Newton stage
     diverges falls back to the scalar continuation strategies, and if those
@@ -362,44 +370,172 @@ def solve_dc_many(
     Returns a list aligned with ``circuits`` whose entries are either
     :class:`DCSolution` or :class:`ConvergenceError`.
     """
+    guesses = _per_candidate_guesses(initial_guess, len(circuits))
     results: list = [None] * len(circuits)
     groups: dict = {}
     for index, circuit in enumerate(circuits):
         groups.setdefault(_structure_key(circuit), []).append(index)
     for indices in groups.values():
         batch = [circuits[i] for i in indices]
-        for i, outcome in zip(indices, _solve_batch(batch, initial_guess, max_iterations)):
+        batch_guesses = [guesses[i] for i in indices]
+        for i, outcome in zip(indices, _solve_batch(batch, batch_guesses, max_iterations)):
             results[i] = outcome
     return results
 
 
+def _per_candidate_guesses(initial_guess, count: int) -> list:
+    """Normalize the ``initial_guess`` argument to one entry per circuit."""
+    if initial_guess is None or isinstance(initial_guess, dict):
+        return [initial_guess] * count
+    guesses = list(initial_guess)
+    if len(guesses) != count:
+        raise ValueError(
+            f"initial_guess sequence has {len(guesses)} entries for {count} circuits"
+        )
+    return guesses
+
+
 def _structure_key(circuit: Circuit):
-    """Hashable MNA-structure signature: everything but MOSFET widths."""
+    """Hashable MNA-structure signature.
+
+    Everything the vectorized assembly cannot express per candidate goes
+    into the key; widths, MOSFET technology parameters and voltage-source
+    DC values are deliberately *excluded* so one population evaluated at
+    several PVT corners still forms a single batch (the corner axis stacks
+    into the candidate axis).  Device polarity stays in the key: the
+    assembly treats it as a per-slot scalar.
+    """
     return (
         tuple(circuit.nodes()),
         tuple((r.node1, r.node2, r.resistance) for r in circuit.resistors),
         tuple((s.pos, s.neg, s.dc) for s in circuit.isources),
-        tuple((s.pos, s.neg, s.dc) for s in circuit.vsources),
+        tuple((s.pos, s.neg) for s in circuit.vsources),
         tuple(
-            (m.name, m.drain, m.gate, m.source, m.tech, m.length)
+            (m.name, m.drain, m.gate, m.source, m.tech.polarity, m.length)
             for m in circuit.mosfets
         ),
     )
 
 
-def _solve_batch(
-    circuits: list, initial_guess: Optional[dict[str, float]], max_iterations: int
-) -> list:
+class _ArrayTech:
+    """Per-candidate technology parameters for one MOSFET slot.
+
+    Duck-types the :class:`~repro.devices.TechParams` fields the EKV DC
+    path reads (``vt0``/``n_slope``/``kp``/``ut``/``lambda_l`` plus
+    :meth:`spec_current`) with numpy arrays over the candidate axis, so
+    :class:`~repro.devices.EKVModel` evaluates a whole corner-mixed batch
+    in one broadcasted sweep.  Elementwise ufuncs make each candidate's
+    result bit-identical to the scalar-tech evaluation.
+    """
+
+    __slots__ = ("vt0", "n_slope", "kp", "ut", "lambda_l")
+
+    def __init__(self, vt0, n_slope, kp, ut, lambda_l):
+        self.vt0 = vt0
+        self.n_slope = n_slope
+        self.kp = kp
+        self.ut = ut
+        self.lambda_l = lambda_l
+
+    @classmethod
+    def from_techs(cls, techs) -> "_ArrayTech":
+        return cls(
+            vt0=np.array([t.vt0 for t in techs]),
+            n_slope=np.array([t.n_slope for t in techs]),
+            kp=np.array([t.kp for t in techs]),
+            ut=np.array([t.ut for t in techs]),
+            lambda_l=np.array([t.lambda_l for t in techs]),
+        )
+
+    def take(self, indices: np.ndarray) -> "_ArrayTech":
+        return _ArrayTech(
+            self.vt0[indices],
+            self.n_slope[indices],
+            self.kp[indices],
+            self.ut[indices],
+            self.lambda_l[indices],
+        )
+
+    def spec_current(self, width, length):
+        # Mirrors TechParams.spec_current arithmetic without the scalar
+        # validation (widths were validated when the circuits were built).
+        return 2.0 * self.n_slope * self.kp * (width / length) * self.ut**2
+
+
+class _BatchStamps:
+    """Per-candidate element data of one structure-sharing batch.
+
+    Holds, for each MOSFET slot, the width vector and the evaluation model
+    (a plain shared :class:`EKVModel` when every candidate uses the same
+    technology parameters -- the pre-corner fast path -- or an
+    :class:`_ArrayTech`-backed model when the batch mixes corners), and for
+    each voltage source its DC value (scalar when shared, array when
+    corner-scaled supplies differ).
+    """
+
+    __slots__ = ("slot_widths", "slot_models", "slot_polarity", "vsource_dc")
+
+    def __init__(self, circuits: list):
+        first = circuits[0]
+        self.slot_widths = [
+            np.array([circuit.mosfets[slot].width for circuit in circuits])
+            for slot in range(len(first.mosfets))
+        ]
+        self.slot_models = []
+        self.slot_polarity = []
+        for slot, mosfet in enumerate(first.mosfets):
+            self.slot_polarity.append(mosfet.tech.polarity)
+            techs = [circuit.mosfets[slot].tech for circuit in circuits]
+            if all(tech == techs[0] for tech in techs[1:]):
+                self.slot_models.append(mosfet.model)
+            else:
+                self.slot_models.append(EKVModel(_ArrayTech.from_techs(techs)))
+        self.vsource_dc = []
+        for k, source in enumerate(first.vsources):
+            values = [circuit.vsources[k].dc for circuit in circuits]
+            if all(value == values[0] for value in values[1:]):
+                self.vsource_dc.append(source.dc)
+            else:
+                self.vsource_dc.append(np.array(values))
+
+    def take(self, indices: np.ndarray) -> "_BatchStamps":
+        subset = _BatchStamps.__new__(_BatchStamps)
+        subset.slot_widths = [w[indices] for w in self.slot_widths]
+        subset.slot_polarity = self.slot_polarity
+        subset.slot_models = [
+            EKVModel(model.tech.take(indices))
+            if isinstance(model.tech, _ArrayTech)
+            else model
+            for model in self.slot_models
+        ]
+        subset.vsource_dc = [
+            dc[indices] if isinstance(dc, np.ndarray) else dc for dc in self.vsource_dc
+        ]
+        return subset
+
+
+def _solve_batch(circuits: list, guesses: list, max_iterations: int) -> list:
     """Solve one structure-sharing group; see :func:`solve_dc_many`."""
     system = _MNASystem(circuits[0])
-    x0 = _initial_point(system, initial_guess)
-    slot_widths = [
-        np.array([circuit.mosfets[slot].width for circuit in circuits])
-        for slot in range(len(circuits[0].mosfets))
-    ]
-    xs, iters, converged = _newton_batch(
-        system, len(circuits), slot_widths, x0, 1.0, GMIN, max_iterations
+    stamps = _BatchStamps(circuits)
+    # Per-candidate starting points: the heuristic guess reads the
+    # candidate's own source values (corner-scaled supplies differ), so
+    # each x0 is exactly what the scalar solve_dc would start from.  The
+    # pre-corner common case -- every candidate shares the source values
+    # and the caller's guess -- keeps the old one-x0-tiled fast path
+    # (bit-identical: _default_guess depends only on sources and indices).
+    uniform_sources = all(
+        not isinstance(dc, np.ndarray) for dc in stamps.vsource_dc
     )
+    first_guess = guesses[0]
+    uniform_guesses = all(
+        guess is first_guess or guess == first_guess for guess in guesses[1:]
+    )
+    if uniform_sources and uniform_guesses:
+        x0s = np.tile(_initial_point(system, first_guess), (len(circuits), 1))
+    else:
+        x0s = _initial_points_batch(system, stamps, guesses, len(circuits))
+    xs, iters, converged = _newton_batch(system, stamps, x0s, 1.0, GMIN, max_iterations)
     outcomes: list = []
     for j, circuit in enumerate(circuits):
         # _finalize extracts operating points from the candidate's *own*
@@ -410,7 +546,7 @@ def _solve_batch(
         try:
             outcomes.append(
                 _solve_with_continuation(
-                    _MNASystem(circuit), x0.copy(), max_iterations, skip_plain_newton=True
+                    _MNASystem(circuit), x0s[j].copy(), max_iterations, skip_plain_newton=True
                 )
             )
         except ConvergenceError as error:
@@ -418,9 +554,49 @@ def _solve_batch(
     return outcomes
 
 
+def _initial_points_batch(
+    system: _MNASystem, stamps: _BatchStamps, guesses: list, batch: int
+) -> np.ndarray:
+    """Per-candidate starting points without per-candidate systems.
+
+    Mirrors ``_default_guess`` + ``_initial_point`` arithmetic using the
+    group's shared node indexing and the per-candidate source DC values
+    already collected in ``stamps`` (each candidate's row is bit-identical
+    to what the scalar path computes for that candidate's own circuit).
+    """
+    n = system.n_nodes
+    if stamps.vsource_dc:
+        dc_rows = np.stack(
+            [
+                np.broadcast_to(np.asarray(dc, dtype=float), (batch,))
+                for dc in stamps.vsource_dc
+            ]
+        )
+        supply = np.max(np.abs(dc_rows), axis=0)
+    else:
+        supply = np.ones(batch)
+    x0s = np.zeros((batch, system.size))
+    x0s[:, :n] = (supply / 2.0)[:, None]
+    for k, src in enumerate(system.circuit.vsources):
+        ip = system.node_index(src.pos)
+        in_ = system.node_index(src.neg)
+        dc = np.broadcast_to(np.asarray(stamps.vsource_dc[k], dtype=float), (batch,))
+        if ip is not None and in_ is None:
+            x0s[:, ip] = dc
+        elif ip is None and in_ is not None:
+            x0s[:, in_] = -dc
+    for j, guess in enumerate(guesses):
+        if guess:
+            for name, value in guess.items():
+                idx = system.node_index(name)
+                if idx is not None:
+                    x0s[j, idx] = value
+    return x0s
+
+
 def _residual_and_jacobian_batch(
     system: _MNASystem,
-    slot_widths: list,
+    stamps: _BatchStamps,
     x: np.ndarray,
     source_scale: float,
     gmin: float,
@@ -428,10 +604,11 @@ def _residual_and_jacobian_batch(
     """Vectorized counterpart of ``_MNASystem.residual_and_jacobian``.
 
     ``x`` has shape ``(P, size)`` -- one unknown vector per candidate --
-    and ``slot_widths[k]`` holds candidate ``k``-th MOSFET widths.  Every
-    stamp mirrors the scalar assembly operation for operation; because
-    numpy ufuncs are elementwise, each candidate's row is bit-identical to
-    what the scalar assembly produces for that candidate alone.
+    and ``stamps`` carries the per-candidate widths, technology parameters
+    and source values.  Every stamp mirrors the scalar assembly operation
+    for operation; because numpy ufuncs are elementwise, each candidate's
+    row is bit-identical to what the scalar assembly produces for that
+    candidate alone.
     """
     circuit = system.circuit
     n = system.n_nodes
@@ -478,14 +655,16 @@ def _residual_and_jacobian_batch(
             system.node_index(mosfet.source),
         )
         vd, vg, vs = volt(id_), volt(ig), volt(is_)
-        widths = slot_widths[slot]
-        pol = mosfet.tech.polarity
-        # Mirrors MOSFET.ids / MOSFET.conductances with a width vector.
+        widths = stamps.slot_widths[slot]
+        model = stamps.slot_models[slot]
+        pol = stamps.slot_polarity[slot]
+        # Mirrors MOSFET.ids / MOSFET.conductances with width (and, for
+        # corner-mixed batches, tech-parameter) vectors.
         vgs = pol * (vg - vs)
         vds = pol * (vd - vs)
-        ids = pol * mosfet.model.drain_current(vgs, vds, widths, mosfet.length)
-        gm = mosfet.model.transconductance(vgs, vds, widths, mosfet.length)
-        gds = mosfet.model.output_conductance(vgs, vds, widths, mosfet.length)
+        ids = pol * model.drain_current(vgs, vds, widths, mosfet.length)
+        gm = model.transconductance(vgs, vds, widths, mosfet.length)
+        gds = model.output_conductance(vgs, vds, widths, mosfet.length)
         # Current i_ds leaves the drain node and enters the source node.
         if id_ is not None:
             f[:, id_] += ids
@@ -513,7 +692,9 @@ def _residual_and_jacobian_batch(
         if in_ is not None:
             f[:, in_] -= branch_current
             jac[:, in_, row] -= 1.0
-        f[:, row] = volt(ip) - volt(in_) - src.dc * source_scale
+        # ``dc`` is a scalar when the batch shares the value, an array over
+        # candidates when supplies are corner-scaled.
+        f[:, row] = volt(ip) - volt(in_) - stamps.vsource_dc[k] * source_scale
         if ip is not None:
             jac[:, row, ip] += 1.0
         if in_ is not None:
@@ -538,32 +719,32 @@ def _solve_newton_steps(jac: np.ndarray, f: np.ndarray) -> np.ndarray:
 
 def _newton_batch(
     system: _MNASystem,
-    batch: int,
-    slot_widths: list,
-    x0: np.ndarray,
+    stamps: _BatchStamps,
+    x0s: np.ndarray,
     source_scale: float,
     gmin: float,
     max_iterations: int = 150,
     abstol: float = 1e-10,
     reltol: float = 1e-9,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Damped Newton over a ``batch``-candidate group; per-candidate convergence.
+    """Damped Newton over one candidate group; per-candidate convergence.
 
+    ``x0s`` has shape ``(batch, size)`` -- one starting point per candidate.
     Candidates freeze the moment their own convergence criterion fires, so
     each trajectory reproduces the scalar ``_newton`` iteration for that
     candidate exactly.  Returns ``(solutions, iterations, converged)``.
     """
     n = system.n_nodes
-    x = np.tile(x0, (batch, 1))
+    batch = x0s.shape[0]
+    x = np.array(x0s, copy=True)
     solutions = np.array(x, copy=True)
     iterations = np.zeros(batch, dtype=int)
     converged = np.zeros(batch, dtype=bool)
     active = np.arange(batch)
 
     for iteration in range(1, max_iterations + 1):
-        widths_active = [w[active] for w in slot_widths]
         f, jac = _residual_and_jacobian_batch(
-            system, widths_active, x[active], source_scale, gmin
+            system, stamps.take(active), x[active], source_scale, gmin
         )
         dx = _solve_newton_steps(jac, f)
         # Voltage-step damping: scale each candidate's update so no node

@@ -20,7 +20,7 @@ the library.
 from __future__ import annotations
 
 
-from ..devices import NMOS_65NM, PMOS_65NM, TechParams
+from ..devices import NMOS_65NM, PMOS_65NM, Corner, TechParams
 from .netlist import Circuit
 
 __all__ = ["to_spice", "parse_netlist"]
@@ -30,10 +30,21 @@ _TECH_BY_MODEL_NAME = {
     PMOS_65NM.name: PMOS_65NM,
 }
 
+#: Header comment prefix recording the PVT corner a deck was exported at.
+_CORNER_PREFIX = "* corner:"
+
 
 def to_spice(circuit: Circuit, title: str = "") -> str:
-    """Render ``circuit`` as a SPICE deck string."""
+    """Render ``circuit`` as a SPICE deck string.
+
+    Corner-built circuits (``circuit.corner`` set by
+    ``OTATopology.build_circuit``) carry their PVT context in a structured
+    ``* corner: ...`` header line, so an exported worst-case deck is
+    self-describing; :func:`parse_netlist` restores the annotation.
+    """
     lines = [f"* {title or circuit.name}"]
+    if circuit.corner is not None:
+        lines.append(f"{_CORNER_PREFIX} {circuit.corner.label()}")
     models: dict[str, TechParams] = {}
     for device in circuit.mosfets:
         models[device.tech.name] = device.tech
@@ -70,11 +81,26 @@ def parse_netlist(text: str, name: str = "imported") -> Circuit:
 
     Supported cards: ``M`` (4-terminal MOSFET with ``W=``/``L=``), ``R``,
     ``C``, ``V``/``I`` (``DC <v> [AC <m>]``); comments (``*``) and ``.``
-    directives other than ``.model`` references are skipped.
+    directives other than ``.model`` references are skipped, except the
+    structured ``* corner: ...`` header, which restores the circuit's PVT
+    corner annotation.  Source cards carry their corner-scaled values in
+    the deck itself, but MOSFET cards reference the *nominal* model name,
+    so the restored corner is re-applied to every device's technology
+    parameters — the parsed circuit simulates at the annotated corner,
+    bit-identical to the exported one.  The header is located in a
+    pre-pass, so it applies wherever it appears in the deck; comments
+    that merely start with the prefix but don't match the structured
+    format stay ordinary comments.
     """
     circuit = Circuit(name=name)
-    for raw in text.splitlines():
-        line = raw.strip()
+    lines = [raw.strip() for raw in text.splitlines()]
+    for line in lines:
+        if line.startswith(_CORNER_PREFIX):
+            corner = _parse_corner(line[len(_CORNER_PREFIX):])
+            if corner is not None:
+                circuit.corner = corner
+                break
+    for line in lines:
         if not line or line.startswith("*") or line.lower().startswith((".end", ".model")):
             continue
         fields = line.split()
@@ -84,6 +110,10 @@ def parse_netlist(text: str, name: str = "imported") -> Circuit:
             tech = _TECH_BY_MODEL_NAME.get(model_name)
             if tech is None:
                 raise ValueError(f"unknown device model {model_name!r}")
+            if circuit.corner is not None:
+                # The deck names the nominal model; the corner header
+                # carries the skew — reconstruct the skewed parameters.
+                tech = circuit.corner.apply_tech(tech)
             geometry = {
                 key.upper(): float(value)
                 for key, _, value in (field.partition("=") for field in fields[6:])
@@ -111,3 +141,34 @@ def parse_netlist(text: str, name: str = "imported") -> Circuit:
         else:
             raise ValueError(f"unsupported SPICE card: {line!r}")
     return circuit
+
+
+_CORNER_HEADER_KEYS = frozenset(
+    {"vt0_scale", "kp_scale", "vdd_scale", "temperature_k"}
+)
+
+
+def _parse_corner(text: str):
+    """Parse the ``Corner.label()`` format back into a :class:`Corner`.
+
+    Returns ``None`` for anything that is not exactly the writer's
+    ``<name> vt0_scale=... kp_scale=... vdd_scale=... temperature_k=...``
+    shape, so ordinary comments that merely start with the corner prefix
+    stay ordinary comments instead of raising or mis-annotating.
+    """
+    fields = text.split()
+    if len(fields) != 1 + len(_CORNER_HEADER_KEYS):
+        return None
+    values: dict[str, float] = {}
+    for field in fields[1:]:
+        key, _, value = field.partition("=")
+        if key not in _CORNER_HEADER_KEYS or key in values:
+            return None
+        try:
+            values[key] = float(value)
+        except ValueError:
+            return None
+    try:
+        return Corner(name=fields[0], **values)
+    except ValueError:
+        return None

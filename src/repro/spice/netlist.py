@@ -17,8 +17,9 @@ sources.  Node ``"0"`` (alias ``"gnd"``) is ground.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
-from ..devices import MOSFET, TechParams
+from ..devices import MOSFET, Corner, TechParams
 
 __all__ = ["Circuit", "Resistor", "Capacitor", "VSource", "ISource", "GROUND"]
 
@@ -113,6 +114,10 @@ class Circuit:
     capacitors: list[Capacitor] = field(default_factory=list)
     vsources: list[VSource] = field(default_factory=list)
     isources: list[ISource] = field(default_factory=list)
+    #: PVT corner this netlist was built at (``None`` = nominal); metadata
+    #: only — the elements already carry the corner-skewed values.  Set by
+    #: ``OTATopology.build_circuit`` and surfaced in the SPICE export header.
+    corner: Optional[Corner] = None
 
     # ------------------------------------------------------------------
     # Element construction helpers
@@ -240,7 +245,7 @@ class Circuit:
 
     def copy(self) -> "Circuit":
         """Deep-enough copy: shared immutable tech params, fresh elements."""
-        dup = Circuit(name=self.name)
+        dup = Circuit(name=self.name, corner=self.corner)
         for m in self.mosfets:
             dup.add_mosfet(m.name, m.drain, m.gate, m.source, m.tech, m.width, m.length)
         for r in self.resistors:

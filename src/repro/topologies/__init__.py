@@ -7,7 +7,14 @@ no dispatch table to edit.
 """
 
 from .active_inductor import build_active_inductor
-from .base import DeviceGroup, MeasureOutcome, MeasurementResult, OTATopology
+from .base import (
+    CornerSweep,
+    DeviceGroup,
+    MeasureOutcome,
+    MeasurementResult,
+    OTATopology,
+    binding_corner,
+)
 from .current_mirror import CurrentMirrorOTA
 from .five_t import FiveTransistorOTA
 from .registry import (
@@ -21,6 +28,8 @@ from .two_stage import TwoStageOTA
 
 __all__ = [
     "build_active_inductor",
+    "binding_corner",
+    "CornerSweep",
     "DeviceGroup",
     "MeasureOutcome",
     "MeasurementResult",

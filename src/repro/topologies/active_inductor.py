@@ -19,7 +19,9 @@ gate edge, and the ``-gm`` self-loop at node 1.
 
 from __future__ import annotations
 
-from ..devices import NMOS_65NM
+from typing import Optional
+
+from ..devices import VDD, CornerLike, NMOS_65NM, resolve_corner
 from ..spice import Circuit
 
 __all__ = ["build_active_inductor"]
@@ -31,17 +33,28 @@ def build_active_inductor(
     coupling_capacitance: float = 100e-15,
     gate_resistance: float = 10e3,
     bias_current: float = 50e-6,
-    vdd: float = 1.2,
+    vdd: Optional[float] = None,
+    corner: CornerLike = None,
 ) -> Circuit:
     """Build the Fig. 2(a) active-inductor circuit.
 
     The element names are chosen so that symbolic DP-SFG sequences read like
     the paper's: the resistor is named ``G`` (its conductance parameter) and
     the coupling capacitor ``C``.
+
+    The supply defaults to the technology's single nominal knob
+    (:data:`repro.devices.VDD` -- the same value :class:`~repro.topologies.OTATopology`
+    uses), scaled by ``corner``; an explicit ``vdd`` overrides it.  The
+    corner also skews the device's technology parameters.
     """
+    resolved = resolve_corner(corner)
+    if vdd is None:
+        vdd = resolved.supply(VDD)
     circuit = Circuit(name="active_inductor")
+    if not resolved.is_nominal:
+        circuit.corner = resolved
     circuit.add_vsource("VDD", "vdd", "0", vdd, ac=0.0)
-    circuit.add_mosfet("M", "vdd", "2", "1", NMOS_65NM, width, length)
+    circuit.add_mosfet("M", "vdd", "2", "1", resolved.apply_tech(NMOS_65NM), width, length)
     circuit.add_resistor("G", "2", "vdd", gate_resistance)
     circuit.add_capacitor("C", "1", "2", coupling_capacitance)
     # DC bias sink pulling the follower current out of the port node.

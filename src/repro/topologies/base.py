@@ -18,11 +18,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
-from ..devices import TechParams
+from ..devices import VDD, Corner, CornerLike, TechParams, resolve_corner, resolve_corners
 from ..dpsfg import DPSFG, build_dpsfg, enumerate_paths, PathInventory
 from ..spice import (
     Circuit,
@@ -36,7 +36,14 @@ from ..spice import (
     solve_dc_many,
 )
 
-__all__ = ["DeviceGroup", "OTATopology", "MeasurementResult", "MeasureOutcome"]
+__all__ = [
+    "DeviceGroup",
+    "OTATopology",
+    "MeasurementResult",
+    "MeasureOutcome",
+    "CornerSweep",
+    "binding_corner",
+]
 
 
 @dataclass(frozen=True)
@@ -96,6 +103,106 @@ class MeasureOutcome:
         return self.result is not None
 
 
+@dataclass
+class CornerSweep:
+    """One candidate's per-corner outcomes in a multi-corner bulk call.
+
+    Produced by :meth:`OTATopology.measure_many` (and the evaluation
+    backends) when a ``corners=`` axis is requested: ``outcomes[j]`` is the
+    candidate's :class:`MeasureOutcome` at ``corners[j]``, with the same
+    per-(candidate, corner) failure isolation the flat path gives per
+    candidate -- a design that converges at TT but not at SS holds a
+    failed outcome in the SS slot only.
+    """
+
+    widths: dict[str, float]
+    corners: tuple[Corner, ...]
+    outcomes: tuple[MeasureOutcome, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when every corner simulated successfully."""
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def n_ok(self) -> int:
+        """Number of corners that simulated successfully."""
+        return sum(1 for outcome in self.outcomes if outcome.ok)
+
+    def outcome(self, corner_name: str) -> MeasureOutcome:
+        """The outcome at the named corner."""
+        for corner, outcome in zip(self.corners, self.outcomes):
+            if corner.name == corner_name:
+                return outcome
+        raise KeyError(f"no corner named {corner_name!r} in this sweep")
+
+    def metrics_by_corner(self) -> dict[str, PerformanceMetrics]:
+        """Per-corner metrics of the converged corners, keyed by name."""
+        return {
+            corner.name: outcome.result.metrics
+            for corner, outcome in zip(self.corners, self.outcomes)
+            if outcome.ok
+        }
+
+    def worst_corner(self, spec) -> tuple[str, PerformanceMetrics]:
+        """The binding corner against ``spec``.
+
+        Ranked by (clamped total shortfall, signed total shortfall): a
+        failing corner always outranks a passing one by its miss, and when
+        every corner passes (all clamped shortfalls are 0) the signed
+        tie-break picks the corner with the *least margin* -- the one that
+        actually binds the worst-case guarantee.  Remaining ties resolve
+        to the first corner in sweep order, so the result is
+        deterministic.  Requires :attr:`ok` (every corner converged).
+        """
+        if not self.ok:
+            raise ValueError("worst_corner needs every corner to have converged")
+        return binding_corner(spec, self.metrics_by_corner())
+
+
+def binding_corner(
+    spec, metrics_by_corner: Mapping[str, PerformanceMetrics]
+) -> tuple[str, PerformanceMetrics]:
+    """The binding corner of a per-corner metrics map against ``spec``.
+
+    The ranking behind :meth:`CornerSweep.worst_corner`, reusable wherever
+    per-corner metrics exist without a sweep (e.g. re-ranking a cached
+    response against a near-duplicate request's own spec): maximal
+    (clamped shortfall, signed shortfall), ties to the first entry in
+    mapping order.
+    """
+    if not metrics_by_corner:
+        raise ValueError("binding_corner needs at least one corner's metrics")
+    worst_name: Optional[str] = None
+    worst_metrics: Optional[PerformanceMetrics] = None
+    worst_key: Optional[tuple[float, float]] = None
+    for name, metrics in metrics_by_corner.items():
+        key = (
+            float(sum(spec.miss_fractions(metrics).values())),
+            _signed_shortfall(spec, metrics),
+        )
+        if worst_key is None or key > worst_key:
+            worst_name, worst_metrics, worst_key = name, metrics, key
+    assert worst_name is not None and worst_metrics is not None
+    return worst_name, worst_metrics
+
+
+def _signed_shortfall(spec, metrics) -> float:
+    """Total *signed* relative shortfall (negative = margin; NaN counts 1).
+
+    The unclamped counterpart of ``DesignSpec.miss_fractions``: passing
+    metrics contribute their negative margin instead of 0, which is what
+    lets :meth:`CornerSweep.worst_corner` rank passing corners by how
+    little headroom they leave.
+    """
+    total = 0.0
+    for attr in ("gain_db", "f3db_hz", "ugf_hz"):
+        target = getattr(spec, attr)
+        value = getattr(metrics, attr)
+        total += 1.0 if value != value else (target - value) / target
+    return total
+
+
 class OTATopology(ABC):
     """Abstract OTA topology: subclasses define groups and netlist shape."""
 
@@ -105,8 +212,17 @@ class OTATopology(ABC):
     load_capacitance: float = 500e-15
     #: Channel length for all devices (the paper fixes ``L = 180 nm``).
     length: float = 180e-9
-    #: Supply voltage.
-    vdd: float = 1.2
+    #: Nominal supply voltage -- the single supply knob of the stack
+    #: (shared with :func:`repro.topologies.build_active_inductor`); PVT
+    #: corners scale it through :meth:`supply_voltage`.
+    vdd: float = VDD
+    #: Name of the voltage source driving the supply rail; corner supply
+    #: scaling rewrites this source's DC value.
+    supply_source: str = "VDD"
+    #: Name of the supply rail *node*; corner-aware initial guesses re-pin
+    #: this entry at the scaled rail.  Override together with
+    #: :attr:`supply_source` when a subclass wires its supply differently.
+    supply_node: str = "vdd"
     #: Default input common-mode voltage.
     vcm: float = 0.6
     #: Names of the differential input voltage sources.
@@ -192,6 +308,52 @@ class OTATopology(ABC):
         }
 
     # ------------------------------------------------------------------
+    # Corner-aware circuit construction
+    # ------------------------------------------------------------------
+    def supply_voltage(self, corner: CornerLike = None) -> float:
+        """The supply rail at ``corner`` (nominal :attr:`vdd` by default)."""
+        return resolve_corner(corner).supply(self.vdd)
+
+    def build_circuit(
+        self,
+        widths: Mapping[str, float],
+        vcm: Optional[float] = None,
+        corner: CornerLike = None,
+    ) -> Circuit:
+        """Construct the sized netlist at a PVT corner.
+
+        The nominal corner (default) is the identity: it returns exactly
+        what :meth:`build` produces, bit-identical to the pre-corner path.
+        A skewed corner rebuilds every MOSFET with corner-skewed
+        :class:`~repro.devices.TechParams` and rescales the DC value of
+        the :attr:`supply_source` voltage source.
+        """
+        resolved = resolve_corner(corner)
+        circuit = self.build(widths, vcm=vcm)
+        if resolved.is_nominal:
+            return circuit
+        return self._apply_corner(circuit, resolved)
+
+    def _apply_corner(self, circuit: Circuit, corner: Corner) -> Circuit:
+        """Rewrite a nominal netlist in place for a skewed corner."""
+        circuit.corner = corner
+        for slot, device in enumerate(circuit.mosfets):
+            circuit.mosfets[slot] = device.with_tech(corner.apply_tech(device.tech))
+        if corner.vdd_scale != 1.0:
+            supply = circuit.vsource(self.supply_source)
+            supply.dc = corner.supply(supply.dc)
+        return circuit
+
+    def initial_guess_for(self, corner: CornerLike = None) -> dict[str, float]:
+        """DC starting point at ``corner``: :meth:`initial_guess` with the
+        :attr:`supply_node` entry re-pinned at the corner's scaled rail."""
+        guess = dict(self.initial_guess())
+        resolved = resolve_corner(corner)
+        if resolved.vdd_scale != 1.0 and self.supply_node in guess:
+            guess[self.supply_node] = resolved.supply(self.vdd)
+        return guess
+
+    # ------------------------------------------------------------------
     # Measurement (one "SPICE simulation" of the paper's flow)
     # ------------------------------------------------------------------
     def measure(
@@ -199,10 +361,16 @@ class OTATopology(ABC):
         widths: Mapping[str, float],
         vcm: Optional[float] = None,
         frequencies: Optional[np.ndarray] = None,
+        corner: CornerLike = None,
     ) -> MeasurementResult:
-        """Build, solve DC, run AC and extract the paper's three metrics."""
-        circuit = self.build(widths, vcm=vcm)
-        dc = solve_dc(circuit, initial_guess=self.initial_guess())
+        """Build, solve DC, run AC and extract the paper's three metrics.
+
+        ``corner`` selects the PVT evaluation context (preset name,
+        :class:`~repro.devices.Corner` or override mapping); the default
+        nominal corner is bit-identical to the pre-corner flow.
+        """
+        circuit = self.build_circuit(widths, vcm=vcm, corner=corner)
+        dc = solve_dc(circuit, initial_guess=self.initial_guess_for(corner))
         ac = run_ac(dc, frequencies=frequencies)
         return self._package_measurement(circuit, dc, ac)
 
@@ -228,7 +396,9 @@ class OTATopology(ABC):
         widths_list: list,
         vcm: Optional[float] = None,
         frequencies: Optional[np.ndarray] = None,
-    ) -> list[MeasureOutcome]:
+        corner: CornerLike = None,
+        corners: Optional[Sequence[CornerLike]] = None,
+    ) -> list:
         """Measure a whole population of width vectors in one bulk pass.
 
         The batched counterpart of :meth:`measure`: the per-candidate DC
@@ -238,23 +408,43 @@ class OTATopology(ABC):
         population x frequency grid (:func:`repro.spice.run_ac_many`).
         Metrics are bit-identical to calling :meth:`measure` per candidate.
 
-        Failures are isolated per candidate: a design whose DC solve does
-        not converge (or whose width vector cannot be built) yields a
-        ``MeasureOutcome`` with ``ok=False`` instead of raising, so one bad
-        design never aborts a population evaluation.
+        ``corner`` evaluates the whole population at one PVT corner
+        (default nominal, bit-identical to the pre-corner path) and returns
+        a flat ``list[MeasureOutcome]``.  ``corners`` adds a corner *axis*:
+        every candidate is evaluated at every corner, the
+        population x corner pairs stack into the same batched DC/AC solves
+        (one Newton batch and one complex factorization per circuit
+        structure), and the return value is a ``list[CornerSweep]`` aligned
+        with ``widths_list``.
+
+        Failures are isolated per candidate (per candidate-corner pair on
+        the corner axis): a design whose DC solve does not converge (or
+        whose width vector cannot be built) yields an outcome with
+        ``ok=False`` instead of raising, so one bad design never aborts a
+        population evaluation.
         """
+        if corners is not None:
+            if corner is not None:
+                raise ValueError("pass either corner= or corners=, not both")
+            resolved_corners = resolve_corners(corners)
+            if not resolved_corners:
+                raise ValueError("corners must be non-empty (use corner=None for nominal)")
+            return self._measure_corner_sweeps(
+                widths_list, resolved_corners, vcm=vcm, frequencies=frequencies
+            )
+
         outcomes = [MeasureOutcome(widths=dict(widths)) for widths in widths_list]
         buildable: list[int] = []
         circuits: list[Circuit] = []
         for index, widths in enumerate(widths_list):
             try:
-                circuits.append(self.build(widths, vcm=vcm))
+                circuits.append(self.build_circuit(widths, vcm=vcm, corner=corner))
             except (KeyError, ValueError) as error:
                 outcomes[index].error = str(error)
                 continue
             buildable.append(index)
 
-        solutions = solve_dc_many(circuits, initial_guess=self.initial_guess())
+        solutions = solve_dc_many(circuits, initial_guess=self.initial_guess_for(corner))
         solved: list[tuple[int, Circuit, DCSolution]] = []
         for index, circuit, solution in zip(buildable, circuits, solutions):
             if isinstance(solution, ConvergenceError):
@@ -266,6 +456,53 @@ class OTATopology(ABC):
         for (index, circuit, dc), ac in zip(solved, ac_results):
             outcomes[index].result = self._package_measurement(circuit, dc, ac)
         return outcomes
+
+    def _measure_corner_sweeps(
+        self,
+        widths_list: list,
+        corners: tuple[Corner, ...],
+        vcm: Optional[float],
+        frequencies: Optional[np.ndarray],
+    ) -> list[CornerSweep]:
+        """Bulk-evaluate population x corners; see :meth:`measure_many`.
+
+        All candidate-corner pairs are built up front and handed to *one*
+        ``solve_dc_many`` / ``run_ac_many`` pass: the DC structure key is
+        corner-agnostic, so the whole block factorizes together instead of
+        once per corner (``bench_table8``'s corner-throughput mode pins the
+        resulting >=2x over per-corner sequential evaluation).
+        """
+        rows = [[MeasureOutcome(widths=dict(widths)) for _ in corners] for widths in widths_list]
+        corner_guesses = [self.initial_guess_for(corner) for corner in corners]
+        pair_slots: list[tuple[int, int]] = []
+        circuits: list[Circuit] = []
+        guesses: list[dict[str, float]] = []
+        for i, widths in enumerate(widths_list):
+            for j, corner in enumerate(corners):
+                try:
+                    circuit = self.build_circuit(widths, vcm=vcm, corner=corner)
+                except (KeyError, ValueError) as error:
+                    rows[i][j].error = str(error)
+                    continue
+                pair_slots.append((i, j))
+                circuits.append(circuit)
+                guesses.append(corner_guesses[j])
+
+        solutions = solve_dc_many(circuits, initial_guess=guesses)
+        solved: list[tuple[int, int, Circuit, DCSolution]] = []
+        for (i, j), circuit, solution in zip(pair_slots, circuits, solutions):
+            if isinstance(solution, ConvergenceError):
+                rows[i][j].error = str(solution)
+            else:
+                solved.append((i, j, circuit, solution))
+
+        ac_results = run_ac_many([dc for _, _, _, dc in solved], frequencies=frequencies)
+        for (i, j, circuit, dc), ac in zip(solved, ac_results):
+            rows[i][j].result = self._package_measurement(circuit, dc, ac)
+        return [
+            CornerSweep(widths=dict(widths), corners=corners, outcomes=tuple(row))
+            for widths, row in zip(widths_list, rows)
+        ]
 
     def regions_ok(self, dc: DCSolution) -> bool:
         """Check the paper's region-of-operation constraints (Sec. IV-A)."""

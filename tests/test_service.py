@@ -845,6 +845,47 @@ class TestCLI:
         assert bad.success is False and "bad request line" in bad.error
         assert exit_code == 1  # the malformed line is a tool-level failure
 
+    def test_bad_corners_flag_is_a_tool_error(self, capsys):
+        from repro.service.cli import main
+
+        # Rejected before the bundle is even opened.
+        exit_code = main(["size", "--bundle", "/nonexistent", "--corners", "tt,sf"])
+        assert exit_code == 2
+        assert "bad --corners" in capsys.readouterr().err
+        # An empty override would silently disable per-request corner
+        # verification stream-wide; it must be refused the same way.
+        exit_code = main(["size", "--bundle", "/nonexistent", "--corners", " , "])
+        assert exit_code == 2
+        assert "bad --corners" in capsys.readouterr().err
+
+    def test_corners_flag_overrides_requests(self, tiny_artifacts, tmp_path):
+        from repro.service.cli import main
+
+        bundle = tmp_path / "bundle"
+        tiny_artifacts.model.save(bundle)
+        record = tiny_artifacts.val_records["5T-OTA"][0]
+        request = SizingRequest.for_spec(
+            "5T-OTA", record.gain_db, record.f3db_hz, record.ugf_hz,
+            id="cli-c1", max_iterations=1,
+        )
+        requests_file = tmp_path / "requests.jsonl"
+        requests_file.write_text(request.to_json_line() + "\n")
+        responses_file = tmp_path / "responses.jsonl"
+        exit_code = main([
+            "size", "--bundle", str(bundle), "--corners", "tt,ss",
+            "-i", str(requests_file), "-o", str(responses_file),
+        ])
+        assert exit_code == 0
+        response = SizingResponse.from_json_line(responses_file.read_text().splitlines()[0])
+        assert response.request_id == "cli-c1"
+        # Corner-aware verification: whenever a design was measured, the
+        # response reports it per corner with the binding worst corner.
+        if response.metrics is not None:
+            assert set(response.corner_metrics) == {"tt", "ss"}
+            assert response.worst_corner in {"tt", "ss"}
+        else:
+            assert response.corner_metrics is None
+
     def test_size_infeasible_spec_is_not_a_tool_failure(self, tiny_artifacts, tmp_path):
         """success=false with error=null must exit 0: the service worked."""
         from repro.service.cli import main
