@@ -33,6 +33,12 @@ the tt/ss/ff PVT corners through the stacked-corner batched path (the
 population x corner block shares one DC Newton batch and one stacked AC
 factorization) vs per-corner sequential evaluation, outcomes pinned
 bit-identical per (candidate, corner) pair and >=2x asserted.
+
+``test_table8_tran_throughput`` benchmarks the batched transient engine
+(model-free, CI smoke): a population's step responses integrated through
+``run_tran_many`` (candidate-vectorized Newton per time step, one
+stacked linear solve per iteration) vs the per-candidate sequential
+``run_tran`` loop, waveforms pinned bit-identical and >=2x asserted.
 """
 
 import time
@@ -61,6 +67,10 @@ N_CORNER_POP = 16
 CORNER_REPEATS = 3
 #: PVT corner axis of the corner-throughput comparison.
 CORNER_AXIS = ("tt", "ss", "ff")
+
+#: Population and repeats of the transient-throughput comparison.
+N_TRAN_POP = 12
+TRAN_REPEATS = 3
 
 PAPER_ROWS = {
     "5T-OTA": "paper: 8.5h train | 95/100 single (37s) | 5/100 multi (111s, ~3 iters)",
@@ -421,5 +431,81 @@ def test_table8_corner_throughput(topologies):
         "outcomes: bit-identical per (candidate, corner) pair",
     ]
     write_result("table8_corner_throughput", lines)
+
+    assert speedup >= 2.0
+
+
+# ----------------------------------------------------------------------
+# Transient (step-response) integration throughput (batched vs sequential)
+# ----------------------------------------------------------------------
+def test_table8_tran_throughput(topologies):
+    """Batched ``run_tran_many`` vs the per-candidate ``run_tran`` loop:
+    bit-identical waveforms, >=2x wall-clock on a candidate population.
+
+    Model-free: the population is random simulatable designs whose DC
+    operating points are solved once up front, so the timed difference
+    isolates the transient integration stage -- the candidate-vectorized
+    Newton per time step with one stacked linear solve per iteration vs
+    one full scalar integration per candidate.
+    """
+    from repro.spice import ConvergenceError, run_tran, run_tran_many, solve_dc
+
+    topology = topologies["5T-OTA"]
+    rng = np.random.default_rng(31)
+    space = SearchSpace(topology)
+    solutions = []
+    attempts = 0
+    while len(solutions) < N_TRAN_POP and attempts < N_TRAN_POP * 20:
+        attempts += 1
+        widths = space.decode(space.random_point(rng))
+        try:
+            circuit = topology.build(widths)
+            solutions.append(solve_dc(circuit, initial_guess=topology.initial_guess()))
+        except ConvergenceError:
+            continue
+    assert len(solutions) >= N_TRAN_POP // 2, "too few simulatable designs"
+
+    kwargs = dict(
+        t_stop=topology.tran_t_stop,
+        n_steps=topology.tran_steps,
+        method=topology.tran_method,
+        step_amplitude=topology.tran_step_v,
+    )
+
+    # Warm both paths (imports, first-touch allocations).
+    run_tran(solutions[0], **kwargs)
+    run_tran_many(solutions[:2], **kwargs)
+
+    sequential_s = batched_s = float("inf")
+    for _ in range(TRAN_REPEATS):
+        start = time.perf_counter()
+        sequential = [run_tran(solution, **kwargs) for solution in solutions]
+        sequential_s = min(sequential_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        batched = run_tran_many(solutions, **kwargs)
+        batched_s = min(batched_s, time.perf_counter() - start)
+
+    # Parity: bit-identical waveforms, candidate by candidate.
+    for reference, result in zip(sequential, batched):
+        assert np.array_equal(reference.times, result.times)
+        assert np.array_equal(reference.waveforms, result.waveforms)
+        assert reference.newton_iterations == result.newton_iterations
+
+    count = len(solutions)
+    speedup = sequential_s / batched_s
+    lines = [
+        "Table VIII addendum -- transient integration throughput",
+        "",
+        f"population: {count} candidates x {topology.tran_steps} time steps "
+        f"({topology.tran_method}, t_stop={topology.tran_t_stop:.0e} s), "
+        f"best of {TRAN_REPEATS} runs",
+        f"per-candidate sequential integration: {sequential_s:8.3f} s "
+        f"({count / sequential_s:7.1f} candidates/s)",
+        f"batched run_tran_many integration:    {batched_s:8.3f} s "
+        f"({count / batched_s:7.1f} candidates/s)",
+        f"transient-integration speedup: {speedup:.1f}x",
+        "waveforms: bit-identical to the sequential loop",
+    ]
+    write_result("table8_tran_throughput", lines)
 
     assert speedup >= 2.0

@@ -1,0 +1,65 @@
+"""Regenerate the golden transient traces under tests/golden/.
+
+Run after an *intentional* change to the transient engine or the device
+models, then review the waveform diff before committing::
+
+    PYTHONPATH=src python scripts/build_golden_traces.py
+
+The fixture pins, for every registered topology at the nominal corner,
+the step response of the known-good design from ``tests/conftest.py``:
+a downsampled output waveform at full float precision plus the derived
+transient metrics.  ``tests/test_tran.py`` diffs future solver/stamp
+refactors against these known-good waveforms.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))
+
+#: Keep every Nth sample (plus the final one) so the fixture stays small.
+SAMPLE_EVERY = 5
+
+
+def main() -> None:
+    from repro.topologies import available_topologies, topology_by_name
+    from tests.conftest import GOOD_WIDTHS
+
+    golden: dict[str, dict] = {}
+    for name in available_topologies():
+        topology = topology_by_name(name)
+        widths = GOOD_WIDTHS[name]
+        measurement = topology.measure(widths, analyses=("dc", "ac", "tran"))
+        tran = measurement.tran
+        keep = sorted(set(range(0, len(tran.times), SAMPLE_EVERY)) | {len(tran.times) - 1})
+        metrics = measurement.metrics
+        golden[name] = {
+            "widths": widths,
+            "t_stop": topology.tran_t_stop,
+            "n_steps": topology.tran_steps,
+            "method": topology.tran_method,
+            "step_amplitude": topology.tran_step_v,
+            "output_node": topology.output_node,
+            "sample_indices": keep,
+            "times": [tran.times[i] for i in keep],
+            "output": [float(tran.voltage(topology.output_node)[i]) for i in keep],
+            "metrics": {
+                "slew_v_per_s": metrics.slew_v_per_s,
+                "settling_time_s": metrics.settling_time_s,
+                "overshoot_frac": metrics.overshoot_frac,
+            },
+        }
+
+    out = REPO / "tests" / "golden" / "tran_traces.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(golden)} topologies)")
+
+
+if __name__ == "__main__":
+    main()

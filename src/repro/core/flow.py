@@ -146,6 +146,7 @@ class SizingFlow:
         max_iterations: int = 6,
         rel_tol: float = 0.0,
         corners: Sequence = (),
+        analyses: Optional[Sequence[str]] = None,
     ) -> SizingResult:
         """Run the full Fig. 3 flow for one specification.
 
@@ -153,9 +154,17 @@ class SizingFlow:
         objects) turns Stage IV into a worst-case-across-corners
         verification: the result succeeds only when every corner meets the
         spec, and reports per-corner metrics plus the binding corner.
+
+        ``analyses`` selects the Stage IV measurement pipeline (see
+        :func:`repro.topologies.resolve_analyses`); a spec with transient
+        targets pulls the transient analysis in automatically.
         """
         return self.size_many(
-            [spec], max_iterations=max_iterations, rel_tol=rel_tol, corners=corners
+            [spec],
+            max_iterations=max_iterations,
+            rel_tol=rel_tol,
+            corners=corners,
+            analyses=analyses,
         )[0]
 
     def size_many(
@@ -164,6 +173,7 @@ class SizingFlow:
         max_iterations: int = 6,
         rel_tol: float = 0.0,
         corners: Sequence = (),
+        analyses: Optional[Sequence[str]] = None,
     ) -> list[SizingResult]:
         """Run the flow for many specifications with batched inference
         and batched verification.
@@ -174,11 +184,13 @@ class SizingFlow:
         bit-identical to calling :meth:`size` per spec, in input order,
         with full iteration traces.  With ``corners`` the round's
         verification stacks the corner axis into the same batched solves
-        (see :meth:`size`).
+        (see :meth:`size`); with transient analyses the round's
+        step-response integrations batch the same way.
         """
         from ..service.requests import SizingRequest
 
         self._sync_engine()
+        extra = {} if analyses is None else {"analyses": tuple(analyses)}
         requests = [
             SizingRequest(
                 topology=self.topology.name,
@@ -186,6 +198,7 @@ class SizingFlow:
                 max_iterations=max_iterations,
                 rel_tol=rel_tol,
                 corners=tuple(corners),
+                **extra,
             )
             for spec in specs
         ]

@@ -50,12 +50,25 @@ class ResultCache:
         resolved ``corners`` tuple is part of the key too: a worst-case
         verdict at one corner set says nothing about another, so requests
         differing only in corners must never collide (pinned by tests).
+        So are the quantized transient targets (``None`` when unset) and
+        the ``analyses`` selector: a verdict judged against different
+        time-domain targets -- or measured by a different pipeline --
+        must never transfer.
         """
         return (
             request.topology,
             quantize_spec(request.spec.gain_db),
             quantize_spec(request.spec.f3db_hz),
             quantize_spec(request.spec.ugf_hz),
+            tuple(
+                None if value is None else quantize_spec(value)
+                for value in (
+                    request.spec.slew_v_per_s,
+                    request.spec.settling_time_s,
+                    request.spec.overshoot_frac,
+                )
+            ),
+            request.analyses,
             request.max_iterations,
             request.rel_tol,
             request.method,

@@ -18,6 +18,12 @@ Subcommands:
         python -m repro size --bundle path/to/bundle --method pso --budget 400 ...
         python -m repro size --bundle path/to/bundle --corners tt,ss,ff ...
 
+    ``--analyses dc,ac,tran`` additionally integrates each verified
+    design's step-response testbench and reports the transient metrics
+    (slew rate, settling time, overshoot)::
+
+        python -m repro size --bundle path/to/bundle --analyses dc,ac,tran ...
+
 ``train``
     Run the one-time training pipeline and save the model bundle::
 
@@ -87,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "to every request (overrides the per-request 'corners' "
                            "field); a request succeeds only when the design meets "
                            "spec at every corner")
+    size.add_argument("--analyses", default=None, metavar="A1,A2,...",
+                      help="comma-separated analyses selector applied to every "
+                           "request (overrides the per-request 'analyses' field): "
+                           "'dc,ac' (default pipeline) or 'dc,ac,tran' to also "
+                           "integrate the step-response testbench and report "
+                           "slew/settling/overshoot metrics")
     size.add_argument("--stats", action="store_true",
                       help="print engine serving counters to stderr when done")
 
@@ -136,6 +148,7 @@ def _batched_lines(stream: IO[str], batch_size: int) -> Iterator[list[str]]:
 def _run_size(args: argparse.Namespace) -> int:
     from ..core.bundle import SizingModel
     from ..devices import resolve_corners
+    from ..topologies import resolve_analyses
 
     if args.method is not None and args.method not in available_solvers():
         print(
@@ -157,6 +170,16 @@ def _run_size(args: argparse.Namespace) -> int:
             # verification stream-wide; refuse it like a bad preset name.
             print(f"error: bad --corners: {error}", file=sys.stderr)
             return 2
+    analyses = None
+    if args.analyses is not None:
+        try:
+            names = [name.strip() for name in args.analyses.split(",") if name.strip()]
+            if not names:
+                raise ValueError("no analysis names given")
+            analyses = resolve_analyses(names)
+        except ValueError as error:
+            print(f"error: bad --analyses: {error}", file=sys.stderr)
+            return 2
     if not (args.bundle / "bundle.json").exists():
         print(
             f"error: no model bundle at {args.bundle} "
@@ -174,6 +197,8 @@ def _run_size(args: argparse.Namespace) -> int:
         overrides["budget"] = args.budget
     if corners is not None:
         overrides["corners"] = corners
+    if analyses is not None:
+        overrides["analyses"] = analyses
 
     source = _open_input(args.input)
     sink = _open_output(args.output)

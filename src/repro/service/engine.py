@@ -51,7 +51,7 @@ from ..core.specs import DesignSpec
 from ..datagen.serialize import ParsedParams
 from ..lut import DeviceParams, estimate_width
 from ..solvers.backend import BatchedBackend, EvalBackend
-from ..spice import PerformanceMetrics
+from ..spice import TRAN_METRIC_DIRECTIONS, PerformanceMetrics
 from ..topologies import MeasureOutcome, OTATopology, topology_by_name
 from .cache import ResultCache
 from .requests import SizingRequest, SizingResponse
@@ -61,6 +61,23 @@ __all__ = ["SizingEngine", "EngineStats"]
 #: Retry nudge applied when an iteration produced nothing verifiable
 #: (unparseable decode, inconsistent widths, or a non-converging design).
 _NUDGE = {"gain_db": 1.01, "f3db_hz": 1.02, "ugf_hz": 1.02}
+
+
+def _derated_spec(spec: DesignSpec, rel_tol: float) -> DesignSpec:
+    """The spec a registry-dispatched solver chases under ``rel_tol``.
+
+    Loosens every target the way Stage IV's ``satisfied(rel_tol=...)``
+    does: minimum targets (the AC triple, slew rate) derate down by
+    ``1 - rel_tol``, maximum targets (settling time, overshoot) inflate
+    up by ``1 + rel_tol``.
+    """
+    if not rel_tol:
+        return spec
+    derate = 1.0 - rel_tol
+    factors = {"gain_db": derate, "f3db_hz": derate, "ugf_hz": derate}
+    for name, direction in TRAN_METRIC_DIRECTIONS.items():
+        factors[name] = derate if direction == "min" else 1.0 + rel_tol
+    return spec.scaled(factors)
 
 
 @dataclass
@@ -222,27 +239,32 @@ class SizingEngine:
             )
             # Stage III for every request of the round; the candidates that
             # survive width estimation queue up for one bulk verification
-            # per (topology, corner axis) instead of one simulation per
-            # request -- corner requests stack population x corners into
-            # the same batched solves.
+            # per (topology, corner axis, analyses pipeline) instead of one
+            # simulation per request -- corner requests stack
+            # population x corners into the same batched solves, and
+            # transient requests batch their step-response integrations.
             verifiable: dict[tuple, list[tuple[_ActiveRequest, dict[str, float]]]] = {}
             for name, group in by_topology.items():
                 for state, (parsed, text) in zip(group, outputs[name]):
                     widths = self._stage_iii(state, parsed, text)
                     if widths is not None:
-                        key = (name, state.request.corners)
+                        key = (name, state.request.corners, state.request.analyses)
                         verifiable.setdefault(key, []).append((state, widths))
-            for (name, corners), pairs in verifiable.items():
+            for (name, corners, analyses), pairs in verifiable.items():
                 topology = pairs[0][0].topology
                 widths_list = [widths for _, widths in pairs]
+                # The analyses keyword travels only on non-default
+                # pipelines, so custom backends with the pre-transient
+                # signature keep serving AC-only rounds unchanged.
+                kwargs = {} if "tran" not in analyses else {"analyses": analyses}
                 if corners:
                     sweeps = self.backend.measure_many(
-                        topology, widths_list, corners=corners
+                        topology, widths_list, corners=corners, **kwargs
                     )
                     for (state, widths), sweep in zip(pairs, sweeps):
                         self._stage_iv_corners(state, widths, sweep)
                 else:
-                    outcomes = self.backend.measure_many(topology, widths_list)
+                    outcomes = self.backend.measure_many(topology, widths_list, **kwargs)
                     for (state, widths), outcome in zip(pairs, outcomes):
                         self._stage_iv(state, widths, outcome)
             active = [s for s in active if s.result is None]
@@ -284,7 +306,11 @@ class SizingEngine:
 
         if not outcome.ok:
             # Non-converging design (the backend's per-candidate stand-in
-            # for ConvergenceError): costs no simulation, nudge and retry.
+            # for ConvergenceError, from any analysis leg -- DC Newton or
+            # transient integration): counts as no completed verification
+            # simulation, matching the scalar path's convention that a
+            # failed measure() costs nothing regardless of partial work.
+            # Nudge and retry.
             s.trace.append(IterationTrace(requested, text, True, widths, None, False))
             s.current = requested.scaled(_NUDGE)
             return self._finish_if_exhausted(s)
@@ -431,13 +457,19 @@ class SizingEngine:
         except KeyError as error:
             return error_response(str(error))
 
+        solver_kwargs = {}
+        if "tran" in request.analyses:
+            # Only non-default pipelines travel, so solvers registered
+            # before the transient extension keep working unchanged.
+            solver_kwargs["analyses"] = request.analyses
         solver = factory(
-            topology, model=self.model, backend=self.backend, corners=request.corners
+            topology,
+            model=self.model,
+            backend=self.backend,
+            corners=request.corners,
+            **solver_kwargs,
         )
-        spec = request.spec
-        if request.rel_tol:
-            derate = 1.0 - request.rel_tol
-            spec = spec.scaled({"gain_db": derate, "f3db_hz": derate, "ugf_hz": derate})
+        spec = _derated_spec(request.spec, request.rel_tol)
         rng = np.random.default_rng(zlib.crc32(request.id.encode("utf-8")))
         result = solver.solve(spec, budget=request.budget, rng=rng)
         self.stats.spice_simulations += result.spice_calls
@@ -549,6 +581,7 @@ class SizingEngine:
                 key = (
                     request.topology, request.spec,
                     request.iteration_budget, request.rel_tol, request.corners,
+                    request.analyses,
                 )
                 if key in leaders:
                     followers[index] = leaders[key]

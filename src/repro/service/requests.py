@@ -24,6 +24,14 @@ nominal single-corner flow, bit-identical to the pre-corner service.
 With corners, a request succeeds only when the sized design meets the
 spec at **every** corner (worst-case semantics).
 
+Transient (step-response) targets are optional spec fields:
+``slew_v_per_s`` (minimum slew rate), ``settling_time_s`` (maximum
+settling time) and ``overshoot_frac`` (maximum overshoot).  ``analyses``
+selects the measurement pipeline (``["dc", "ac"]`` default,
+``["dc", "ac", "tran"]`` adds the transient); a request with transient
+targets automatically pulls ``"tran"`` in.  Absent transient keys keep
+the request bit-identical to the pre-transient wire format.
+
 Response line::
 
     {"request_id": "req-000001", "topology": "5T-OTA", "method": "copilot",
@@ -49,24 +57,34 @@ from typing import Any, Mapping, Optional
 
 from ..core.specs import DesignSpec
 from ..devices import Corner, resolve_corners
-from ..spice import PerformanceMetrics
+from ..spice import TRAN_METRIC_NAMES, PerformanceMetrics
+from ..topologies import DEFAULT_ANALYSES, TRAN_ANALYSES, resolve_analyses
 
 __all__ = ["SizingRequest", "SizingResponse"]
 
 
 def _metrics_json(metrics: Optional[PerformanceMetrics]) -> Optional[dict[str, Any]]:
-    """Flat JSON form of one metrics triple (non-finite values -> null)."""
+    """Flat JSON form of one metrics bundle (non-finite values -> null).
+
+    Transient metric keys appear only when measured, so AC-only responses
+    keep the pre-transient payload byte-identical.
+    """
     if metrics is None:
         return None
 
     def finite(value: float) -> Optional[float]:
         return value if math.isfinite(value) else None
 
-    return {
+    payload = {
         "gain_db": finite(metrics.gain_db),
         "f3db_hz": finite(metrics.f3db_hz),
         "ugf_hz": finite(metrics.ugf_hz),
     }
+    for name in TRAN_METRIC_NAMES:
+        value = getattr(metrics, name)
+        if value is not None:
+            payload[name] = finite(value)
+    return payload
 
 
 def _metrics_from_json(payload: Optional[Mapping[str, Any]]) -> Optional[PerformanceMetrics]:
@@ -77,7 +95,13 @@ def _metrics_from_json(payload: Optional[Mapping[str, Any]]) -> Optional[Perform
         raw = payload[key]
         return float("nan") if raw is None else float(raw)
 
-    return PerformanceMetrics(value("gain_db"), value("f3db_hz"), value("ugf_hz"))
+    kwargs = {}
+    for name in TRAN_METRIC_NAMES:
+        if name in payload:
+            kwargs[name] = value(name)
+    return PerformanceMetrics(
+        value("gain_db"), value("f3db_hz"), value("ugf_hz"), **kwargs
+    )
 
 _request_ids = itertools.count(1)
 
@@ -95,6 +119,11 @@ class SizingRequest:
     normalized to resolved corners at construction.  Empty (the default)
     means the nominal single-corner flow; non-empty requests succeed only
     when the design meets spec at every listed corner.
+
+    ``analyses`` selects the measurement pipeline and is normalized to
+    its canonical tuple at construction; a spec with transient targets
+    automatically pulls ``"tran"`` in, so such a request can never be
+    silently judged without the measurement it depends on.
     """
 
     topology: str
@@ -105,6 +134,7 @@ class SizingRequest:
     method: str = "copilot"
     budget: Optional[int] = None
     corners: tuple[Corner, ...] = ()
+    analyses: tuple[str, ...] = DEFAULT_ANALYSES
 
     def __post_init__(self) -> None:
         if not self.topology or not isinstance(self.topology, str):
@@ -123,6 +153,10 @@ class SizingRequest:
         # objects) to resolved, hashable Corner tuples: the cache key and
         # in-batch coalescing compare them structurally.
         object.__setattr__(self, "corners", resolve_corners(self.corners))
+        resolved_analyses = resolve_analyses(self.analyses)
+        if self.spec.requires_tran:
+            resolved_analyses = TRAN_ANALYSES
+        object.__setattr__(self, "analyses", resolved_analyses)
 
     @property
     def iteration_budget(self) -> int:
@@ -143,7 +177,7 @@ class SizingRequest:
         return cls(topology=topology, spec=DesignSpec(gain_db, f3db_hz, ugf_hz), **kwargs)
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        payload = {
             "id": self.id,
             "topology": self.topology,
             "gain_db": self.spec.gain_db,
@@ -155,6 +189,14 @@ class SizingRequest:
             "budget": self.budget,
             "corners": [corner.to_json() for corner in self.corners],
         }
+        # Transient spec targets and a non-default analyses selector are
+        # emitted only when present, keeping AC-only request lines
+        # byte-identical to the pre-transient wire format.
+        for name, value in self.spec.tran_targets().items():
+            payload[name] = value
+        if self.analyses != DEFAULT_ANALYSES:
+            payload["analyses"] = list(self.analyses)
+        return payload
 
     def to_json_line(self) -> str:
         return json.dumps(self.to_json(), sort_keys=True)
@@ -165,6 +207,7 @@ class SizingRequest:
         known = {
             "id", "topology", "gain_db", "f3db_hz", "ugf_hz",
             "max_iterations", "rel_tol", "method", "budget", "corners",
+            "analyses", *TRAN_METRIC_NAMES,
         }
         unknown = set(payload) - known
         if unknown:
@@ -172,10 +215,15 @@ class SizingRequest:
         missing = {"topology", "gain_db", "f3db_hz", "ugf_hz"} - set(payload)
         if missing:
             raise ValueError(f"missing request fields: {sorted(missing)}")
+        spec_kwargs: dict[str, Any] = {}
+        for name in TRAN_METRIC_NAMES:
+            if payload.get(name) is not None:
+                spec_kwargs[name] = float(payload[name])
         spec = DesignSpec(
             gain_db=float(payload["gain_db"]),
             f3db_hz=float(payload["f3db_hz"]),
             ugf_hz=float(payload["ugf_hz"]),
+            **spec_kwargs,
         )
         kwargs: dict[str, Any] = {}
         if "id" in payload:
@@ -190,6 +238,8 @@ class SizingRequest:
             kwargs["budget"] = int(payload["budget"])
         if payload.get("corners"):
             kwargs["corners"] = tuple(payload["corners"])
+        if payload.get("analyses"):
+            kwargs["analyses"] = tuple(payload["analyses"])
         return cls(topology=str(payload["topology"]), spec=spec, **kwargs)
 
     @classmethod

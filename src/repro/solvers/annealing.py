@@ -35,12 +35,15 @@ class SimulatedAnnealingSolver(SearchSolver):
         backend=None,
         model=None,
         corners=None,
+        analyses=None,
         chains: int = 4,
         initial_temperature: float = 1.0,
         cooling: float = 0.97,
         step_scale: float = 0.15,
     ):
-        super().__init__(topology, backend=backend, model=model, corners=corners)
+        super().__init__(
+            topology, backend=backend, model=model, corners=corners, analyses=analyses
+        )
         if chains < 1:
             raise ValueError("chains must be >= 1")
         self.chains = chains

@@ -46,6 +46,7 @@ class EvalBackend(ABC):
         topology: OTATopology,
         widths_list: Sequence[Mapping[str, float]],
         corners: Optional[Sequence[CornerLike]] = None,
+        analyses: Optional[Sequence[str]] = None,
     ) -> list:
         """Measure every candidate; one aligned outcome per width vector.
 
@@ -54,6 +55,13 @@ class EvalBackend(ABC):
         A corner sequence evaluates every candidate at every corner and
         returns ``list[CornerSweep]`` with per-(candidate, corner)
         isolation.
+
+        ``analyses`` selects the measurement pipeline (see
+        :func:`repro.topologies.resolve_analyses`); ``None`` is the
+        AC-only default, bit-identical to the pre-transient contract.
+        Callers only pass the keyword when a non-default pipeline is
+        requested, so backends implementing the narrower pre-transient
+        signature keep working on the default path.
         """
 
     def measure(
@@ -61,11 +69,13 @@ class EvalBackend(ABC):
         topology: OTATopology,
         widths: Mapping[str, float],
         corner: CornerLike = None,
+        analyses: Optional[Sequence[str]] = None,
     ) -> MeasureOutcome:
         """Single-candidate convenience wrapper over :meth:`measure_many`."""
+        kwargs = {} if analyses is None else {"analyses": analyses}
         if corner is None:
-            return self.measure_many(topology, [widths])[0]
-        sweep = self.measure_many(topology, [widths], corners=(corner,))[0]
+            return self.measure_many(topology, [widths], **kwargs)[0]
+        sweep = self.measure_many(topology, [widths], corners=(corner,), **kwargs)[0]
         return sweep.outcomes[0]
 
 
@@ -78,6 +88,7 @@ class ScalarBackend(EvalBackend):
         topology: OTATopology,
         widths_list: Sequence[Mapping[str, float]],
         corners: Optional[Sequence[CornerLike]] = None,
+        analyses: Optional[Sequence[str]] = None,
     ) -> list:
         if corners is not None:
             resolved = resolve_corners(corners)
@@ -87,13 +98,14 @@ class ScalarBackend(EvalBackend):
                 # would yield vacuous all-pass sweeps.
                 raise ValueError("corners must be non-empty (use corners=None for nominal)")
             return [
-                self._sweep_one(topology, widths, resolved) for widths in widths_list
+                self._sweep_one(topology, widths, resolved, analyses)
+                for widths in widths_list
             ]
         outcomes: list[MeasureOutcome] = []
         for widths in widths_list:
             outcome = MeasureOutcome(widths=dict(widths))
             try:
-                outcome.result = topology.measure(widths)
+                outcome.result = topology.measure(widths, analyses=analyses)
             except (ConvergenceError, KeyError, ValueError) as error:
                 outcome.error = str(error)
             outcomes.append(outcome)
@@ -104,12 +116,13 @@ class ScalarBackend(EvalBackend):
         topology: OTATopology,
         widths: Mapping[str, float],
         corners: tuple[Corner, ...],
+        analyses: Optional[Sequence[str]] = None,
     ) -> CornerSweep:
         outcomes = []
         for corner in corners:
             outcome = MeasureOutcome(widths=dict(widths))
             try:
-                outcome.result = topology.measure(widths, corner=corner)
+                outcome.result = topology.measure(widths, corner=corner, analyses=analyses)
             except (ConvergenceError, KeyError, ValueError) as error:
                 outcome.error = str(error)
             outcomes.append(outcome)
@@ -124,7 +137,9 @@ class BatchedBackend(EvalBackend):
         topology: OTATopology,
         widths_list: Sequence[Mapping[str, float]],
         corners: Optional[Sequence[CornerLike]] = None,
+        analyses: Optional[Sequence[str]] = None,
     ) -> list:
+        kwargs = {} if analyses is None else {"analyses": analyses}
         if corners is not None:
-            return topology.measure_many(list(widths_list), corners=corners)
-        return topology.measure_many(list(widths_list))
+            return topology.measure_many(list(widths_list), corners=corners, **kwargs)
+        return topology.measure_many(list(widths_list), **kwargs)

@@ -38,7 +38,13 @@ import numpy as np
 from ..core.specs import DesignSpec
 from ..devices import Corner, CornerLike, resolve_corners
 from ..spice import PerformanceMetrics
-from ..topologies import CornerSweep, MeasureOutcome, OTATopology
+from ..topologies import (
+    TRAN_ANALYSES,
+    CornerSweep,
+    MeasureOutcome,
+    OTATopology,
+    resolve_analyses,
+)
 from .backend import BatchedBackend, EvalBackend
 
 __all__ = [
@@ -131,6 +137,7 @@ class SearchObjective:
         backend: Optional[EvalBackend] = None,
         check_regions: bool = False,
         corners: Optional[Sequence[CornerLike]] = None,
+        analyses: Optional[Sequence[str]] = None,
     ):
         self.topology = topology
         self.spec = spec
@@ -139,6 +146,16 @@ class SearchObjective:
         #: Resolved PVT corner axis; empty tuple = nominal-only (the
         #: pre-corner single-evaluation path, bit-identical).
         self.corners: tuple[Corner, ...] = resolve_corners(corners)
+        #: Measurement pipeline: an explicit ``analyses`` request or, at
+        #: minimum, whatever the spec needs -- transient targets pull the
+        #: step-response analysis in so they can be judged at all.
+        #: ``None`` (the AC-only default) keeps the pre-transient backend
+        #: calls -- and custom backends with the narrower signature --
+        #: bit-identical.
+        resolved_analyses = resolve_analyses(analyses)
+        if spec.requires_tran:
+            resolved_analyses = TRAN_ANALYSES
+        self.analyses = resolved_analyses if "tran" in resolved_analyses else None
         self.space = SearchSpace(topology)
         self.spice_calls = 0
         self.best_value = float("inf")
@@ -156,15 +173,16 @@ class SearchObjective:
     def evaluate_many(self, points: Sequence[np.ndarray]) -> np.ndarray:
         """Evaluate a population of normalized points; lower is better."""
         widths_list = [self.space.decode(point) for point in points]
+        kwargs = {} if self.analyses is None else {"analyses": self.analyses}
         if self.corners:
             sweeps = self.backend.measure_many(
-                self.topology, widths_list, corners=self.corners
+                self.topology, widths_list, corners=self.corners, **kwargs
             )
             return np.array(
                 [self._record_sweep(w, s) for w, s in zip(widths_list, sweeps)],
                 dtype=float,
             )
-        outcomes = self.backend.measure_many(self.topology, widths_list)
+        outcomes = self.backend.measure_many(self.topology, widths_list, **kwargs)
         return np.array(
             [self._record(w, o) for w, o in zip(widths_list, outcomes)], dtype=float
         )
@@ -247,13 +265,17 @@ class Solver(ABC):
     """One sizing method over one topology.
 
     Every registered solver is constructed as
-    ``factory(topology, backend=..., model=..., corners=...)``:
+    ``factory(topology, backend=..., model=..., corners=..., analyses=...)``:
     search-based solvers use the evaluation backend (``None`` means the
     batched one), the copilot uses the trained model; each ignores what it
     does not need, so callers can instantiate any registry entry
     uniformly.  ``corners`` selects the PVT corner axis -- when set, the
     solver chases worst-corner-aggregate objectives and succeeds only when
-    the design meets spec at every corner.
+    the design meets spec at every corner.  ``analyses`` selects the
+    measurement pipeline (a spec with transient targets pulls the
+    transient leg in regardless); callers pass it only on non-default
+    pipelines, so solvers registered before the transient extension keep
+    working unchanged.
     """
 
     #: Registry name, e.g. ``"sa"``; also stamped on results.
@@ -266,12 +288,15 @@ class Solver(ABC):
         backend: Optional[EvalBackend] = None,
         model=None,
         corners: Optional[Sequence[CornerLike]] = None,
+        analyses: Optional[Sequence[str]] = None,
     ):
         self.topology = topology
         self.backend = backend if backend is not None else BatchedBackend()
         self.model = model
         #: Resolved corner axis; empty = nominal-only evaluation.
         self.corners: tuple[Corner, ...] = resolve_corners(corners)
+        #: Requested measurement pipeline (``None`` = spec-driven default).
+        self.analyses = analyses
 
     @abstractmethod
     def solve(
@@ -306,6 +331,7 @@ class SearchSolver(Solver):
             backend=self.backend,
             check_regions=self.check_regions,
             corners=self.corners,
+            analyses=self.analyses,
         )
 
     @staticmethod

@@ -75,10 +75,13 @@ class CopilotSolver(Solver):
         backend=None,
         model=None,
         corners=None,
+        analyses=None,
         engine=None,
         rel_tol: float = 0.0,
     ):
-        super().__init__(topology, backend=backend, model=model, corners=corners)
+        super().__init__(
+            topology, backend=backend, model=model, corners=corners, analyses=analyses
+        )
         if engine is None:
             if model is None:
                 raise ValueError("CopilotSolver needs a trained model= or an engine=")
@@ -102,12 +105,14 @@ class CopilotSolver(Solver):
         from ..service.requests import SizingRequest
 
         start = time.perf_counter()
+        extra = {} if self.analyses is None else {"analyses": tuple(self.analyses)}
         request = SizingRequest(
             topology=self.topology.name,
             spec=spec,
             max_iterations=self.default_iterations if budget is None else budget,
             rel_tol=self.rel_tol,
             corners=self.corners,
+            **extra,
         )
         result = self.engine.size_result(request)
         solved = solve_result_from_sizing(self.name, spec, result)

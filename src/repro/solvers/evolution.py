@@ -35,11 +35,14 @@ class DifferentialEvolutionSolver(SearchSolver):
         backend=None,
         model=None,
         corners=None,
+        analyses=None,
         population_size: int = 12,
         mutation: float = 0.6,
         crossover: float = 0.8,
     ):
-        super().__init__(topology, backend=backend, model=model, corners=corners)
+        super().__init__(
+            topology, backend=backend, model=model, corners=corners, analyses=analyses
+        )
         if population_size < 1:
             raise ValueError("population_size must be >= 1")
         self.population_size = population_size

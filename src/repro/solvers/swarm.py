@@ -34,12 +34,15 @@ class ParticleSwarmSolver(SearchSolver):
         backend=None,
         model=None,
         corners=None,
+        analyses=None,
         swarm_size: int = 12,
         inertia: float = 0.72,
         cognitive: float = 1.49,
         social: float = 1.49,
     ):
-        super().__init__(topology, backend=backend, model=model, corners=corners)
+        super().__init__(
+            topology, backend=backend, model=model, corners=corners, analyses=analyses
+        )
         if swarm_size < 1:
             raise ValueError("swarm_size must be >= 1")
         self.swarm_size = swarm_size

@@ -1,10 +1,18 @@
-"""SPICE substrate: netlists, DC operating point, AC analysis, sweeps."""
+"""SPICE substrate: netlists, DC operating point, AC/transient analyses, sweeps."""
 
 from .ac import ACResult, default_frequency_grid, run_ac, run_ac_many
 from .dc import ConvergenceError, DCSolution, solve_dc, solve_dc_many
 from .export import parse_netlist, to_spice
-from .metrics import PerformanceMetrics, crossing_frequency, extract_metrics
+from .metrics import (
+    TRAN_METRIC_DIRECTIONS,
+    TRAN_METRIC_NAMES,
+    PerformanceMetrics,
+    crossing_frequency,
+    extract_metrics,
+    extract_tran_metrics,
+)
 from .netlist import GROUND, Capacitor, Circuit, ISource, Resistor, VSource
+from .tran import TranResult, run_tran, run_tran_many, step_sources
 from .sweep import (
     CharacterizationResult,
     ICMRResult,
@@ -25,8 +33,15 @@ __all__ = [
     "solve_dc",
     "solve_dc_many",
     "PerformanceMetrics",
+    "TRAN_METRIC_NAMES",
+    "TRAN_METRIC_DIRECTIONS",
     "crossing_frequency",
     "extract_metrics",
+    "extract_tran_metrics",
+    "TranResult",
+    "run_tran",
+    "run_tran_many",
+    "step_sources",
     "GROUND",
     "Capacitor",
     "Circuit",

@@ -1,26 +1,55 @@
-"""Extraction of the paper's three performance metrics from an AC response.
+"""Extraction of performance metrics from AC and transient responses.
 
 The paper evaluates OTAs on gain, 3 dB bandwidth, and unity-gain frequency
 (UGF).  These are extracted from the magnitude response on the log-frequency
 grid with log-log interpolation at the crossings, which is accurate for the
 single- and two-pole responses of the studied topologies.
+
+The transient extension adds the three time-domain metrics real OTA
+sizing flows specify on the step response (:mod:`repro.spice.tran`):
+slew rate, settling time into a tolerance band, and overshoot.  They
+live as *optional* fields on :class:`PerformanceMetrics` -- ``None``
+whenever no transient analysis ran, so the AC-only flow's metric objects
+(equality, arrays, JSON) stay bit-identical to the pre-transient stack.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Optional
 
 import numpy as np
 
 from .ac import ACResult
 
-__all__ = ["PerformanceMetrics", "extract_metrics", "crossing_frequency"]
+__all__ = [
+    "PerformanceMetrics",
+    "extract_metrics",
+    "extract_tran_metrics",
+    "crossing_frequency",
+    "TRAN_METRIC_NAMES",
+    "TRAN_METRIC_DIRECTIONS",
+]
+
+#: Spec direction of each transient metric: ``"min"`` targets are floors
+#: (slew rate -- more is better), ``"max"`` targets are ceilings
+#: (settling time, overshoot -- less is better).  The single source of
+#: truth for every layer that judges or ranks transient targets.
+TRAN_METRIC_DIRECTIONS = {
+    "slew_v_per_s": "min",
+    "settling_time_s": "max",
+    "overshoot_frac": "max",
+}
+
+#: The transient metric field names, in reporting order.
+TRAN_METRIC_NAMES = tuple(TRAN_METRIC_DIRECTIONS)
 
 
 @dataclass(frozen=True)
 class PerformanceMetrics:
-    """Gain / bandwidth / UGF triple, the paper's specification vector.
+    """Gain / bandwidth / UGF triple, the paper's specification vector,
+    optionally extended with step-response (transient) metrics.
 
     Attributes
     ----------
@@ -32,21 +61,51 @@ class PerformanceMetrics:
     ugf_hz:
         Unity-gain frequency in Hz (``nan`` if the gain never crosses 0 dB
         within the analyzed band, e.g. for sub-unity-gain designs).
+    slew_v_per_s:
+        Peak output slew rate of the step response in V/s (``None`` when
+        no transient analysis ran).
+    settling_time_s:
+        Time after which the output stays inside the settling tolerance
+        band around its final value, in s (``None`` without transient).
+    overshoot_frac:
+        Peak excursion beyond the final value as a fraction of the output
+        step (``None`` without transient; 0.0 for monotone responses).
     """
 
     gain_db: float
     f3db_hz: float
     ugf_hz: float
+    slew_v_per_s: Optional[float] = None
+    settling_time_s: Optional[float] = None
+    overshoot_frac: Optional[float] = None
 
     def as_array(self) -> np.ndarray:
+        """The AC triple as an array (shape pinned by the parity tests;
+        transient fields are reported through :meth:`tran_as_array`)."""
         return np.array([self.gain_db, self.f3db_hz, self.ugf_hz])
+
+    def tran_as_array(self) -> np.ndarray:
+        """The transient triple as an array (``None`` maps to ``nan``)."""
+        return np.array(
+            [
+                float("nan") if value is None else value
+                for value in (self.slew_v_per_s, self.settling_time_s, self.overshoot_frac)
+            ]
+        )
+
+    @property
+    def has_tran(self) -> bool:
+        """True when any transient metric was measured."""
+        return any(
+            getattr(self, name) is not None for name in TRAN_METRIC_NAMES
+        )
 
     @property
     def gain_linear(self) -> float:
         return 10.0 ** (self.gain_db / 20.0)
 
     def is_valid(self) -> bool:
-        """True when all three metrics were resolvable on the grid."""
+        """True when all three AC metrics were resolvable on the grid."""
         return all(math.isfinite(v) for v in (self.gain_db, self.f3db_hz, self.ugf_hz))
 
 
@@ -86,3 +145,57 @@ def extract_metrics(result: ACResult, output_node: str) -> PerformanceMetrics:
     f3db = crossing_frequency(result.frequencies, magnitude_db, gain_db - 3.0)
     ugf = crossing_frequency(result.frequencies, magnitude_db, 0.0)
     return PerformanceMetrics(gain_db=gain_db, f3db_hz=f3db, ugf_hz=ugf)
+
+
+def extract_tran_metrics(
+    tran,
+    output_node: str,
+    base: Optional[PerformanceMetrics] = None,
+    settle_tol: float = 0.02,
+) -> PerformanceMetrics:
+    """Step-response metrics of ``output_node`` from a transient result.
+
+    Definitions (``v`` is the output waveform, ``v0 = v(0)`` the pre-step
+    value, ``vf`` the final sample, ``delta = vf - v0`` the output step):
+
+    * **slew rate**: the peak ``|dv/dt|`` over the waveform's finite
+      differences, in V/s;
+    * **settling time**: the earliest time from which every later sample
+      stays within ``settle_tol * |delta|`` of ``vf`` (0.0 when the
+      response never leaves the band, including the degenerate
+      ``delta = 0`` case);
+    * **overshoot**: the peak excursion *beyond* ``vf`` in the direction
+      of the step, as a fraction of ``|delta|`` (0.0 for monotone
+      responses).
+
+    A truncated simulation (output still moving at ``t_stop``) settles
+    against its own final sample, which conservatively reports a settling
+    time near ``t_stop``.
+
+    When ``base`` is given, its AC metrics are carried over and the
+    transient fields are filled in; otherwise the AC fields are ``nan``.
+    """
+    if settle_tol <= 0:
+        raise ValueError(f"settle_tol must be positive, got {settle_tol}")
+    v = np.asarray(tran.voltage(output_node), dtype=float)
+    times = np.asarray(tran.times, dtype=float)
+    slew = float(np.max(np.abs(np.diff(v) / np.diff(times))))
+    v_final = float(v[-1])
+    delta = v_final - float(v[0])
+    band = settle_tol * abs(delta)
+    outside = np.nonzero(np.abs(v - v_final) > band)[0]
+    settling = float(times[outside[-1] + 1]) if outside.size else 0.0
+    if delta == 0.0:
+        overshoot = 0.0
+    elif delta > 0.0:
+        overshoot = max(0.0, (float(np.max(v)) - v_final) / abs(delta))
+    else:
+        overshoot = max(0.0, (v_final - float(np.min(v))) / abs(delta))
+    if base is None:
+        base = PerformanceMetrics(float("nan"), float("nan"), float("nan"))
+    return replace(
+        base,
+        slew_v_per_s=slew,
+        settling_time_s=settling,
+        overshoot_frac=overshoot,
+    )

@@ -1,0 +1,559 @@
+"""Nonlinear transient analysis (step response) on the MNA system.
+
+This is the time-domain leg of the SPICE substrate: the serving stack's
+slew-rate / settling-time / overshoot specs are measured on the step
+response computed here.  The formulation reuses the DC machinery of
+:mod:`repro.spice.dc` wholesale:
+
+* the resistive part of the residual/Jacobian at every time point is the
+  *same* EKV MNA assembly the DC solver stamps
+  (:meth:`repro.spice.dc._MNASystem.residual_and_jacobian` in the scalar
+  path, :func:`repro.spice.dc._residual_and_jacobian_batch` in the
+  batched one), so device physics exists in exactly one place;
+* capacitive elements -- explicit capacitors plus each MOSFET's
+  operating-point ``Cgs``/``Cds`` (the same linearization the AC analysis
+  stamps) -- are discretized with backward-Euler or trapezoidal
+  companion models and solved with damped Newton at every time step.
+
+The testbench is a *step*: the simulation starts from a converged DC
+operating point (capacitor currents are zero -- a consistent initial
+condition) and at ``t = 0+`` every independent source jumps by
+``step_amplitude`` times its AC magnitude, so the transient excites
+exactly the port the AC analysis drives (for the OTA testbenches: a
+differential input step of ``step_amplitude`` volts).
+
+:func:`run_tran_many` is the bulk path: solutions whose (stepped)
+circuits share one MNA structure -- one topology's population of width
+vectors, including the same population rebuilt at several PVT corners
+(the corner-skewed technology parameters ride the
+:class:`~repro.spice.dc._ArrayTech` path) -- integrate *together*, with
+the per-step Newton iterations vectorized over the candidate axis and
+one stacked ``np.linalg.solve`` per iteration.  Every per-candidate
+floating-point operation is elementwise-identical to the scalar path, so
+the returned waveforms are bit-identical to :func:`run_tran` run one
+candidate at a time (pinned by the parity tests), and failures are
+isolated per candidate: a design whose Newton diverges at some time step
+holds a :class:`~repro.spice.dc.ConvergenceError` in its slot instead of
+aborting the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .dc import (
+    GMIN,
+    MAX_STEP,
+    ConvergenceError,
+    DCSolution,
+    _BatchStamps,
+    _MNASystem,
+    _residual_and_jacobian_batch,
+    _solve_newton_steps,
+    _structure_key,
+)
+from .netlist import GROUND, Circuit
+
+__all__ = ["TranResult", "run_tran", "run_tran_many", "step_sources"]
+
+#: Supported integration methods: backward-Euler and trapezoidal.
+METHODS = ("be", "trap")
+
+#: Newton iteration cap per time step (steps are small, so this is ample).
+MAX_TRAN_ITERATIONS = 50
+
+#: Default differential step amplitude (V).  Small enough that the OTA
+#: stays near its linearization (settling is well defined), large enough
+#: that the output excursion dominates float noise.
+DEFAULT_STEP_AMPLITUDE = 1e-3
+
+
+@dataclass
+class TranResult:
+    """Step response of every node voltage.
+
+    ``waveforms`` has shape ``(n_times, n_nodes)`` in the order of
+    ``node_names``; ground is implicit (always 0).  ``times[0]`` is 0 and
+    holds the pre-step DC operating point.
+    """
+
+    times: np.ndarray
+    node_names: list[str]
+    waveforms: np.ndarray
+    method: str
+    step_amplitude: float
+    newton_iterations: int
+
+    def __post_init__(self) -> None:
+        self._node_index = {name: i for i, name in enumerate(self.node_names)}
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Voltage waveform of ``node`` versus time."""
+        if node == GROUND:
+            return np.zeros_like(self.times)
+        try:
+            idx = self._node_index[node]
+        except KeyError:
+            raise ValueError(f"{node!r} is not a node of this transient result") from None
+        return self.waveforms[:, idx]
+
+
+def step_sources(circuit: Circuit, amplitude: float) -> Circuit:
+    """The post-step netlist: every source jumps by ``amplitude * ac``.
+
+    Supplies and bias sources carry ``ac = 0`` and stay put; the stimulus
+    sources (the OTA testbenches drive ``ac = +-0.5`` on the differential
+    inputs) step by their share of the amplitude.  The copy leaves the
+    original circuit untouched.
+    """
+    stepped = circuit.copy()
+    for source in stepped.vsources:
+        source.dc = source.dc + amplitude * source.ac
+    for source in stepped.isources:
+        source.dc = source.dc + amplitude * source.ac
+    return stepped
+
+
+# ----------------------------------------------------------------------
+# Capacitive elements (companion-model data)
+# ----------------------------------------------------------------------
+def _cap_elements(system: _MNASystem, solution: DCSolution) -> list:
+    """Capacitive two-terminal elements as ``(i1, i2, c)`` index triples.
+
+    Explicit capacitors keep their netlist value; each MOSFET contributes
+    its operating-point ``Cgs`` (gate-source) and ``Cds`` (drain-source),
+    the same linearization the AC analysis stamps.  Order is fixed
+    (capacitors, then per-MOSFET gs/ds) so the scalar and batched paths
+    stamp identically.
+    """
+    circuit = solution.circuit
+    elements = []
+    for cap in circuit.capacitors:
+        elements.append(
+            (system.node_index(cap.node1), system.node_index(cap.node2), cap.capacitance)
+        )
+    for mosfet in circuit.mosfets:
+        small = solution.op(mosfet.name).small_signal
+        gate = system.node_index(mosfet.gate)
+        drain = system.node_index(mosfet.drain)
+        source = system.node_index(mosfet.source)
+        elements.append((gate, source, small.cgs))
+        elements.append((drain, source, small.cds))
+    return elements
+
+
+def _cap_elements_batch(system: _MNASystem, solutions: list) -> list:
+    """Batched counterpart of :func:`_cap_elements`: ``c`` is a vector
+    over the candidate axis (same element order as the scalar path)."""
+    per_candidate = [_cap_elements(system, solution) for solution in solutions]
+    elements = []
+    for e, (i1, i2, _) in enumerate(per_candidate[0]):
+        values = np.array([caps[e][2] for caps in per_candidate])
+        elements.append((i1, i2, values))
+    return elements
+
+
+def _dv(x: np.ndarray, i1: Optional[int], i2: Optional[int]):
+    """Branch voltage ``v(i1) - v(i2)`` with ground as implicit zero.
+
+    Works on a flat unknown vector (scalar path) and on a ``(P, size)``
+    stack (batched path, where it returns a per-candidate vector).
+    """
+    v1 = 0.0 if i1 is None else x[..., i1]
+    v2 = 0.0 if i2 is None else x[..., i2]
+    return v1 - v2
+
+
+def _step_coef(method: str, dt: float, step: int) -> float:
+    """Companion-model conductance factor of one time step.
+
+    The trapezoidal rule takes its *first* step with backward-Euler: the
+    source step at ``t = 0+`` makes the capacitor currents jump, so the
+    zero-current steady-state history would otherwise seed the trap
+    recursion with the pre-step value (the classic trap startup
+    artifact).  The history update formula is the same for both
+    coefficients, so the BE step also initializes ``hist`` correctly.
+    """
+    if method == "be" or (method == "trap" and step == 1):
+        return 1.0 / dt
+    if method == "trap":
+        return 2.0 / dt
+    raise ValueError(f"unknown integration method {method!r} (known: {', '.join(METHODS)})")
+
+
+# ----------------------------------------------------------------------
+# Scalar path
+# ----------------------------------------------------------------------
+def _tran_residual(
+    system: _MNASystem,
+    caps: list,
+    x: np.ndarray,
+    x_prev: np.ndarray,
+    hist: np.ndarray,
+    coef: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Residual/Jacobian of one time step: DC stamps + cap companions.
+
+    The companion current of element ``e`` is
+    ``i = coef * C * (dv - dv_prev) - hist[e]`` where ``hist`` is zero
+    for backward-Euler and the previous step's capacitor current for the
+    trapezoidal rule.
+    """
+    f, jac = system.residual_and_jacobian(x, source_scale=1.0, gmin=GMIN)
+    for e, (i1, i2, c) in enumerate(caps):
+        g = coef * c
+        current = g * (_dv(x, i1, i2) - _dv(x_prev, i1, i2)) - hist[e]
+        if i1 is not None:
+            f[i1] += current
+            jac[i1, i1] += g
+            if i2 is not None:
+                jac[i1, i2] -= g
+        if i2 is not None:
+            f[i2] -= current
+            jac[i2, i2] += g
+            if i1 is not None:
+                jac[i2, i1] -= g
+    return f, jac
+
+
+def _tran_newton(
+    system: _MNASystem,
+    caps: list,
+    x_prev: np.ndarray,
+    hist: np.ndarray,
+    coef: float,
+    max_iterations: int,
+    abstol: float = 1e-10,
+    reltol: float = 1e-9,
+) -> tuple[np.ndarray, int]:
+    """Damped Newton for one time step (mirrors :func:`repro.spice.dc._newton`)."""
+    x = x_prev.copy()
+    for iteration in range(1, max_iterations + 1):
+        f, jac = _tran_residual(system, caps, x, x_prev, hist, coef)
+        try:
+            dx = np.linalg.solve(jac, -f)
+        except np.linalg.LinAlgError:
+            dx = np.linalg.lstsq(jac, -f, rcond=None)[0]
+        v_step = np.max(np.abs(dx[: system.n_nodes])) if system.n_nodes else 0.0
+        if v_step > MAX_STEP:
+            dx *= MAX_STEP / v_step
+        x += dx
+        node_residual = (
+            float(np.max(np.abs(f[: system.n_nodes]))) if system.n_nodes else 0.0
+        )
+        if node_residual < abstol and float(np.max(np.abs(dx), initial=0.0)) < reltol:
+            return x, iteration
+    raise ConvergenceError(
+        f"transient Newton failed after {max_iterations} iterations"
+    )
+
+
+def run_tran(
+    solution: DCSolution,
+    t_stop: float,
+    n_steps: int = 160,
+    method: str = "trap",
+    step_amplitude: float = DEFAULT_STEP_AMPLITUDE,
+    max_newton_iterations: int = MAX_TRAN_ITERATIONS,
+) -> TranResult:
+    """Integrate the step response of a solved circuit over ``[0, t_stop]``.
+
+    Parameters
+    ----------
+    solution:
+        Converged DC operating point (:func:`repro.spice.dc.solve_dc`);
+        it is the initial condition and carries the per-device
+        linearized capacitances.
+    t_stop:
+        Simulation end time (s).
+    n_steps:
+        Number of uniform time steps (``n_steps + 1`` samples including
+        ``t = 0``).
+    method:
+        ``"trap"`` (trapezoidal, second order, the default) or ``"be"``
+        (backward-Euler, first order, heavily damped).
+    step_amplitude:
+        Source step scale: every source jumps by ``step_amplitude * ac``
+        at ``t = 0+`` (see :func:`step_sources`).
+    max_newton_iterations:
+        Newton cap per time step.
+
+    Raises
+    ------
+    ConvergenceError
+        If any time step's Newton iteration fails to converge.
+    """
+    dt, times = _grid(method, t_stop, n_steps)
+    stepped = step_sources(solution.circuit, step_amplitude)
+    system = _MNASystem(stepped)
+    caps = _cap_elements(system, solution)
+    x = system.pack(solution.node_voltages, solution.source_currents)
+    waveforms = np.empty((n_steps + 1, system.n_nodes))
+    waveforms[0] = x[: system.n_nodes]
+    # Starting from DC steady state, every capacitor current is zero.
+    hist = np.zeros(len(caps))
+    total_iterations = 0
+    for step in range(1, n_steps + 1):
+        coef = _step_coef(method, dt, step)
+        x_new, iterations = _tran_newton(
+            system, caps, x, hist, coef, max_newton_iterations
+        )
+        total_iterations += iterations
+        if method == "trap":
+            for e, (i1, i2, c) in enumerate(caps):
+                hist[e] = coef * c * (_dv(x_new, i1, i2) - _dv(x, i1, i2)) - hist[e]
+        x = x_new
+        waveforms[step] = x[: system.n_nodes]
+    return TranResult(
+        times=times,
+        node_names=system.node_names,
+        waveforms=waveforms,
+        method=method,
+        step_amplitude=step_amplitude,
+        newton_iterations=total_iterations,
+    )
+
+
+def _grid(method: str, t_stop: float, n_steps: int) -> tuple[float, np.ndarray]:
+    """Validate the request and build ``(dt, time grid)``."""
+    if method not in METHODS:
+        raise ValueError(
+            f"unknown integration method {method!r} (known: {', '.join(METHODS)})"
+        )
+    if t_stop <= 0:
+        raise ValueError(f"t_stop must be positive, got {t_stop}")
+    if n_steps < 1:
+        raise ValueError(f"n_steps must be at least 1, got {n_steps}")
+    dt = t_stop / n_steps
+    return dt, np.linspace(0.0, t_stop, n_steps + 1)
+
+
+# ----------------------------------------------------------------------
+# Batched path
+# ----------------------------------------------------------------------
+def _tran_structure_key(circuit: Circuit):
+    """Transient grouping key: DC structure plus capacitor connectivity.
+
+    Capacitors are open circuits at DC and deliberately absent from
+    :func:`repro.spice.dc._structure_key`, but the companion-model stamps
+    align capacitor *slots* across a batch, so circuits differing in
+    capacitor count or connectivity must never share a group.
+    Capacitance values stay out of the key: they are per-candidate data
+    (``_cap_elements_batch`` vectorizes them), exactly like widths.
+    """
+    return (
+        _structure_key(circuit),
+        tuple((cap.node1, cap.node2) for cap in circuit.capacitors),
+    )
+
+
+def run_tran_many(
+    solutions: list,
+    t_stop: float,
+    n_steps: int = 160,
+    method: str = "trap",
+    step_amplitude: float = DEFAULT_STEP_AMPLITUDE,
+    max_newton_iterations: int = MAX_TRAN_ITERATIONS,
+) -> list:
+    """Integrate the step responses of many operating points together.
+
+    The bulk path of the transient engine: solutions whose stepped
+    circuits share one MNA structure (one topology's candidate
+    population, corner-mixed batches included -- the structure key is the
+    corner-agnostic one of :func:`repro.spice.dc.solve_dc_many`) run every
+    time step's Newton iteration *together*, with vectorized assembly and
+    one stacked linear solve per iteration.  Waveforms are bit-identical
+    to :func:`run_tran` per candidate (pinned by the parity tests).
+
+    Returns a list aligned with ``solutions`` whose entries are either
+    :class:`TranResult` or :class:`ConvergenceError` (per-candidate
+    failure isolation: one diverging design never aborts the batch).
+    """
+    dt, times = _grid(method, t_stop, n_steps)
+    results: list = [None] * len(solutions)
+    stepped = [step_sources(solution.circuit, step_amplitude) for solution in solutions]
+    groups: dict = {}
+    for index, circuit in enumerate(stepped):
+        groups.setdefault(_tran_structure_key(circuit), []).append(index)
+    for indices in groups.values():
+        batch_solutions = [solutions[i] for i in indices]
+        batch_stepped = [stepped[i] for i in indices]
+        outcomes = _tran_batch(
+            batch_solutions,
+            batch_stepped,
+            times,
+            dt,
+            method,
+            step_amplitude,
+            max_newton_iterations,
+        )
+        for i, outcome in zip(indices, outcomes):
+            results[i] = outcome
+    return results
+
+
+def _stamp_caps_batch(
+    f: np.ndarray,
+    jac: np.ndarray,
+    caps: list,
+    x: np.ndarray,
+    x_prev: np.ndarray,
+    hist: np.ndarray,
+    coef: float,
+) -> None:
+    """Vectorized counterpart of the capacitor stamps in :func:`_tran_residual`.
+
+    ``x``/``x_prev`` have shape ``(P, size)``, ``hist`` is ``(P, E)`` and
+    every element's capacitance is a per-candidate vector; each
+    candidate's row mirrors the scalar stamps operation for operation.
+    """
+    for e, (i1, i2, c) in enumerate(caps):
+        g = coef * c
+        current = g * (_dv(x, i1, i2) - _dv(x_prev, i1, i2)) - hist[:, e]
+        if i1 is not None:
+            f[:, i1] += current
+            jac[:, i1, i1] += g
+            if i2 is not None:
+                jac[:, i1, i2] -= g
+        if i2 is not None:
+            f[:, i2] -= current
+            jac[:, i2, i2] += g
+            if i1 is not None:
+                jac[:, i2, i1] -= g
+
+
+def _tran_newton_batch(
+    system: _MNASystem,
+    stamps: _BatchStamps,
+    caps: list,
+    x_prev: np.ndarray,
+    hist: np.ndarray,
+    coef: float,
+    max_iterations: int,
+    abstol: float = 1e-10,
+    reltol: float = 1e-9,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One time step's damped Newton over a candidate batch.
+
+    Mirrors :func:`repro.spice.dc._newton_batch`: candidates freeze the
+    moment their own convergence criterion fires, so each trajectory
+    reproduces the scalar :func:`_tran_newton` iteration exactly.
+    Returns ``(solutions, iterations, converged)``.
+    """
+    n = system.n_nodes
+    batch = x_prev.shape[0]
+    x = np.array(x_prev, copy=True)
+    solutions = np.array(x, copy=True)
+    iterations = np.zeros(batch, dtype=int)
+    converged = np.zeros(batch, dtype=bool)
+    active = np.arange(batch)
+
+    for iteration in range(1, max_iterations + 1):
+        f, jac = _residual_and_jacobian_batch(
+            system, stamps.take(active), x[active], 1.0, GMIN
+        )
+        active_caps = [(i1, i2, c[active]) for i1, i2, c in caps]
+        _stamp_caps_batch(
+            f, jac, active_caps, x[active], x_prev[active], hist[active], coef
+        )
+        dx = _solve_newton_steps(jac, f)
+        if n:
+            v_step = np.max(np.abs(dx[:, :n]), axis=1)
+            over = v_step > MAX_STEP
+            if np.any(over):
+                dx[over] *= (MAX_STEP / v_step[over])[:, None]
+        x[active] += dx
+        node_residual = (
+            np.max(np.abs(f[:, :n]), axis=1) if n else np.zeros(len(active))
+        )
+        done = (node_residual < abstol) & (np.max(np.abs(dx), axis=1) < reltol)
+        if np.any(done):
+            newly = active[done]
+            solutions[newly] = x[newly]
+            iterations[newly] = iteration
+            converged[newly] = True
+            active = active[~done]
+            if active.size == 0:
+                break
+    return solutions, iterations, converged
+
+
+def _tran_batch(
+    solutions: list,
+    stepped: list,
+    times: np.ndarray,
+    dt: float,
+    method: str,
+    step_amplitude: float,
+    max_newton_iterations: int,
+) -> list:
+    """Integrate one structure-sharing group; see :func:`run_tran_many`."""
+    system = _MNASystem(stepped[0])
+    stamps = _BatchStamps(stepped)
+    caps = _cap_elements_batch(system, solutions)
+    batch = len(solutions)
+    n_steps = len(times) - 1
+    x = np.stack(
+        [
+            system.pack(solution.node_voltages, solution.source_currents)
+            for solution in solutions
+        ]
+    )
+    waveforms = np.empty((batch, n_steps + 1, system.n_nodes))
+    waveforms[:, 0, :] = x[:, : system.n_nodes]
+    hist = np.zeros((batch, len(caps)))
+    newton_totals = np.zeros(batch, dtype=int)
+    alive = np.ones(batch, dtype=bool)
+
+    for step in range(1, n_steps + 1):
+        active = np.nonzero(alive)[0]
+        if active.size == 0:
+            break
+        coef = _step_coef(method, dt, step)
+        active_caps = [(i1, i2, c[active]) for i1, i2, c in caps]
+        x_new, iterations, converged = _tran_newton_batch(
+            system,
+            stamps.take(active),
+            active_caps,
+            x[active],
+            hist[active],
+            coef,
+            max_newton_iterations,
+        )
+        newton_totals[active] += iterations
+        diverged = active[~converged]
+        if diverged.size:
+            alive[diverged] = False
+        survivors = active[converged]
+        if method == "trap":
+            for e, (i1, i2, c) in enumerate(caps):
+                dv_new = _dv(x_new, i1, i2)
+                dv_old = _dv(x[active], i1, i2)
+                updated = coef * c[active] * (dv_new - dv_old) - hist[active, e]
+                hist[survivors, e] = updated[converged]
+        x[survivors] = x_new[converged]
+        waveforms[survivors, step, :] = x_new[converged][:, : system.n_nodes]
+
+    outcomes: list = []
+    for j in range(batch):
+        if alive[j]:
+            outcomes.append(
+                TranResult(
+                    times=times,
+                    node_names=system.node_names,
+                    waveforms=waveforms[j].copy(),
+                    method=method,
+                    step_amplitude=step_amplitude,
+                    newton_iterations=int(newton_totals[j]),
+                )
+            )
+        else:
+            outcomes.append(
+                ConvergenceError(
+                    f"transient Newton failed after {max_newton_iterations} iterations"
+                )
+            )
+    return outcomes

@@ -8,12 +8,15 @@ no dispatch table to edit.
 
 from .active_inductor import build_active_inductor
 from .base import (
+    DEFAULT_ANALYSES,
+    TRAN_ANALYSES,
     CornerSweep,
     DeviceGroup,
     MeasureOutcome,
     MeasurementResult,
     OTATopology,
     binding_corner,
+    resolve_analyses,
 )
 from .current_mirror import CurrentMirrorOTA
 from .five_t import FiveTransistorOTA
@@ -29,6 +32,9 @@ from .two_stage import TwoStageOTA
 __all__ = [
     "build_active_inductor",
     "binding_corner",
+    "resolve_analyses",
+    "DEFAULT_ANALYSES",
+    "TRAN_ANALYSES",
     "CornerSweep",
     "DeviceGroup",
     "MeasureOutcome",

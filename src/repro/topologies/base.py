@@ -25,13 +25,18 @@ import numpy as np
 from ..devices import VDD, Corner, CornerLike, TechParams, resolve_corner, resolve_corners
 from ..dpsfg import DPSFG, build_dpsfg, enumerate_paths, PathInventory
 from ..spice import (
+    TRAN_METRIC_DIRECTIONS,
     Circuit,
     ConvergenceError,
     DCSolution,
     PerformanceMetrics,
+    TranResult,
     extract_metrics,
+    extract_tran_metrics,
     run_ac,
     run_ac_many,
+    run_tran,
+    run_tran_many,
     solve_dc,
     solve_dc_many,
 )
@@ -43,7 +48,37 @@ __all__ = [
     "MeasureOutcome",
     "CornerSweep",
     "binding_corner",
+    "resolve_analyses",
+    "DEFAULT_ANALYSES",
+    "TRAN_ANALYSES",
 ]
+
+#: The pre-transient measurement pipeline (operating point + AC sweep).
+DEFAULT_ANALYSES = ("dc", "ac")
+
+#: The full pipeline including the step-response transient.
+TRAN_ANALYSES = ("dc", "ac", "tran")
+
+
+def resolve_analyses(analyses) -> tuple[str, ...]:
+    """Normalize an analyses selector to its canonical tuple.
+
+    ``None`` (and anything equivalent to the default) resolves to
+    :data:`DEFAULT_ANALYSES`; adding ``"tran"`` resolves to
+    :data:`TRAN_ANALYSES`.  ``"dc"`` and ``"ac"`` are always implied --
+    the operating point anchors every other analysis and the AC sweep
+    produces the paper's specification metrics -- so the selector really
+    toggles the transient leg.  Unknown names are rejected loudly.
+    """
+    if analyses is None:
+        return DEFAULT_ANALYSES
+    requested = set(analyses)
+    unknown = requested - set(TRAN_ANALYSES)
+    if unknown:
+        raise ValueError(
+            f"unknown analyses {sorted(unknown)} (known: {', '.join(TRAN_ANALYSES)})"
+        )
+    return TRAN_ANALYSES if "tran" in requested else DEFAULT_ANALYSES
 
 
 @dataclass(frozen=True)
@@ -73,12 +108,19 @@ class DeviceGroup:
 
 @dataclass
 class MeasurementResult:
-    """Everything one 'SPICE run' of a sized design yields."""
+    """Everything one 'SPICE run' of a sized design yields.
+
+    ``tran`` holds the step-response waveforms when the transient
+    analysis was part of the run (``analyses`` included ``"tran"``); its
+    metrics are merged into :attr:`metrics` as the optional transient
+    fields.
+    """
 
     circuit: Circuit
     dc: DCSolution
     metrics: PerformanceMetrics
     device_params: dict[str, dict[str, float]]
+    tran: Optional[TranResult] = None
 
     def all_saturated(self) -> bool:
         return all(op.saturated for op in self.dc.operating_points.values())
@@ -193,13 +235,26 @@ def _signed_shortfall(spec, metrics) -> float:
     The unclamped counterpart of ``DesignSpec.miss_fractions``: passing
     metrics contribute their negative margin instead of 0, which is what
     lets :meth:`CornerSweep.worst_corner` rank passing corners by how
-    little headroom they leave.
+    little headroom they leave.  Transient targets (when the spec sets
+    them) contribute with their own direction: minimum targets like the
+    AC triple, maximum targets (settling, overshoot) by relative excess.
     """
     total = 0.0
     for attr in ("gain_db", "f3db_hz", "ugf_hz"):
         target = getattr(spec, attr)
         value = getattr(metrics, attr)
         total += 1.0 if value != value else (target - value) / target
+    for attr, direction in TRAN_METRIC_DIRECTIONS.items():
+        target = getattr(spec, attr, None)
+        if target is None:
+            continue
+        value = getattr(metrics, attr, None)
+        if value is None or value != value:
+            total += 1.0
+        elif direction == "min":
+            total += (target - value) / target
+        else:
+            total += (value - target) / target
     return total
 
 
@@ -229,6 +284,17 @@ class OTATopology(ABC):
     input_sources: tuple[str, str] = ("VINP", "VINN")
     #: Circuit node observed as the OTA output.
     output_node: str = "out"
+    #: Step-response (transient) testbench knobs: simulation window,
+    #: number of uniform time steps, differential step amplitude (scaled
+    #: by each source's AC magnitude), integration method and settling
+    #: tolerance band.  The window must comfortably cover the topology's
+    #: open-loop settling (~5 time constants at the slowest expected
+    #: f3dB); subclasses with slower dominant poles override it.
+    tran_t_stop: float = 400e-9
+    tran_steps: int = 160
+    tran_step_v: float = 1e-3
+    tran_method: str = "trap"
+    tran_settle_tol: float = 0.02
     #: Inversion-coefficient thresholds for the region filters.  The paper
     #: enforces weak inversion for differential pairs and strong inversion
     #: for current mirrors; the exact IC cutoffs are calibration knobs of
@@ -362,23 +428,57 @@ class OTATopology(ABC):
         vcm: Optional[float] = None,
         frequencies: Optional[np.ndarray] = None,
         corner: CornerLike = None,
+        analyses: Optional[Sequence[str]] = None,
     ) -> MeasurementResult:
         """Build, solve DC, run AC and extract the paper's three metrics.
 
         ``corner`` selects the PVT evaluation context (preset name,
         :class:`~repro.devices.Corner` or override mapping); the default
         nominal corner is bit-identical to the pre-corner flow.
+
+        ``analyses`` selects the measurement pipeline (see
+        :func:`resolve_analyses`): the default ``("dc", "ac")`` is
+        bit-identical to the pre-transient flow; adding ``"tran"``
+        additionally integrates the step-response testbench
+        (:func:`repro.spice.run_tran` with this topology's ``tran_*``
+        knobs) and fills the transient metric fields.
         """
+        resolved_analyses = resolve_analyses(analyses)
         circuit = self.build_circuit(widths, vcm=vcm, corner=corner)
         dc = solve_dc(circuit, initial_guess=self.initial_guess_for(corner))
         ac = run_ac(dc, frequencies=frequencies)
-        return self._package_measurement(circuit, dc, ac)
+        tran = self._run_tran(dc) if "tran" in resolved_analyses else None
+        return self._package_measurement(circuit, dc, ac, tran=tran)
+
+    def _run_tran(self, dc: DCSolution) -> TranResult:
+        """One candidate's step-response integration (the scalar leg)."""
+        return run_tran(
+            dc,
+            t_stop=self.tran_t_stop,
+            n_steps=self.tran_steps,
+            method=self.tran_method,
+            step_amplitude=self.tran_step_v,
+        )
+
+    def _run_tran_many(self, solutions: list) -> list:
+        """Bulk step-response integration; aligned TranResult/error slots."""
+        return run_tran_many(
+            solutions,
+            t_stop=self.tran_t_stop,
+            n_steps=self.tran_steps,
+            method=self.tran_method,
+            step_amplitude=self.tran_step_v,
+        )
 
     def _package_measurement(
-        self, circuit: Circuit, dc: DCSolution, ac
+        self, circuit: Circuit, dc: DCSolution, ac, tran: Optional[TranResult] = None
     ) -> MeasurementResult:
         """Metrics + per-device small-signal bundle of one solved design."""
         metrics = extract_metrics(ac, self.output_node)
+        if tran is not None:
+            metrics = extract_tran_metrics(
+                tran, self.output_node, base=metrics, settle_tol=self.tran_settle_tol
+            )
         device_params = {
             name: {
                 "gm": op.small_signal.gm,
@@ -389,7 +489,9 @@ class OTATopology(ABC):
             }
             for name, op in dc.operating_points.items()
         }
-        return MeasurementResult(circuit=circuit, dc=dc, metrics=metrics, device_params=device_params)
+        return MeasurementResult(
+            circuit=circuit, dc=dc, metrics=metrics, device_params=device_params, tran=tran
+        )
 
     def measure_many(
         self,
@@ -398,15 +500,19 @@ class OTATopology(ABC):
         frequencies: Optional[np.ndarray] = None,
         corner: CornerLike = None,
         corners: Optional[Sequence[CornerLike]] = None,
+        analyses: Optional[Sequence[str]] = None,
     ) -> list:
         """Measure a whole population of width vectors in one bulk pass.
 
         The batched counterpart of :meth:`measure`: the per-candidate DC
         Newton solves share one vectorized assembly
-        (:func:`repro.spice.solve_dc_many`) and the small-signal AC solves
+        (:func:`repro.spice.solve_dc_many`), the small-signal AC solves
         collapse into one stacked complex MNA factorization over
-        population x frequency grid (:func:`repro.spice.run_ac_many`).
-        Metrics are bit-identical to calling :meth:`measure` per candidate.
+        population x frequency grid (:func:`repro.spice.run_ac_many`),
+        and -- with ``"tran"`` in ``analyses`` -- the step-response
+        integrations share one candidate-vectorized Newton per time step
+        (:func:`repro.spice.run_tran_many`).  Metrics are bit-identical
+        to calling :meth:`measure` per candidate.
 
         ``corner`` evaluates the whole population at one PVT corner
         (default nominal, bit-identical to the pre-corner path) and returns
@@ -418,11 +524,13 @@ class OTATopology(ABC):
         with ``widths_list``.
 
         Failures are isolated per candidate (per candidate-corner pair on
-        the corner axis): a design whose DC solve does not converge (or
-        whose width vector cannot be built) yields an outcome with
-        ``ok=False`` instead of raising, so one bad design never aborts a
-        population evaluation.
+        the corner axis): a design whose DC solve does not converge,
+        whose width vector cannot be built, or whose transient
+        integration diverges yields an outcome with ``ok=False`` instead
+        of raising, so one bad design never aborts a population
+        evaluation.
         """
+        resolved_analyses = resolve_analyses(analyses)
         if corners is not None:
             if corner is not None:
                 raise ValueError("pass either corner= or corners=, not both")
@@ -430,7 +538,11 @@ class OTATopology(ABC):
             if not resolved_corners:
                 raise ValueError("corners must be non-empty (use corner=None for nominal)")
             return self._measure_corner_sweeps(
-                widths_list, resolved_corners, vcm=vcm, frequencies=frequencies
+                widths_list,
+                resolved_corners,
+                vcm=vcm,
+                frequencies=frequencies,
+                analyses=resolved_analyses,
             )
 
         outcomes = [MeasureOutcome(widths=dict(widths)) for widths in widths_list]
@@ -453,9 +565,20 @@ class OTATopology(ABC):
                 solved.append((index, circuit, solution))
 
         ac_results = run_ac_many([dc for _, _, dc in solved], frequencies=frequencies)
-        for (index, circuit, dc), ac in zip(solved, ac_results):
-            outcomes[index].result = self._package_measurement(circuit, dc, ac)
+        trans = self._tran_slots([dc for _, _, dc in solved], resolved_analyses)
+        for (index, circuit, dc), ac, tran in zip(solved, ac_results, trans):
+            if isinstance(tran, ConvergenceError):
+                outcomes[index].error = str(tran)
+            else:
+                outcomes[index].result = self._package_measurement(circuit, dc, ac, tran=tran)
         return outcomes
+
+    def _tran_slots(self, solutions: list, analyses: tuple[str, ...]) -> list:
+        """Per-candidate transient slots: ``TranResult``/error entries when
+        the transient analysis is selected, ``None`` placeholders else."""
+        if "tran" not in analyses:
+            return [None] * len(solutions)
+        return self._run_tran_many(solutions)
 
     def _measure_corner_sweeps(
         self,
@@ -463,14 +586,17 @@ class OTATopology(ABC):
         corners: tuple[Corner, ...],
         vcm: Optional[float],
         frequencies: Optional[np.ndarray],
+        analyses: tuple[str, ...] = DEFAULT_ANALYSES,
     ) -> list[CornerSweep]:
         """Bulk-evaluate population x corners; see :meth:`measure_many`.
 
         All candidate-corner pairs are built up front and handed to *one*
-        ``solve_dc_many`` / ``run_ac_many`` pass: the DC structure key is
-        corner-agnostic, so the whole block factorizes together instead of
-        once per corner (``bench_table8``'s corner-throughput mode pins the
-        resulting >=2x over per-corner sequential evaluation).
+        ``solve_dc_many`` / ``run_ac_many`` (/ ``run_tran_many``) pass:
+        the DC structure key is corner-agnostic, so the whole block
+        factorizes together instead of once per corner (``bench_table8``'s
+        corner-throughput mode pins the resulting >=2x over per-corner
+        sequential evaluation); the corner-skewed technology parameters of
+        a transient batch ride the same ``_ArrayTech`` path.
         """
         rows = [[MeasureOutcome(widths=dict(widths)) for _ in corners] for widths in widths_list]
         corner_guesses = [self.initial_guess_for(corner) for corner in corners]
@@ -497,8 +623,12 @@ class OTATopology(ABC):
                 solved.append((i, j, circuit, solution))
 
         ac_results = run_ac_many([dc for _, _, _, dc in solved], frequencies=frequencies)
-        for (i, j, circuit, dc), ac in zip(solved, ac_results):
-            rows[i][j].result = self._package_measurement(circuit, dc, ac)
+        trans = self._tran_slots([dc for _, _, _, dc in solved], analyses)
+        for (i, j, circuit, dc), ac, tran in zip(solved, ac_results, trans):
+            if isinstance(tran, ConvergenceError):
+                rows[i][j].error = str(tran)
+            else:
+                rows[i][j].result = self._package_measurement(circuit, dc, ac, tran=tran)
         return [
             CornerSweep(widths=dict(widths), corners=corners, outcomes=tuple(row))
             for widths, row in zip(widths_list, rows)

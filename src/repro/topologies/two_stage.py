@@ -34,6 +34,11 @@ class TwoStageOTA(OTATopology):
     """The 2S-OTA of Fig. 6(c)."""
 
     name = "2S-OTA"
+    #: Step-response window: the Miller-compensated dominant pole sits in
+    #: the 10-320 kHz range (Table I), ~30x slower than the single-stage
+    #: OTAs, so settling needs a correspondingly longer window.
+    tran_t_stop = 10e-6
+    tran_steps = 200
     tail_bias = 0.48
     #: Gate bias of the second-stage PMOS current source (Vsg = 0.7 V).
     second_stage_bias = 0.50

@@ -1,7 +1,14 @@
-"""Shared fixtures for the test suite.
+"""Shared fixtures and helpers for the test suite.
 
 Expensive artifacts (LUTs, measured OTA designs) are session-scoped so the
 several hundred tests stay fast.
+
+The eval-backend test harness -- candidate-population builders, poisoned
+topologies (deterministic :class:`ConvergenceError` generators), the
+call-counting backend, and the bit-identity assertion helpers the parity
+suites share -- lives here too, so ``test_solvers`` / ``test_corners`` /
+``test_service`` / ``test_tran`` compare batched against sequential
+evaluation through one vocabulary instead of four copies.
 """
 
 from __future__ import annotations
@@ -9,8 +16,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.devices import NMOS_65NM, PMOS_65NM
+from repro.devices import NMOS_65NM, PMOS_65NM, resolve_corner
 from repro.lut import build_lut
+from repro.solvers import BatchedBackend, SearchSpace
 from repro.topologies import CurrentMirrorOTA, FiveTransistorOTA, TwoStageOTA
 
 
@@ -65,3 +73,102 @@ def two_stage_measurement(two_stage):
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(1234)
+
+
+# ----------------------------------------------------------------------
+# Shared eval-backend test harness
+# ----------------------------------------------------------------------
+def make_population(topology, count: int, seed: int = 11) -> list[dict[str, float]]:
+    """Random width vectors from the topology's search box (fixed seed)."""
+    generator = np.random.default_rng(seed)
+    space = SearchSpace(topology)
+    return [space.decode(space.random_point(generator)) for _ in range(count)]
+
+
+class PoisonedFiveT(FiveTransistorOTA):
+    """5T-OTA whose build plants an unsatisfiable current source when the
+    marker M1 width appears -- a deterministic ConvergenceError generator
+    (1 A pulled out of a floating node: only the gmin shunt can carry it,
+    so every Newton strategy runs out of iterations).
+
+    ``corner_name`` restricts the poison to one PVT corner, so a marked
+    candidate converges at the other corners -- the per-(candidate,
+    corner) isolation scenario.
+    """
+
+    def __init__(self, poison_width: float, corner_name: str | None = None):
+        super().__init__()
+        self._poison = poison_width
+        self._corner_name = corner_name
+
+    def build_circuit(self, widths, vcm=None, corner=None):
+        circuit = super().build_circuit(widths, vcm=vcm, corner=corner)
+        if widths.get("M1") == self._poison and (
+            self._corner_name is None
+            or resolve_corner(corner).name == self._corner_name
+        ):
+            circuit.add_isource("IPOISON", "poison", "0", dc=1.0)
+        return circuit
+
+
+class CountingBackend(BatchedBackend):
+    """Records every bulk verification call: (topology name, #candidates)."""
+
+    def __init__(self):
+        self.calls: list[tuple[str, int]] = []
+
+    def measure_many(self, topology, widths_list, **kwargs):
+        self.calls.append((topology.name, len(widths_list)))
+        return super().measure_many(topology, widths_list, **kwargs)
+
+
+def assert_measurements_identical(reference, result) -> None:
+    """Field-by-field bit-identity of two ``MeasurementResult`` objects
+    (AC metrics, transient metrics, DC solution and device parameters)."""
+    assert np.array_equal(
+        reference.metrics.as_array(), result.metrics.as_array(), equal_nan=True
+    )
+    assert np.array_equal(
+        reference.metrics.tran_as_array(), result.metrics.tran_as_array(), equal_nan=True
+    )
+    assert reference.dc.node_voltages == result.dc.node_voltages
+    assert reference.dc.iterations == result.dc.iterations
+    assert reference.dc.strategy == result.dc.strategy
+    assert reference.device_params == result.device_params
+
+
+def assert_outcomes_identical(reference, outcome) -> None:
+    """One aligned ``MeasureOutcome`` pair: same verdict, and bit-identical
+    measurements when both succeeded."""
+    assert reference.ok == outcome.ok
+    if not reference.ok:
+        assert outcome.error is not None
+        return
+    assert_measurements_identical(reference.result, outcome.result)
+
+
+def assert_sweeps_identical(reference, sweep) -> None:
+    """One aligned ``CornerSweep`` pair, outcome by outcome."""
+    assert reference.corners == sweep.corners
+    for ref_outcome, outcome in zip(reference.outcomes, sweep.outcomes):
+        assert_outcomes_identical(ref_outcome, outcome)
+
+
+def assert_responses_identical(sequential, batched) -> None:
+    """Field-by-field bit-identity of two ``SizingResponse`` lists."""
+    assert len(sequential) == len(batched)
+    for ref, got in zip(sequential, batched):
+        assert ref.request_id == got.request_id
+        assert ref.success == got.success
+        assert ref.widths == got.widths
+        assert ref.iterations == got.iterations
+        assert ref.spice_simulations == got.spice_simulations
+        assert ref.decoded_texts == got.decoded_texts
+        assert (ref.metrics is None) == (got.metrics is None)
+        if ref.metrics is not None:
+            assert np.array_equal(
+                ref.metrics.as_array(), got.metrics.as_array(), equal_nan=True
+            )
+            assert np.array_equal(
+                ref.metrics.tran_as_array(), got.metrics.tran_as_array(), equal_nan=True
+            )

@@ -39,7 +39,7 @@ from repro.devices import (
 )
 from repro.service import SizingEngine, SizingRequest, SizingResponse
 from repro.service.cache import ResultCache, quantize_spec
-from repro.solvers import BatchedBackend, ScalarBackend, SearchObjective, SearchSpace
+from repro.solvers import BatchedBackend, ScalarBackend, SearchObjective
 from repro.spice import ConvergenceError, PerformanceMetrics, parse_netlist, to_spice
 from repro.spice.dc import _structure_key
 from repro.topologies import (
@@ -49,29 +49,17 @@ from repro.topologies import (
     build_active_inductor,
 )
 
-from tests.conftest import GOOD_WIDTHS
+from tests.conftest import (
+    GOOD_WIDTHS,
+    PoisonedFiveT,
+    assert_sweeps_identical,
+    make_population,
+)
 
 #: Width marking the candidate that converges at TT but not at SS below.
 POISON_WIDTH = 4.444e-6
 
 ALL_CORNERS = ("tt", "ss", "ff")
-
-
-class _CornerPoisonedOTA(FiveTransistorOTA):
-    """5T-OTA that is unsolvable at the SS corner for one marker width.
-
-    The marker candidate builds a normal netlist at TT/FF but plants a 1 A
-    current source into a floating node at SS — a deterministic
-    :class:`ConvergenceError` generator in both the sequential and the
-    stacked-corner batched path, exercising per-(candidate, corner)
-    isolation.
-    """
-
-    def build_circuit(self, widths, vcm=None, corner=None):
-        circuit = super().build_circuit(widths, vcm=vcm, corner=corner)
-        if widths.get("M1") == POISON_WIDTH and resolve_corner(corner).name == "ss":
-            circuit.add_isource("IPOISON", "poison", "0", dc=1.0)
-        return circuit
 
 
 # ----------------------------------------------------------------------
@@ -290,43 +278,19 @@ class TestSupplyUnification:
 # Backend parity on the corner axis (incl. per-pair isolation)
 # ----------------------------------------------------------------------
 class TestCornerBackendParity:
-    def _population(self, topology, count, seed=11):
-        rng = np.random.default_rng(seed)
-        space = SearchSpace(topology)
-        return [space.decode(space.random_point(rng)) for _ in range(count)]
-
-    def _assert_sweeps_identical(self, reference, sweep):
-        assert reference.corners == sweep.corners
-        for ref_outcome, outcome in zip(reference.outcomes, sweep.outcomes):
-            assert ref_outcome.ok == outcome.ok
-            if not ref_outcome.ok:
-                assert outcome.error is not None
-                continue
-            assert np.array_equal(
-                ref_outcome.result.metrics.as_array(),
-                outcome.result.metrics.as_array(),
-                equal_nan=True,
-            )
-            assert (
-                ref_outcome.result.dc.node_voltages
-                == outcome.result.dc.node_voltages
-            )
-            assert ref_outcome.result.dc.iterations == outcome.result.dc.iterations
-            assert ref_outcome.result.dc.strategy == outcome.result.dc.strategy
-
     def test_batched_bit_identical_to_scalar(self, five_t):
-        population = self._population(five_t, 4)
+        population = make_population(five_t, 4)
         scalar = ScalarBackend().measure_many(five_t, population, corners=ALL_CORNERS)
         batched = BatchedBackend().measure_many(five_t, population, corners=ALL_CORNERS)
         assert all(isinstance(sweep, CornerSweep) for sweep in batched)
         for reference, sweep in zip(scalar, batched):
-            self._assert_sweeps_identical(reference, sweep)
+            assert_sweeps_identical(reference, sweep)
 
     def test_tt_converges_ss_raises_isolated_per_pair(self):
         """The ISSUE's contract: a candidate that converges at TT but hits
         ConvergenceError at SS fails *only* its (candidate, SS) slot."""
-        topology = _CornerPoisonedOTA()
-        population = self._population(topology, 3, seed=5)
+        topology = PoisonedFiveT(POISON_WIDTH, corner_name="ss")
+        population = make_population(topology, 3, seed=5)
         poisoned = dict(population[1])
         poisoned["M1"] = POISON_WIDTH
         batch = [population[0], poisoned, population[2]]
@@ -347,7 +311,7 @@ class TestCornerBackendParity:
             # Neighbours are untouched, at every corner.
             assert sweeps[0].ok and sweeps[2].ok
         for reference, sweep in zip(scalar, batched):
-            self._assert_sweeps_identical(reference, sweep)
+            assert_sweeps_identical(reference, sweep)
 
     def test_unbuildable_candidate_fails_every_corner(self, five_t):
         bad = dict(GOOD_WIDTHS["5T-OTA"])

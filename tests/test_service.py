@@ -28,6 +28,12 @@ from repro.topologies import (
     unregister,
 )
 
+from tests.conftest import (
+    CountingBackend,
+    PoisonedFiveT,
+    assert_responses_identical,
+)
+
 # ----------------------------------------------------------------------
 # Topology registry
 # ----------------------------------------------------------------------
@@ -633,50 +639,6 @@ def mixed_oracle_setup():
     return topologies, records_by_name, luts
 
 
-class _CountingBackend(BatchedBackend):
-    """Records every bulk verification call: (topology name, #candidates)."""
-
-    def __init__(self):
-        self.calls: list[tuple[str, int]] = []
-
-    def measure_many(self, topology, widths_list):
-        self.calls.append((topology.name, len(widths_list)))
-        return super().measure_many(topology, widths_list)
-
-
-class _PoisonWidthOTA(FiveTransistorOTA):
-    """5T-OTA whose build plants an unsatisfiable current source when the
-    marker M1 width appears — a deterministic ConvergenceError generator
-    *inside* an engine round (the widths come out of Stage III)."""
-
-    def __init__(self, poison_width):
-        super().__init__()
-        self._poison = poison_width
-
-    def build(self, widths, vcm=None):
-        circuit = super().build(widths, vcm=vcm)
-        if widths.get("M1") == self._poison:
-            circuit.add_isource("IPOISON", "poison", "0", dc=1.0)
-        return circuit
-
-
-def _assert_responses_identical(sequential, batched):
-    """Field-by-field bit-identity of two response lists."""
-    assert len(sequential) == len(batched)
-    for ref, got in zip(sequential, batched):
-        assert ref.request_id == got.request_id
-        assert ref.success == got.success
-        assert ref.widths == got.widths
-        assert ref.iterations == got.iterations
-        assert ref.spice_simulations == got.spice_simulations
-        assert ref.decoded_texts == got.decoded_texts
-        assert (ref.metrics is None) == (got.metrics is None)
-        if ref.metrics is not None:
-            assert np.array_equal(
-                ref.metrics.as_array(), got.metrics.as_array(), equal_nan=True
-            )
-
-
 class TestBatchedStageIVParity:
     """The tentpole contract: routing Stage IV through ``measure_many``
     changes throughput, never results."""
@@ -710,7 +672,7 @@ class TestBatchedStageIVParity:
         requests = self._requests(records[:4])
         sequential = engine_seq.size_batch(requests)
         batched = engine_batched.size_batch(requests)
-        _assert_responses_identical(sequential, batched)
+        assert_responses_identical(sequential, batched)
         assert engine_seq.stats.spice_simulations == engine_batched.stats.spice_simulations
         # Traces too (size_results exposes them): requested specs, parse
         # flags, widths, metrics and verdicts, iteration by iteration.
@@ -728,7 +690,7 @@ class TestBatchedStageIVParity:
         """All verifiable candidates of a round share one backend call."""
         topology, records, luts = oracle_setup
         model = _BatchedOracleModel(topology, records, luts)
-        backend = _CountingBackend()
+        backend = CountingBackend()
         engine = SizingEngine(model, cache_size=0, backend=backend)
         engine.adopt_topology(topology)
         requests = self._requests(records[:4], max_iterations=1)
@@ -745,12 +707,12 @@ class TestBatchedStageIVParity:
         requests = self._requests(records[:3], max_iterations=2)
         probe_response = probe.size_batch([requests[1]])[0]
         assert probe_response.widths is not None
-        poisoned_topology = _PoisonWidthOTA(probe_response.widths["M1"])
+        poisoned_topology = PoisonedFiveT(probe_response.widths["M1"])
 
         engine_seq, engine_batched = self._engines(oracle_setup, topology=poisoned_topology)
         sequential = engine_seq.size_batch(requests)
         batched = engine_batched.size_batch(requests)
-        _assert_responses_identical(sequential, batched)
+        assert_responses_identical(sequential, batched)
         # The neighbors still verified and sized normally.
         assert batched[0].success and batched[2].success
         # The poisoned first iteration consumed no simulation but the
@@ -761,7 +723,7 @@ class TestBatchedStageIVParity:
     def test_zero_iteration_budget_skips_the_backend(self, oracle_setup):
         topology, records, luts = oracle_setup
         model = _BatchedOracleModel(topology, records, luts)
-        backend = _CountingBackend()
+        backend = CountingBackend()
         engine = SizingEngine(model, cache_size=0, backend=backend)
         engine.adopt_topology(topology)
         responses = engine.size_batch(self._requests(records[:2], max_iterations=0))
@@ -794,10 +756,10 @@ class TestBatchedStageIVParity:
                 eng.adopt_topology(topology)
             return eng
 
-        counting = _CountingBackend()
+        counting = CountingBackend()
         sequential = engine(ScalarBackend()).size_batch(requests)
         batched = engine(counting).size_batch(requests)
-        _assert_responses_identical(sequential, batched)
+        assert_responses_identical(sequential, batched)
         # Round 1: one bulk verification per topology, spanning all of its
         # surviving candidates (the oracle's decodes all survive Stage III).
         assert counting.calls[:2] == [("5T-OTA", 3), ("CM-OTA", 3)]

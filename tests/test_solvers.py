@@ -25,29 +25,20 @@ from repro.solvers import (
     ScalarBackend,
     SearchObjective,
     SearchSolver,
-    SearchSpace,
     SolveResult,
 )
 from repro.spice import ConvergenceError
 from repro.topologies import FiveTransistorOTA
 
-from tests.conftest import GOOD_WIDTHS
+from tests.conftest import (
+    GOOD_WIDTHS,
+    PoisonedFiveT,
+    assert_measurements_identical,
+    make_population,
+)
 
-#: Width value that makes _PoisonedOTA.build emit a non-convergent circuit.
+#: Width value marking the candidate PoisonedFiveT refuses to converge on.
 POISON_WIDTH = 3.333e-6
-
-
-class _PoisonedOTA(FiveTransistorOTA):
-    """5T-OTA whose build plants an unsatisfiable current source when the
-    marker width appears — a deterministic ConvergenceError generator."""
-
-    def build(self, widths, vcm=None):
-        circuit = super().build(widths, vcm=vcm)
-        if widths.get("M1") == POISON_WIDTH:
-            # 1 A pulled out of a floating node: only the gmin shunt can
-            # carry it, so every Newton strategy runs out of iterations.
-            circuit.add_isource("IPOISON", "poison", "0", dc=1.0)
-        return circuit
 
 
 @pytest.fixture(scope="module")
@@ -117,25 +108,12 @@ class TestSolverRegistry:
 # measure_many parity with the sequential measure path
 # ----------------------------------------------------------------------
 class TestMeasureManyParity:
-    def _population(self, topology, count, seed=11):
-        rng = np.random.default_rng(seed)
-        space = SearchSpace(topology)
-        return [space.decode(space.random_point(rng)) for _ in range(count)]
-
     def _assert_identical(self, sequential, outcome):
         assert outcome.ok
-        result = outcome.result
-        # Bit-identical metrics (NaN-safe elementwise comparison).
-        assert np.array_equal(
-            sequential.metrics.as_array(), result.metrics.as_array(), equal_nan=True
-        )
-        assert sequential.dc.node_voltages == result.dc.node_voltages
-        assert sequential.dc.iterations == result.dc.iterations
-        assert sequential.dc.strategy == result.dc.strategy
-        assert sequential.device_params == result.device_params
+        assert_measurements_identical(sequential, outcome.result)
 
     def test_bit_identical_to_sequential(self, five_t_module):
-        population = self._population(five_t_module, 8)
+        population = make_population(five_t_module, 8)
         sequential = [five_t_module.measure(w) for w in population]
         outcomes = five_t_module.measure_many(population)
         assert len(outcomes) == len(population)
@@ -143,8 +121,8 @@ class TestMeasureManyParity:
             self._assert_identical(ref, outcome)
 
     def test_non_convergent_candidate_is_isolated(self):
-        topology = _PoisonedOTA()
-        population = self._population(topology, 4, seed=5)
+        topology = PoisonedFiveT(POISON_WIDTH)
+        population = make_population(topology, 4, seed=5)
         poisoned = dict(population[1])
         poisoned["M1"] = POISON_WIDTH
         batch = [population[0], poisoned, population[2], population[3]]
@@ -159,7 +137,7 @@ class TestMeasureManyParity:
             self._assert_identical(topology.measure(batch[index]), outcomes[index])
 
     def test_unbuildable_candidate_is_isolated(self, five_t_module):
-        population = self._population(five_t_module, 2)
+        population = make_population(five_t_module, 2)
         bad = dict(population[0])
         bad.pop("M5")  # missing group -> build-time KeyError
         outcomes = five_t_module.measure_many([bad, population[1]])
@@ -170,7 +148,7 @@ class TestMeasureManyParity:
         assert five_t_module.measure_many([]) == []
 
     def test_backends_agree(self, five_t_module):
-        population = self._population(five_t_module, 3, seed=2)
+        population = make_population(five_t_module, 3, seed=2)
         scalar = ScalarBackend().measure_many(five_t_module, population)
         batched = BatchedBackend().measure_many(five_t_module, population)
         for s, b in zip(scalar, batched):
@@ -305,6 +283,82 @@ class TestSearchSolvers:
         solver = solvers.create(name, five_t_module, backend=ScalarBackend())
         result = solver.solve(easy_spec, budget=60, rng=np.random.default_rng(5))
         assert result.spice_calls <= 60
+
+
+# ----------------------------------------------------------------------
+# Seed determinism: same seed -> identical SolveResult, for every solver
+# ----------------------------------------------------------------------
+def _assert_solve_results_identical(first, second):
+    """Everything but wall time must reproduce bit-identically."""
+    assert first.solver == second.solver
+    assert first.success == second.success
+    assert first.spice_calls == second.spice_calls
+    assert first.iterations == second.iterations
+    assert first.best_value == second.best_value
+    assert first.best_widths == second.best_widths
+    assert first.history == second.history
+    assert (first.best_metrics is None) == (second.best_metrics is None)
+    if first.best_metrics is not None:
+        assert np.array_equal(
+            first.best_metrics.as_array(), second.best_metrics.as_array(), equal_nan=True
+        )
+        assert np.array_equal(
+            first.best_metrics.tran_as_array(),
+            second.best_metrics.tran_as_array(),
+            equal_nan=True,
+        )
+
+
+@pytest.fixture(scope="module")
+def tran_spec(five_t_module):
+    """An achievable spec with transient targets derived from a measured
+    step response (loose enough that random search can reach it)."""
+    metrics = five_t_module.measure(
+        GOOD_WIDTHS["5T-OTA"], analyses=("dc", "ac", "tran")
+    ).metrics
+    return DesignSpec(
+        metrics.gain_db * 0.9,
+        metrics.f3db_hz * 0.5,
+        metrics.ugf_hz * 0.5,
+        slew_v_per_s=metrics.slew_v_per_s * 0.5,
+        settling_time_s=metrics.settling_time_s * 2.0,
+        overshoot_frac=max(metrics.overshoot_frac * 2.0, 0.5),
+    )
+
+
+class TestSeedDeterminism:
+    """Every registered solver must reproduce an identical ``SolveResult``
+    (best design, history, accounting) from the same rng seed -- with and
+    without transient specs in the objective."""
+
+    @pytest.mark.parametrize("name", ["sa", "pso", "de"])
+    @pytest.mark.parametrize("with_tran", [False, True])
+    def test_search_solvers_reproduce(
+        self, name, with_tran, five_t_module, easy_spec, tran_spec
+    ):
+        spec = tran_spec if with_tran else easy_spec
+        results = []
+        for _ in range(2):
+            solver = solvers.create(name, five_t_module)
+            results.append(solver.solve(spec, budget=24, rng=np.random.default_rng(42)))
+        _assert_solve_results_identical(*results)
+        if with_tran:
+            # The objective really ran the transient leg: the best metrics
+            # carry measured (finite) transient fields.
+            best = results[0].best_metrics
+            if best is not None:
+                assert best.has_tran
+
+    @pytest.mark.parametrize("with_tran", [False, True])
+    def test_copilot_reproduces(
+        self, with_tran, five_t_module, oneshot_model, achievable_spec, tran_spec
+    ):
+        spec = tran_spec if with_tran else achievable_spec
+        results = []
+        for _ in range(2):
+            solver = solvers.create("copilot", five_t_module, model=oneshot_model)
+            results.append(solver.solve(spec, budget=2, rng=np.random.default_rng(42)))
+        _assert_solve_results_identical(*results)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,746 @@
+"""Tests of the transient (step-response) engine and its end-to-end threading.
+
+Layer by layer, the contract of the transient extension:
+
+* the integrator is *correct* (analytic RC reference, trap/BE agreement,
+  monotone error-vs-timestep convergence -- hypothesis property tests);
+* the batched ``run_tran_many`` is **bit-identical** to the sequential
+  ``run_tran`` loop, with per-candidate failure isolation;
+* golden traces pin every topology's known-good step response, so future
+  solver/stamp refactors diff against known-good waveforms;
+* specs/requests/cache/engine/CLI carry the transient targets, while the
+  default AC-only path stays bit-identical to the pre-transient flow.
+"""
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DesignSpec, tighten_spec
+from repro.service import ResultCache, SizingEngine, SizingRequest, SizingResponse
+from repro.solvers import BatchedBackend, ScalarBackend, SearchObjective
+from repro.spice import (
+    Circuit,
+    ConvergenceError,
+    PerformanceMetrics,
+    extract_tran_metrics,
+    run_tran,
+    run_tran_many,
+    solve_dc,
+    step_sources,
+)
+from repro.topologies import (
+    DEFAULT_ANALYSES,
+    TRAN_ANALYSES,
+    available_topologies,
+    resolve_analyses,
+    topology_by_name,
+)
+
+from tests.conftest import (
+    GOOD_WIDTHS,
+    PoisonedFiveT,
+    assert_measurements_identical,
+    assert_sweeps_identical,
+    make_population,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "tran_traces.json"
+
+TRAN = ("dc", "ac", "tran")
+
+
+def _rc_circuit(resistance: float, capacitance: float) -> Circuit:
+    """V source -> R -> C to ground: the analytic step-response testbench."""
+    circuit = Circuit(name="rc")
+    circuit.add_vsource("VIN", "in", "0", 1.0, ac=1.0)
+    circuit.add_resistor("R1", "in", "out", resistance)
+    circuit.add_capacitor("C1", "out", "0", capacitance)
+    return circuit
+
+
+def _rc_response(resistance, capacitance, n_steps, method, amplitude=0.1):
+    dc = solve_dc(_rc_circuit(resistance, capacitance))
+    tau = resistance * capacitance
+    result = run_tran(
+        dc, t_stop=5 * tau, n_steps=n_steps, method=method, step_amplitude=amplitude
+    )
+    analytic = 1.0 + amplitude * (1.0 - np.exp(-result.times / tau))
+    return result, analytic
+
+
+# ----------------------------------------------------------------------
+# The integrator against the analytic RC reference
+# ----------------------------------------------------------------------
+class TestIntegratorAccuracy:
+    def test_rc_both_methods_track_the_exponential(self):
+        for method in ("be", "trap"):
+            result, analytic = _rc_response(1e3, 1e-9, 200, method)
+            error = np.max(np.abs(result.voltage("out") - analytic))
+            assert error < 0.002  # 2% of the 0.1 V step
+
+    def test_trap_is_second_order_be_first_order(self):
+        """Halving dt must cut the BE error ~2x and the trap error ~4x."""
+        errors = {}
+        for method in ("be", "trap"):
+            errors[method] = []
+            for n_steps in (100, 200, 400):
+                result, analytic = _rc_response(1e3, 1e-9, n_steps, method)
+                errors[method].append(np.max(np.abs(result.voltage("out") - analytic)))
+        be_ratio = errors["be"][0] / errors["be"][2]
+        trap_ratio = errors["trap"][0] / errors["trap"][2]
+        assert 2.5 < be_ratio < 6.0  # ~4x over two halvings (first order)
+        assert 10.0 < trap_ratio < 22.0  # ~16x over two halvings (second order)
+        assert errors["trap"][1] < errors["be"][1]
+
+    def test_final_value_matches_small_signal_gain(self, five_t, five_t_measurement):
+        """For a small step, the settled output delta is the DC gain times
+        the input step -- ties the transient engine to the AC analysis."""
+        result = five_t.measure(GOOD_WIDTHS["5T-OTA"], analyses=TRAN)
+        out = result.tran.voltage(five_t.output_node)
+        delta = out[-1] - out[0]
+        expected = five_t_measurement.metrics.gain_linear * five_t.tran_step_v
+        assert delta == pytest.approx(expected, rel=0.02)
+
+    def test_bad_arguments_rejected(self, five_t_measurement):
+        dc = five_t_measurement.dc
+        with pytest.raises(ValueError, match="unknown integration method"):
+            run_tran(dc, t_stop=1e-7, method="rk4")
+        with pytest.raises(ValueError, match="t_stop"):
+            run_tran(dc, t_stop=0.0)
+        with pytest.raises(ValueError, match="n_steps"):
+            run_tran(dc, t_stop=1e-7, n_steps=0)
+        with pytest.raises(ValueError, match="not a node"):
+            run_tran(dc, t_stop=1e-7, n_steps=2).voltage("nope")
+
+    def test_step_sources_scales_by_ac_and_preserves_original(self, five_t):
+        circuit = five_t.build(GOOD_WIDTHS["5T-OTA"])
+        stepped = step_sources(circuit, 2e-3)
+        assert stepped.vsource("VINP").dc == circuit.vsource("VINP").dc + 1e-3
+        assert stepped.vsource("VINN").dc == circuit.vsource("VINN").dc - 1e-3
+        assert stepped.vsource("VDD").dc == circuit.vsource("VDD").dc  # ac = 0
+        # The original netlist is untouched.
+        assert circuit.vsource("VINP").dc == five_t.vcm
+
+
+# ----------------------------------------------------------------------
+# Hypothesis property tests
+# ----------------------------------------------------------------------
+class TestIntegratorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        resistance=st.floats(min_value=1e2, max_value=1e5),
+        capacitance=st.floats(min_value=1e-12, max_value=1e-9),
+    )
+    def test_trap_and_be_agree_on_linear_rc(self, resistance, capacitance):
+        """Both methods integrate the same circuit: on a linear RC whose
+        dt is tau/40 they must agree within the first-order error bound."""
+        amplitude = 0.1
+        trap, analytic = _rc_response(resistance, capacitance, 200, "trap", amplitude)
+        be, _ = _rc_response(resistance, capacitance, 200, "be", amplitude)
+        gap = np.max(np.abs(trap.voltage("out") - be.voltage("out")))
+        assert gap < 0.05 * amplitude
+        assert np.max(np.abs(trap.voltage("out") - analytic)) < 0.01 * amplitude
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        resistance=st.floats(min_value=1e2, max_value=1e5),
+        capacitance=st.floats(min_value=1e-12, max_value=1e-9),
+        method=st.sampled_from(["be", "trap"]),
+    )
+    def test_halving_the_timestep_shrinks_the_error_monotonically(
+        self, resistance, capacitance, method
+    ):
+        errors = []
+        for n_steps in (50, 100, 200):
+            result, analytic = _rc_response(resistance, capacitance, n_steps, method)
+            errors.append(np.max(np.abs(result.voltage("out") - analytic)))
+        assert errors[0] > errors[1] > errors[2]
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1.0),
+                st.floats(min_value=0.0, max_value=1.0),
+                st.floats(min_value=0.0, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_batched_bit_identical_to_sequential_loop(self, five_t, points):
+        """``run_tran_many`` over a random candidate population returns
+        waveforms bit-identical to the per-candidate ``run_tran`` loop."""
+        from repro.solvers import SearchSpace
+
+        space = SearchSpace(five_t)
+        population = [space.decode(np.array(point)) for point in points]
+        solutions = []
+        for widths in population:
+            try:
+                solutions.append(
+                    solve_dc(five_t.build(widths), initial_guess=five_t.initial_guess())
+                )
+            except ConvergenceError:
+                continue
+        if not solutions:
+            return
+        batched = run_tran_many(solutions, t_stop=50e-9, n_steps=20)
+        for solution, outcome in zip(solutions, batched):
+            reference = run_tran(solution, t_stop=50e-9, n_steps=20)
+            assert np.array_equal(reference.waveforms, outcome.waveforms)
+            assert reference.newton_iterations == outcome.newton_iterations
+            assert np.array_equal(reference.times, outcome.times)
+
+
+class TestTranBatchGrouping:
+    def test_circuits_differing_only_in_capacitors_never_share_a_group(self):
+        """The DC structure key is capacitor-blind (capacitors are open at
+        DC); the transient grouping must not be -- a batch mixing circuits
+        that differ only in capacitor count/connectivity must still return
+        waveforms bit-identical to the sequential loop, in both orders."""
+        plain = _rc_circuit(1e3, 1e-9)
+        extra = _rc_circuit(1e3, 1e-9)
+        extra.add_capacitor("C2", "in", "out", 2e-10)
+        solutions = [solve_dc(plain), solve_dc(extra)]
+        for ordered in (solutions, solutions[::-1]):
+            batched = run_tran_many(ordered, t_stop=5e-6, n_steps=50)
+            for solution, outcome in zip(ordered, batched):
+                reference = run_tran(solution, t_stop=5e-6, n_steps=50)
+                assert np.array_equal(reference.waveforms, outcome.waveforms)
+
+
+# ----------------------------------------------------------------------
+# Batched parity and per-candidate isolation at the topology layer
+# ----------------------------------------------------------------------
+class TestTranMeasureParity:
+    def test_measure_many_bit_identical_with_tran(self, five_t):
+        population = make_population(five_t, 6, seed=3)
+        sequential = [five_t.measure(w, analyses=TRAN) for w in population]
+        outcomes = five_t.measure_many(population, analyses=TRAN)
+        for reference, outcome in zip(sequential, outcomes):
+            assert outcome.ok
+            assert outcome.result.metrics.has_tran
+            assert_measurements_identical(reference, outcome.result)
+
+    def test_backends_agree_with_tran(self, five_t):
+        population = make_population(five_t, 3, seed=7)
+        scalar = ScalarBackend().measure_many(five_t, population, analyses=TRAN)
+        batched = BatchedBackend().measure_many(five_t, population, analyses=TRAN)
+        for s, b in zip(scalar, batched):
+            assert s.ok and b.ok
+            assert_measurements_identical(s.result, b.result)
+
+    def test_poisoned_candidate_isolated_with_tran(self):
+        poison = 3.456e-6
+        topology = PoisonedFiveT(poison)
+        population = make_population(topology, 3, seed=5)
+        poisoned = dict(population[1])
+        poisoned["M1"] = poison
+        batch = [population[0], poisoned, population[2]]
+        outcomes = topology.measure_many(batch, analyses=TRAN)
+        assert not outcomes[1].ok and outcomes[1].error is not None
+        for index in (0, 2):
+            assert outcomes[index].ok
+            assert outcomes[index].result.metrics.has_tran
+
+    def test_corner_sweeps_with_tran_bit_identical(self, five_t):
+        population = make_population(five_t, 2, seed=9)
+        corners = ("tt", "ss", "ff")
+        scalar = ScalarBackend().measure_many(
+            five_t, population, corners=corners, analyses=TRAN
+        )
+        batched = BatchedBackend().measure_many(
+            five_t, population, corners=corners, analyses=TRAN
+        )
+        for reference, sweep in zip(scalar, batched):
+            assert_sweeps_identical(reference, sweep)
+        # The corner skew is physical: SS slews slower than FF.
+        sweep = batched[0]
+        slew = {
+            corner.name: outcome.result.metrics.slew_v_per_s
+            for corner, outcome in zip(sweep.corners, sweep.outcomes)
+        }
+        assert slew["ss"] < slew["tt"] < slew["ff"]
+
+    def test_default_analyses_unchanged_and_tran_optional(self, five_t):
+        plain = five_t.measure(GOOD_WIDTHS["5T-OTA"])
+        assert plain.tran is None
+        assert not plain.metrics.has_tran
+        with_tran = five_t.measure(GOOD_WIDTHS["5T-OTA"], analyses=TRAN)
+        assert with_tran.tran is not None
+        assert with_tran.metrics.has_tran
+        # The AC triple is untouched by the extra analysis.
+        assert np.array_equal(plain.metrics.as_array(), with_tran.metrics.as_array())
+
+    def test_resolve_analyses_contract(self):
+        assert resolve_analyses(None) == DEFAULT_ANALYSES
+        assert resolve_analyses(("ac", "dc")) == DEFAULT_ANALYSES
+        assert resolve_analyses(("tran",)) == TRAN_ANALYSES
+        assert resolve_analyses(["dc", "ac", "tran"]) == TRAN_ANALYSES
+        with pytest.raises(ValueError, match="unknown analyses"):
+            resolve_analyses(("dc", "noise"))
+
+
+# ----------------------------------------------------------------------
+# Golden traces: known-good waveforms per topology at the nominal corner
+# ----------------------------------------------------------------------
+class TestGoldenTraces:
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads(GOLDEN_PATH.read_text())
+
+    def test_every_registered_topology_is_pinned(self, golden):
+        assert set(golden) == set(available_topologies())
+
+    # Parametrized over the fixture's own keys so a future topology's
+    # pinned trace is checked automatically once the generator adds it.
+    @pytest.mark.parametrize("name", sorted(json.loads(GOLDEN_PATH.read_text())))
+    def test_step_response_matches_golden_trace(self, golden, name):
+        entry = golden[name]
+        topology = topology_by_name(name)
+        # The testbench knobs the fixture was generated with still apply.
+        assert topology.tran_t_stop == entry["t_stop"]
+        assert topology.tran_steps == entry["n_steps"]
+        assert topology.tran_method == entry["method"]
+        assert topology.tran_step_v == entry["step_amplitude"]
+
+        measurement = topology.measure(entry["widths"], analyses=TRAN)
+        waveform = measurement.tran.voltage(entry["output_node"])
+        sampled = waveform[entry["sample_indices"]]
+        times = measurement.tran.times[entry["sample_indices"]]
+        np.testing.assert_allclose(times, entry["times"], rtol=1e-12)
+        # rtol leaves room for BLAS reduction-order drift across platforms
+        # while catching any real change to stamps or integration.
+        np.testing.assert_allclose(sampled, entry["output"], rtol=1e-8)
+
+        metrics = measurement.metrics
+        pinned = entry["metrics"]
+        assert metrics.slew_v_per_s == pytest.approx(pinned["slew_v_per_s"], rel=1e-6)
+        dt = entry["t_stop"] / entry["n_steps"]
+        assert abs(metrics.settling_time_s - pinned["settling_time_s"]) <= dt
+        assert metrics.overshoot_frac == pytest.approx(pinned["overshoot_frac"], abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Metric extraction on synthetic waveforms
+# ----------------------------------------------------------------------
+class _FakeTran:
+    def __init__(self, times, values):
+        self.times = np.asarray(times, dtype=float)
+        self._values = np.asarray(values, dtype=float)
+
+    def voltage(self, node):
+        return self._values
+
+
+class TestTranMetricExtraction:
+    def test_ramp_slew_rate(self):
+        times = np.linspace(0.0, 1e-6, 11)
+        tran = _FakeTran(times, times * 2e6)  # 2 V/us ramp
+        metrics = extract_tran_metrics(tran, "out")
+        assert metrics.slew_v_per_s == pytest.approx(2e6)
+
+    def test_exponential_settling_and_no_overshoot(self):
+        tau = 1e-7
+        times = np.linspace(0.0, 10 * tau, 1001)
+        tran = _FakeTran(times, 1.0 - np.exp(-times / tau))
+        metrics = extract_tran_metrics(tran, "out", settle_tol=0.02)
+        # |v - vf| <= 0.02 * delta happens near t = -tau*ln(0.02) ~ 3.9 tau.
+        assert metrics.settling_time_s == pytest.approx(3.91 * tau, rel=0.05)
+        assert metrics.overshoot_frac == 0.0
+
+    def test_overshoot_of_damped_step(self):
+        times = np.linspace(0.0, 1.0, 2001)
+        omega, zeta = 30.0, 0.3
+        wd = omega * np.sqrt(1 - zeta**2)
+        values = 1.0 - np.exp(-zeta * omega * times) * (
+            np.cos(wd * times) + zeta / np.sqrt(1 - zeta**2) * np.sin(wd * times)
+        )
+        tran = _FakeTran(times, values)
+        metrics = extract_tran_metrics(tran, "out")
+        expected = np.exp(-np.pi * zeta / np.sqrt(1 - zeta**2))
+        assert metrics.overshoot_frac == pytest.approx(expected, rel=0.02)
+
+    def test_falling_step_mirrors_rising(self):
+        tau = 1e-7
+        times = np.linspace(0.0, 10 * tau, 1001)
+        rising = extract_tran_metrics(_FakeTran(times, 1.0 - np.exp(-times / tau)), "out")
+        falling = extract_tran_metrics(_FakeTran(times, np.exp(-times / tau)), "out")
+        assert falling.settling_time_s == rising.settling_time_s
+        assert falling.overshoot_frac == rising.overshoot_frac == 0.0
+        assert falling.slew_v_per_s == pytest.approx(rising.slew_v_per_s)
+
+    def test_flat_waveform_degenerates_gracefully(self):
+        times = np.linspace(0.0, 1e-6, 11)
+        metrics = extract_tran_metrics(_FakeTran(times, np.full(11, 0.5)), "out")
+        assert metrics.slew_v_per_s == 0.0
+        assert metrics.settling_time_s == 0.0
+        assert metrics.overshoot_frac == 0.0
+
+    def test_base_metrics_carried_over(self):
+        times = np.linspace(0.0, 1e-6, 11)
+        base = PerformanceMetrics(25.0, 5e6, 8e7)
+        merged = extract_tran_metrics(_FakeTran(times, times * 1e6), "out", base=base)
+        assert merged.gain_db == 25.0 and merged.ugf_hz == 8e7
+        assert merged.has_tran
+        with pytest.raises(ValueError, match="settle_tol"):
+            extract_tran_metrics(_FakeTran(times, times), "out", settle_tol=0.0)
+
+
+# ----------------------------------------------------------------------
+# DesignSpec transient fields
+# ----------------------------------------------------------------------
+class TestTransientSpec:
+    METRICS = PerformanceMetrics(
+        25.0, 5e6, 8e7, slew_v_per_s=5e5, settling_time_s=1.5e-7, overshoot_frac=0.05
+    )
+
+    def test_ac_only_spec_unchanged(self):
+        spec = DesignSpec(20.0, 4e6, 7e7)
+        assert not spec.requires_tran
+        assert set(spec.miss_fractions(self.METRICS)) == {"gain_db", "f3db_hz", "ugf_hz"}
+        assert spec.satisfied(self.METRICS)
+
+    def test_direction_of_each_transient_target(self):
+        base = dict(gain_db=20.0, f3db_hz=4e6, ugf_hz=7e7)
+        assert DesignSpec(**base, slew_v_per_s=4e5).satisfied(self.METRICS)
+        assert not DesignSpec(**base, slew_v_per_s=6e5).satisfied(self.METRICS)
+        assert DesignSpec(**base, settling_time_s=2e-7).satisfied(self.METRICS)
+        assert not DesignSpec(**base, settling_time_s=1e-7).satisfied(self.METRICS)
+        assert DesignSpec(**base, overshoot_frac=0.1).satisfied(self.METRICS)
+        assert not DesignSpec(**base, overshoot_frac=0.01).satisfied(self.METRICS)
+
+    def test_unmeasured_transient_metric_fails_and_scores_full_miss(self):
+        spec = DesignSpec(20.0, 4e6, 7e7, slew_v_per_s=4e5)
+        ac_only = PerformanceMetrics(25.0, 5e6, 8e7)
+        assert not spec.satisfied(ac_only)
+        assert spec.miss_fractions(ac_only)["slew_v_per_s"] == 1.0
+
+    def test_miss_fractions_directions(self):
+        spec = DesignSpec(
+            20.0, 4e6, 7e7,
+            slew_v_per_s=1e6, settling_time_s=1e-7, overshoot_frac=0.025,
+        )
+        misses = spec.miss_fractions(self.METRICS)
+        assert misses["slew_v_per_s"] == pytest.approx(0.5)  # 5e5 vs 1e6 floor
+        assert misses["settling_time_s"] == pytest.approx(0.5)  # 1.5e-7 vs 1e-7 cap
+        assert misses["overshoot_frac"] == pytest.approx(1.0)  # 0.05 vs 0.025 cap
+
+    def test_rel_tol_loosens_in_the_right_direction(self):
+        base = dict(gain_db=20.0, f3db_hz=4e6, ugf_hz=7e7)
+        tight_settle = DesignSpec(**base, settling_time_s=1.4e-7)
+        assert not tight_settle.satisfied(self.METRICS)
+        assert tight_settle.satisfied(self.METRICS, rel_tol=0.1)
+        tight_slew = DesignSpec(**base, slew_v_per_s=5.4e5)
+        assert not tight_slew.satisfied(self.METRICS)
+        assert tight_slew.satisfied(self.METRICS, rel_tol=0.1)
+
+    def test_validation_and_scaling(self):
+        with pytest.raises(ValueError, match="positive"):
+            DesignSpec(20.0, 4e6, 7e7, settling_time_s=0.0)
+        spec = DesignSpec(20.0, 4e6, 7e7, slew_v_per_s=1e6)
+        doubled = spec.scaled({"gain_db": 2.0, "slew_v_per_s": 2.0})
+        assert doubled.gain_db == 40.0 and doubled.slew_v_per_s == 2e6
+        assert doubled.settling_time_s is None
+        # Factors for unset fields are ignored.
+        assert spec.scaled({"settling_time_s": 2.0}) == spec
+
+    def test_from_metrics_adopts_measured_transient(self):
+        spec = DesignSpec.from_metrics(self.METRICS, slack=0.1)
+        assert spec.slew_v_per_s == pytest.approx(4.5e5)  # floor derated down
+        assert spec.settling_time_s == pytest.approx(1.65e-7)  # cap derated up
+        assert spec.overshoot_frac == pytest.approx(0.055)
+        # Zero overshoot cannot become a positive ceiling -> left unset.
+        monotone = replace(self.METRICS, overshoot_frac=0.0)
+        assert DesignSpec.from_metrics(monotone).overshoot_frac is None
+        # AC-only metrics produce an AC-only spec (pre-transient behavior).
+        assert not DesignSpec.from_metrics(PerformanceMetrics(25.0, 5e6, 8e7)).requires_tran
+
+    def test_tighten_spec_preserves_transient_targets(self):
+        original = DesignSpec(25.0, 5e6, 8e7, settling_time_s=1e-7, slew_v_per_s=1e6)
+        measured = PerformanceMetrics(
+            24.0, 4e6, 7e7, slew_v_per_s=5e5, settling_time_s=2e-7, overshoot_frac=0.0
+        )
+        tightened = tighten_spec(original, original, measured)
+        # AC targets tightened...
+        assert tightened.gain_db > original.gain_db
+        # ...transient targets carried through unchanged (the encoder
+        # cannot express them, Stage IV keeps judging the originals).
+        assert tightened.settling_time_s == original.settling_time_s
+        assert tightened.slew_v_per_s == original.slew_v_per_s
+
+
+# ----------------------------------------------------------------------
+# Requests, cache and serving
+# ----------------------------------------------------------------------
+class TestTransientRequests:
+    def _spec(self, **kwargs):
+        return DesignSpec(25.0, 5e6, 8e7, **kwargs)
+
+    def test_transient_spec_pulls_tran_analysis_in(self):
+        plain = SizingRequest(topology="5T-OTA", spec=self._spec())
+        assert plain.analyses == DEFAULT_ANALYSES
+        tran = SizingRequest(
+            topology="5T-OTA", spec=self._spec(slew_v_per_s=1e5)
+        )
+        assert tran.analyses == TRAN_ANALYSES
+        explicit = SizingRequest(
+            topology="5T-OTA", spec=self._spec(), analyses=("dc", "ac", "tran")
+        )
+        assert explicit.analyses == TRAN_ANALYSES
+
+    def test_json_round_trip_with_transient_fields(self):
+        request = SizingRequest(
+            topology="5T-OTA",
+            spec=self._spec(slew_v_per_s=1e5, settling_time_s=3e-7),
+            id="t1",
+        )
+        payload = json.loads(request.to_json_line())
+        assert payload["slew_v_per_s"] == 1e5
+        assert payload["analyses"] == ["dc", "ac", "tran"]
+        assert "overshoot_frac" not in payload  # unset targets stay absent
+        restored = SizingRequest.from_json_line(request.to_json_line())
+        assert restored == request
+
+    def test_ac_only_wire_format_unchanged(self):
+        payload = SizingRequest(topology="5T-OTA", spec=self._spec(), id="r").to_json()
+        assert set(payload) == {
+            "id", "topology", "gain_db", "f3db_hz", "ugf_hz",
+            "max_iterations", "rel_tol", "method", "budget", "corners",
+        }
+
+    def test_response_json_round_trips_transient_metrics(self):
+        response = SizingResponse(
+            request_id="r", topology="5T-OTA", success=True,
+            widths={"M1": 1e-6},
+            metrics=PerformanceMetrics(
+                25.0, 5e6, 8e7,
+                slew_v_per_s=5e5, settling_time_s=1.5e-7, overshoot_frac=0.0,
+            ),
+            iterations=1, spice_simulations=1, wall_time_s=0.1,
+        )
+        restored = SizingResponse.from_json_line(response.to_json_line())
+        assert restored == response
+        # AC-only responses keep the pre-transient metrics payload.
+        plain = SizingResponse(
+            request_id="r", topology="5T-OTA", success=True, widths=None,
+            metrics=PerformanceMetrics(25.0, 5e6, 8e7),
+            iterations=1, spice_simulations=1, wall_time_s=0.1,
+        )
+        assert set(json.loads(plain.to_json_line())["metrics"]) == {
+            "gain_db", "f3db_hz", "ugf_hz",
+        }
+
+    def test_cache_keys_never_collide_across_transient_targets(self):
+        requests = [
+            SizingRequest(topology="5T-OTA", spec=self._spec(), id="a"),
+            SizingRequest(topology="5T-OTA", spec=self._spec(), id="b",
+                          analyses=("dc", "ac", "tran")),
+            SizingRequest(topology="5T-OTA", spec=self._spec(slew_v_per_s=1e5), id="c"),
+            SizingRequest(topology="5T-OTA", spec=self._spec(slew_v_per_s=2e5), id="d"),
+            SizingRequest(topology="5T-OTA", spec=self._spec(settling_time_s=1e-7), id="e"),
+        ]
+        keys = {ResultCache.key(r) for r in requests}
+        assert len(keys) == len(requests)
+
+    def test_near_duplicate_transfer_revalidates_transient_targets(self):
+        cache = ResultCache()
+        cached = SizingRequest(
+            topology="5T-OTA", spec=self._spec(slew_v_per_s=1e5), id="x"
+        )
+        response = SizingResponse(
+            request_id="x", topology="5T-OTA", success=True,
+            widths={"M1": 1e-6},
+            metrics=PerformanceMetrics(
+                26.0, 6e6, 9e7,
+                slew_v_per_s=1.004e5, settling_time_s=1e-7, overshoot_frac=0.0,
+            ),
+            iterations=1, spice_simulations=1, wall_time_s=0.1,
+        )
+        cache.put(cached, response)
+        # Both near-duplicates quantize onto the cached key (1.00e5), but
+        # the cached design's measured slew (1.004e5) only satisfies the
+        # looser exact target -- the tighter request must miss.
+        tighter = SizingRequest(
+            topology="5T-OTA", spec=self._spec(slew_v_per_s=1.0042e5), id="y"
+        )
+        assert cache.get(tighter) is None
+        looser = SizingRequest(
+            topology="5T-OTA", spec=self._spec(slew_v_per_s=1.0002e5), id="z"
+        )
+        assert cache.get(looser) is not None
+
+
+class TestTransientServing:
+    """End-to-end: an engine round measuring and judging transient specs."""
+
+    @pytest.fixture(scope="class")
+    def serving(self, nmos_lut, pmos_lut):
+        from repro.core.bundle import SizingModel
+        from repro.datagen import SequenceBuilder, SequenceConfig
+        from repro.datagen.serialize import ParsedParams
+        from repro.devices import NMOS_65NM, PMOS_65NM
+        from repro.topologies import FiveTransistorOTA
+
+        topology = FiveTransistorOTA()
+        measurement = topology.measure(GOOD_WIDTHS["5T-OTA"])
+        params = {
+            group.name: dict(measurement.device_params[group.name])
+            for group in topology.groups
+        }
+
+        class _FixedModel(SizingModel):
+            def __init__(self):
+                builder = SequenceBuilder(topology, SequenceConfig())
+                super().__init__(
+                    transformer=None, bpe=None, vocab=None,
+                    sequence_config=builder.config,
+                    builders={topology.name: builder},
+                    luts={NMOS_65NM.name: nmos_lut, PMOS_65NM.name: pmos_lut},
+                )
+
+            def predict_params(self, topology_name, spec, max_len=None):
+                values = {g: dict(p) for g, p in params.items()}
+                return ParsedParams(values=values, complete=True), "<fixed>"
+
+            def predict_params_many(self, specs_by_topology, max_len=None):
+                return {
+                    name: [self.predict_params(name, spec) for spec in specs]
+                    for name, specs in specs_by_topology.items()
+                }
+
+        engine = SizingEngine(_FixedModel(), cache_size=0)
+        engine.adopt_topology(topology)
+        widths = engine.widths_from_params(topology, params)
+        measured = topology.measure(widths, analyses=TRAN).metrics
+        return engine, topology, measured
+
+    def test_success_and_failure_judged_on_transient_targets(self, serving):
+        engine, topology, measured = serving
+        base = dict(
+            gain_db=measured.gain_db * 0.97,
+            f3db_hz=measured.f3db_hz * 0.9,
+            ugf_hz=measured.ugf_hz * 0.9,
+        )
+        ok = engine.size(
+            SizingRequest(
+                topology=topology.name,
+                spec=DesignSpec(**base, slew_v_per_s=measured.slew_v_per_s * 0.5),
+                max_iterations=1,
+            )
+        )
+        assert ok.success
+        assert ok.metrics.has_tran
+        assert ok.metrics.slew_v_per_s == pytest.approx(measured.slew_v_per_s)
+
+        impossible = engine.size(
+            SizingRequest(
+                topology=topology.name,
+                spec=DesignSpec(**base, settling_time_s=measured.settling_time_s * 0.01),
+                max_iterations=2,
+            )
+        )
+        assert not impossible.success
+        assert impossible.metrics is not None  # best iterate still reported
+        assert impossible.metrics.has_tran
+
+    def test_plain_requests_unaffected_by_transient_neighbours(self, serving):
+        """One batch mixing AC-only and transient requests: the AC-only
+        response matches a batch without any transient neighbour."""
+        engine, topology, measured = serving
+        base = dict(
+            gain_db=measured.gain_db * 0.97,
+            f3db_hz=measured.f3db_hz * 0.9,
+            ugf_hz=measured.ugf_hz * 0.9,
+        )
+        plain_request = SizingRequest(
+            topology=topology.name, spec=DesignSpec(**base), id="plain",
+            max_iterations=1,
+        )
+        mixed = engine.size_batch(
+            [
+                plain_request,
+                SizingRequest(
+                    topology=topology.name,
+                    spec=DesignSpec(**base, slew_v_per_s=measured.slew_v_per_s * 0.5),
+                    id="tran", max_iterations=1,
+                ),
+            ]
+        )
+        alone = engine.size_batch([replace(plain_request, id="plain")])
+        by_id = {r.request_id: r for r in mixed}
+        assert by_id["plain"].success and by_id["tran"].success
+        assert not by_id["plain"].metrics.has_tran
+        assert by_id["tran"].metrics.has_tran
+        assert by_id["plain"].widths == alone[0].widths
+        assert np.array_equal(
+            by_id["plain"].metrics.as_array(), alone[0].metrics.as_array()
+        )
+
+    def test_solver_method_honors_analyses_selector(self, serving):
+        """A registry-dispatched solver (method != copilot) with
+        ``analyses=tran`` on an AC-only spec must measure and report the
+        transient metrics the CLI flag promises."""
+        engine, topology, measured = serving
+        spec = DesignSpec(
+            gain_db=measured.gain_db * 0.9,
+            f3db_hz=measured.f3db_hz * 0.5,
+            ugf_hz=measured.ugf_hz * 0.5,
+        )
+        response = engine.size(
+            SizingRequest(
+                topology=topology.name, spec=spec, method="pso", budget=20,
+                analyses=("dc", "ac", "tran"),
+            )
+        )
+        assert response.method == "pso"
+        assert response.error is None
+        assert response.metrics is not None
+        assert response.metrics.has_tran
+        # ...and without the selector the solver path stays AC-only.
+        plain = engine.size(
+            SizingRequest(topology=topology.name, spec=spec, method="pso", budget=20)
+        )
+        assert plain.metrics is not None and not plain.metrics.has_tran
+
+    def test_solver_rel_tol_loosens_transient_caps(self):
+        """The solver path's derated spec must loosen max targets *up*,
+        matching Stage IV's satisfied(rel_tol=...) semantics."""
+        from repro.service.engine import _derated_spec
+
+        spec = DesignSpec(
+            25.0, 5e6, 8e7,
+            slew_v_per_s=1e6, settling_time_s=1e-7, overshoot_frac=0.1,
+        )
+        derated = _derated_spec(spec, 0.02)
+        assert derated.gain_db == pytest.approx(25.0 * 0.98)
+        assert derated.slew_v_per_s == pytest.approx(1e6 * 0.98)  # floor down
+        assert derated.settling_time_s == pytest.approx(1e-7 * 1.02)  # cap up
+        assert derated.overshoot_frac == pytest.approx(0.1 * 1.02)
+        assert _derated_spec(spec, 0.0) == spec
+        # A metric exactly at the loosened boundary passes both judgments.
+        boundary = PerformanceMetrics(
+            25.0, 5e6, 8e7,
+            slew_v_per_s=1e6 * 0.99, settling_time_s=1e-7 * 1.01, overshoot_frac=0.1,
+        )
+        assert spec.satisfied(boundary, rel_tol=0.02)
+        assert derated.satisfied(boundary)
+
+    def test_objective_scores_transient_shortfall(self, serving):
+        _, topology, measured = serving
+        spec = DesignSpec(
+            gain_db=measured.gain_db * 0.9,
+            f3db_hz=measured.f3db_hz * 0.5,
+            ugf_hz=measured.ugf_hz * 0.5,
+            settling_time_s=measured.settling_time_s * 0.01,  # unreachable cap
+        )
+        objective = SearchObjective(topology, spec)
+        point = np.full(objective.space.dimension, 0.5)
+        value = float(objective.evaluate_many(point[None, :])[0])
+        assert value > 0.0  # AC passes, the settling cap binds
