@@ -49,7 +49,7 @@ from repro.core import DesignSpec, SizingFlow, run_sizing_study
 from repro.service import SizingEngine, SizingRequest
 from repro.solvers import BatchedBackend, EvalBackend, ScalarBackend, SearchSpace
 
-from conftest import write_result
+from conftest import write_bench_json, write_result
 
 #: Unseen designs sized per topology (the paper uses 100).
 N_SPECS = 25
@@ -345,6 +345,16 @@ def test_table8_verification_throughput(topologies):
         "responses: bit-identical to the sequential backend",
     ]
     write_result("table8_verification_throughput", lines)
+    write_bench_json(
+        "verification",
+        {
+            "requests": len(requests),
+            "verified_candidates": verified,
+            "sequential_s": round(scalar_s, 4),
+            "batched_s": round(batched_s, 4),
+            "speedup": round(speedup, 2),
+        },
+    )
 
     assert speedup >= 2.0
 
@@ -431,6 +441,17 @@ def test_table8_corner_throughput(topologies):
         "outcomes: bit-identical per (candidate, corner) pair",
     ]
     write_result("table8_corner_throughput", lines)
+    write_bench_json(
+        "corner",
+        {
+            "candidates": len(population),
+            "corners": list(CORNER_AXIS),
+            "evaluations": pairs,
+            "sequential_s": round(scalar_s, 4),
+            "batched_s": round(batched_s, 4),
+            "speedup": round(speedup, 2),
+        },
+    )
 
     assert speedup >= 2.0
 
@@ -507,5 +528,15 @@ def test_table8_tran_throughput(topologies):
         "waveforms: bit-identical to the sequential loop",
     ]
     write_result("table8_tran_throughput", lines)
+    write_bench_json(
+        "tran",
+        {
+            "candidates": count,
+            "time_steps": topology.tran_steps,
+            "sequential_s": round(sequential_s, 4),
+            "batched_s": round(batched_s, 4),
+            "speedup": round(speedup, 2),
+        },
+    )
 
     assert speedup >= 2.0

@@ -12,6 +12,8 @@ also prints them, so running with ``-s`` shows them live.
 
 from __future__ import annotations
 
+import json
+import platform
 from pathlib import Path
 
 import pytest
@@ -22,6 +24,10 @@ from repro.topologies import topology_by_name
 
 CACHE_DIR = Path(__file__).resolve().parent / ".artifact_cache"
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+#: Perf snapshots land in the repo root (``benchmarks/results`` is
+#: gitignored; the ``BENCH_*.json`` files are committed per PR so the
+#: perf trajectory lives in history).
+BENCH_JSON_DIR = Path(__file__).resolve().parent.parent
 
 #: Validation designs used per topology for prediction-quality benches.
 N_VALIDATION = 60
@@ -99,3 +105,22 @@ def write_result(name: str, lines) -> str:
     print(f"\n===== {name} =====")
     print(text)
     return text
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write a machine-readable perf snapshot to ``BENCH_<name>.json``.
+
+    The human-readable table still goes through :func:`write_result`; this
+    is the per-PR perf trajectory -- one small JSON document per smoke
+    bench, committed at the repo root and uploaded as a CI artifact, so
+    regressions show up as diffs instead of vibes.
+    """
+    path = BENCH_JSON_DIR / f"BENCH_{name}.json"
+    document = {
+        "bench": name,
+        "python": platform.python_version(),
+        **payload,
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"perf snapshot: {path}")
+    return path

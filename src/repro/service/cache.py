@@ -8,13 +8,19 @@ cached response only transfers to a near-duplicate request when it can
 be re-validated: either the specs match exactly (deterministic flow ⇒
 identical outcome), or the cached design's measured metrics provably
 satisfy the new request's own targets.  Anything else is a miss.
+
+The cache is safe under concurrent ``size_batch`` callers: every LRU
+mutation (the ``move_to_end`` on hit, inserts, evictions) and the
+hit/miss counters run under one internal lock, so the serving layer's
+worker threads and its ``/stats`` reader can share one engine.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import replace
-from typing import Hashable, Optional
+from typing import Any, Hashable, Optional
 
 from ..core.specs import DesignSpec
 from ..topologies import binding_corner
@@ -39,6 +45,9 @@ class ResultCache:
         self._entries: OrderedDict[Hashable, tuple[DesignSpec, SizingResponse]] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        # Serializes LRU mutation and counter updates across threads
+        # (reentrant: ``get`` holds it across the ``_transferable`` probe).
+        self._lock = threading.RLock()
 
     @staticmethod
     def key(request: SizingRequest) -> Hashable:
@@ -77,10 +86,12 @@ class ResultCache:
         )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, request: SizingRequest) -> bool:
-        return self._transferable(request) is not None
+        with self._lock:
+            return self._transferable(request) is not None
 
     def _transferable(self, request: SizingRequest) -> Optional[SizingResponse]:
         """The cached response if its verdict carries over to ``request``."""
@@ -118,22 +129,35 @@ class ResultCache:
 
     def get(self, request: SizingRequest) -> Optional[SizingResponse]:
         """The cached response re-addressed to ``request``, or ``None``."""
-        response = self._transferable(request)
-        if response is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        self._entries.move_to_end(self.key(request))
-        return response.with_request_id(request.id, cached=True)
+        with self._lock:
+            response = self._transferable(request)
+            if response is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(self.key(request))
+            return response.with_request_id(request.id, cached=True)
 
     def put(self, request: SizingRequest, response: SizingResponse) -> None:
-        key = self.key(request)
-        self._entries[key] = (request.spec, response)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            key = self.key(request)
+            self._entries[key] = (request.spec, response)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        """Atomic counters snapshot for the serving layer's ``/stats``."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }

@@ -24,6 +24,19 @@ Subcommands:
 
         python -m repro size --bundle path/to/bundle --analyses dc,ac,tran ...
 
+``serve``
+    Run the HTTP serving layer (see :mod:`repro.serve`): concurrent
+    ``POST /v1/size`` requests are coalesced by a micro-batching queue
+    into batched engine calls, with backpressure (503 + ``Retry-After``
+    on a full queue), per-request ``deadline_ms`` (504 when expired in
+    the queue), and ``GET /stats`` observability::
+
+        python -m repro serve --bundle path/to/bundle --port 8080 \
+            --max-batch-size 16 --max-wait-ms 20 --queue-depth 256
+
+    Ctrl-C / SIGTERM shut down gracefully: the queue drains and every
+    accepted request still gets its response.
+
 ``train``
     Run the one-time training pipeline and save the model bundle::
 
@@ -39,7 +52,6 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from dataclasses import replace
 from pathlib import Path
@@ -48,7 +60,7 @@ from typing import IO, Iterator, Optional, Sequence
 from ..solvers import available_solvers
 from ..topologies import available_topologies
 from .engine import SizingEngine
-from .requests import SizingRequest, SizingResponse
+from .requests import SizingRequest
 
 __all__ = ["main", "build_parser"]
 
@@ -102,6 +114,41 @@ def build_parser() -> argparse.ArgumentParser:
     size.add_argument("--stats", action="store_true",
                       help="print engine serving counters to stderr when done")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP serving layer (micro-batching front end)",
+        description=(
+            "Serve POST /v1/size over HTTP with dynamic micro-batching: "
+            "concurrent requests coalesce into one batched engine call, "
+            "flushing on --max-batch-size or --max-wait-ms, whichever "
+            "first. A full queue answers 503 with Retry-After; a request "
+            "whose deadline_ms expires while queued answers 504 without "
+            "running the solver. GET /stats, /healthz and /topologies "
+            "expose observability. Ctrl-C / SIGTERM drain gracefully."
+        ),
+    )
+    serve.add_argument("--bundle", type=Path, required=True,
+                       help="saved SizingModel directory (see 'train')")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port, 0 picks an ephemeral one (default 8080)")
+    serve.add_argument("--max-batch-size", type=int, default=16,
+                       help="flush a batch at this many requests (default 16)")
+    serve.add_argument("--max-wait-ms", type=float, default=20.0,
+                       help="flush a batch this long after its first request "
+                            "arrived (default 20 ms); smaller = lower tail "
+                            "latency, larger = bigger batches")
+    serve.add_argument("--queue-depth", type=int, default=256,
+                       help="bounded request queue; beyond this, requests get "
+                            "503 + Retry-After (default 256)")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="LRU result-cache entries, 0 disables (default 256)")
+    serve.add_argument("--retry-after", type=int, default=1, metavar="SECONDS",
+                       help="Retry-After hint on 503 responses (default 1)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request access logging")
+
     train = sub.add_parser("train", help="run the one-time training pipeline")
     train.add_argument("--out", type=Path, required=True,
                        help="directory to save the trained bundle into")
@@ -145,9 +192,23 @@ def _batched_lines(stream: IO[str], batch_size: int) -> Iterator[list[str]]:
         yield batch
 
 
-def _run_size(args: argparse.Namespace) -> int:
+def _load_bundle(bundle: Path):
+    """The saved model, or ``None`` (with a stderr message) when absent."""
     from ..core.bundle import SizingModel
+
+    if not (bundle / "bundle.json").exists():
+        print(
+            f"error: no model bundle at {bundle} "
+            "(expected a directory saved by 'python -m repro train --out ...')",
+            file=sys.stderr,
+        )
+        return None
+    return SizingModel.load(bundle)
+
+
+def _run_size(args: argparse.Namespace) -> int:
     from ..devices import resolve_corners
+    from ..serve.protocol import RequestError, invalid_request_response, parse_request_text
     from ..topologies import resolve_analyses
 
     if args.method is not None and args.method not in available_solvers():
@@ -180,14 +241,9 @@ def _run_size(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(f"error: bad --analyses: {error}", file=sys.stderr)
             return 2
-    if not (args.bundle / "bundle.json").exists():
-        print(
-            f"error: no model bundle at {args.bundle} "
-            "(expected a directory saved by 'python -m repro train --out ...')",
-            file=sys.stderr,
-        )
+    model = _load_bundle(args.bundle)
+    if model is None:
         return 2
-    model = SizingModel.load(args.bundle)
     engine = SizingEngine(model, cache_size=args.cache_size)
 
     overrides = {}
@@ -212,10 +268,13 @@ def _run_size(args: argparse.Namespace) -> int:
             requests: list[Optional[SizingRequest]] = []
             parse_errors: dict[int, str] = {}
             for index, line in enumerate(lines):
+                # Validation shared with the HTTP serving layer: a bad
+                # JSONL line and a bad HTTP body produce the same
+                # structured error payload (see repro.serve.protocol).
                 try:
-                    request = SizingRequest.from_json_line(line)
+                    request, _ = parse_request_text(line)
                     requests.append(replace(request, **overrides) if overrides else request)
-                except (ValueError, KeyError, json.JSONDecodeError) as error:
+                except RequestError as error:
                     requests.append(None)
                     parse_errors[index] = str(error)
             responses = iter(engine.size_batch([r for r in requests if r is not None]))
@@ -224,17 +283,7 @@ def _run_size(args: argparse.Namespace) -> int:
                     failures += 1
                     # Same schema as every other line, so consumers can
                     # parse the whole stream with SizingResponse.from_json.
-                    response = SizingResponse(
-                        request_id="",
-                        topology="",
-                        success=False,
-                        widths=None,
-                        metrics=None,
-                        iterations=0,
-                        spice_simulations=0,
-                        wall_time_s=0.0,
-                        error=f"bad request line: {parse_errors[index]}",
-                    )
+                    response = invalid_request_response(parse_errors[index])
                 else:
                     response = next(responses)
                     failures += 1 if response.error is not None else 0
@@ -259,6 +308,59 @@ def _run_size(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+def _run_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from ..serve import create_server
+
+    model = _load_bundle(args.bundle)
+    if model is None:
+        return 2
+    engine = SizingEngine(model, cache_size=args.cache_size)
+    log = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+    try:
+        server = create_server(
+            engine,
+            host=args.host,
+            port=args.port,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            queue_depth=args.queue_depth,
+            retry_after_s=args.retry_after,
+            log=log,
+        )
+    except (OSError, ValueError) as error:
+        print(f"error: cannot start server: {error}", file=sys.stderr)
+        return 2
+
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    host, port = server.server_address[:2]
+    print(
+        f"serving on http://{host}:{port} "
+        f"(max_batch_size={args.max_batch_size}, max_wait_ms={args.max_wait_ms:g}, "
+        f"queue_depth={args.queue_depth}); Ctrl-C to drain and stop",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        print("shutting down: draining the request queue...", file=sys.stderr)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        # Stop accepting, flush every queued request (their handler
+        # threads write the responses), then close the listener.
+        server.batcher.close()
+        server.server_close()
+    print("serve: shutdown complete", file=sys.stderr)
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -299,6 +401,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "size":
         return _run_size(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "train":
         return _run_train(args)
     if args.command == "topologies":

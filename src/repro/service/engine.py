@@ -37,10 +37,11 @@ key and of the in-batch coalescing key, so corner sets never cross-talk.
 
 from __future__ import annotations
 
+import threading
 import time
 import zlib
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, fields
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -82,7 +83,16 @@ def _derated_spec(spec: DesignSpec, rel_tol: float) -> DesignSpec:
 
 @dataclass
 class EngineStats:
-    """Serving counters, cumulative over the engine's lifetime."""
+    """Serving counters, cumulative over the engine's lifetime.
+
+    Safe under concurrent ``size_batch`` callers: writers go through
+    :meth:`add` and readers through :meth:`snapshot` / :meth:`as_dict`,
+    all serialized on one internal lock — the serving layer's ``/stats``
+    endpoint reads while the dispatcher (or several library threads)
+    writes, and a torn read must never show e.g. ``cache_hits`` ahead of
+    ``requests``.  Field access stays plain for single-threaded callers
+    and the existing tests.
+    """
 
     requests: int = 0
     cache_hits: int = 0
@@ -95,6 +105,26 @@ class EngineStats:
     inference_seconds: float = 0.0
     spice_simulations: int = 0
     solver_requests: int = 0
+
+    def __post_init__(self) -> None:
+        # Not a dataclass field: equality/repr compare counters only.
+        self._lock = threading.Lock()
+
+    def add(self, **deltas: float) -> None:
+        """Atomically increment the named counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self) -> "EngineStats":
+        """A consistent point-in-time copy (its own independent lock)."""
+        with self._lock:
+            return EngineStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def as_dict(self) -> dict[str, Any]:
+        """Atomic JSON-ready snapshot, field-declaration order."""
+        copy = self.snapshot()
+        return {f.name: getattr(copy, f.name) for f in fields(copy)}
 
 
 class _ActiveRequest:
@@ -148,19 +178,24 @@ class SizingEngine:
         self.cache: Optional[ResultCache] = ResultCache(cache_size) if cache_size else None
         self.stats = EngineStats()
         self._topologies: dict[str, OTATopology] = {}
+        # Lazy topology construction may race under concurrent callers;
+        # building twice would fork per-topology caches.
+        self._topologies_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Topology resolution
     # ------------------------------------------------------------------
     def topology(self, name: str) -> OTATopology:
         """The engine's instance of a registered topology (lazily built)."""
-        if name not in self._topologies:
-            self._topologies[name] = topology_by_name(name)
-        return self._topologies[name]
+        with self._topologies_lock:
+            if name not in self._topologies:
+                self._topologies[name] = topology_by_name(name)
+            return self._topologies[name]
 
     def adopt_topology(self, topology: OTATopology) -> None:
         """Serve an already-instantiated topology (shares its caches)."""
-        self._topologies[topology.name] = topology
+        with self._topologies_lock:
+            self._topologies[topology.name] = topology
 
     # ------------------------------------------------------------------
     # Stage III: Algorithm 1 through the LUTs
@@ -216,9 +251,11 @@ class SizingEngine:
             # One fused decode across every topology: the model is shared,
             # so the batch dimension spans the whole round.
             outputs = self.model.predict_params_many(specs_by_topology)
-        self.stats.inference_seconds += time.perf_counter() - start
-        self.stats.inference_calls += 1
-        self.stats.inference_sequences += total
+        self.stats.add(
+            inference_seconds=time.perf_counter() - start,
+            inference_calls=1,
+            inference_sequences=total,
+        )
         return outputs
 
     # ------------------------------------------------------------------
@@ -316,7 +353,7 @@ class SizingEngine:
             return self._finish_if_exhausted(s)
 
         s.spice_count += 1
-        self.stats.spice_simulations += 1
+        self.stats.add(spice_simulations=1)
         metrics = outcome.result.metrics
         satisfied = s.original.satisfied(metrics, rel_tol=s.request.rel_tol)
         s.trace.append(IterationTrace(requested, text, True, widths, metrics, satisfied))
@@ -359,7 +396,7 @@ class SizingEngine:
 
         # Partially converged sweeps still burned simulations; count them.
         s.spice_count += sweep.n_ok
-        self.stats.spice_simulations += sweep.n_ok
+        self.stats.add(spice_simulations=sweep.n_ok)
 
         if not sweep.ok:
             # At least one corner failed to converge: like the nominal
@@ -432,7 +469,7 @@ class SizingEngine:
         """
         from .. import solvers
 
-        self.stats.solver_requests += 1
+        self.stats.add(solver_requests=1)
 
         def error_response(message: str) -> SizingResponse:
             return SizingResponse(
@@ -472,7 +509,7 @@ class SizingEngine:
         spec = _derated_spec(request.spec, request.rel_tol)
         rng = np.random.default_rng(zlib.crc32(request.id.encode("utf-8")))
         result = solver.solve(spec, budget=request.budget, rng=rng)
-        self.stats.spice_simulations += result.spice_calls
+        self.stats.add(spice_simulations=result.spice_calls)
         return SizingResponse(
             request_id=request.id,
             topology=request.topology,
@@ -510,7 +547,7 @@ class SizingEngine:
                     f"size_results serves the copilot flow only, got method={request.method!r} "
                     "(use size_batch for registry-dispatched solvers)"
                 )
-            self.stats.requests += 1
+            self.stats.add(requests=1)
             states.append(_ActiveRequest(request, self.topology(request.topology)))
         self._run(states)
         results = []
@@ -538,14 +575,14 @@ class SizingEngine:
         solver registry (see :meth:`_solve_with_method`); the copilot
         requests of the batch still fuse into one decode.
         """
-        self.stats.batches += 1
+        self.stats.add(batches=1)
         responses: list[Optional[SizingResponse]] = [None] * len(requests)
         states: dict[int, _ActiveRequest] = {}
         leaders: dict[object, int] = {}
         followers: dict[int, int] = {}
 
         for index, request in enumerate(requests):
-            self.stats.requests += 1
+            self.stats.add(requests=1)
             if request.method != "copilot":
                 # Registry-dispatched solver: runs SPICE-in-the-loop on the
                 # batched evaluation backend.  Never cached (stochastic).
@@ -554,7 +591,7 @@ class SizingEngine:
             if self.cache is not None:
                 hit = self.cache.get(request)
                 if hit is not None:
-                    self.stats.cache_hits += 1
+                    self.stats.add(cache_hits=1)
                     responses[index] = hit
                     continue
             try:
@@ -585,7 +622,7 @@ class SizingEngine:
                 )
                 if key in leaders:
                     followers[index] = leaders[key]
-                    self.stats.coalesced += 1
+                    self.stats.add(coalesced=1)
                     continue
                 leaders[key] = index
             states[index] = _ActiveRequest(request, topology)

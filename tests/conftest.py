@@ -16,6 +16,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.bundle import SizingModel
+from repro.datagen import SequenceBuilder, SequenceConfig
+from repro.datagen.serialize import ParsedParams
 from repro.devices import NMOS_65NM, PMOS_65NM, resolve_corner
 from repro.lut import build_lut
 from repro.solvers import BatchedBackend, SearchSpace
@@ -152,6 +155,71 @@ def assert_sweeps_identical(reference, sweep) -> None:
     assert reference.corners == sweep.corners
     for ref_outcome, outcome in zip(reference.outcomes, sweep.outcomes):
         assert_outcomes_identical(ref_outcome, outcome)
+
+
+class BatchedOracleModel(SizingModel):
+    """A 'perfect transformer' stand-in: returns the device parameters of
+    the dataset design whose metrics are closest to the request.  Shared
+    by the engine-semantics tests (``test_service``) and the serving-layer
+    tests (``test_serve``)."""
+
+    def __init__(self, topology, records, luts):
+        builder = SequenceBuilder(topology, SequenceConfig())
+        super().__init__(
+            transformer=None,
+            bpe=None,
+            vocab=None,
+            sequence_config=builder.config,
+            builders={topology.name: builder},
+            luts=luts,
+        )
+        self._records = records
+        self.single_calls = 0
+        self.batch_calls = 0
+
+    def predict_params(self, topology_name, spec, max_len=None):
+        self.single_calls += 1
+
+        def distance(record):
+            return (
+                abs(np.log(record.gain_db / spec.gain_db))
+                + abs(np.log(record.f3db_hz / spec.f3db_hz))
+                + abs(np.log(record.ugf_hz / spec.ugf_hz))
+            )
+
+        best = min(self._records, key=distance)
+        values = {g: dict(p) for g, p in best.device_params.items()}
+        return ParsedParams(values=values, complete=True), f"<oracle:{best.gain_db:.3f}>"
+
+    def predict_params_many(self, specs_by_topology, max_len=None):
+        outputs = {}
+        self.batch_calls += 1
+        for name, specs in specs_by_topology.items():
+            outputs[name] = []
+            for spec in specs:
+                outputs[name].append(self.predict_params(name, spec, max_len))
+                self.single_calls -= 1  # don't double count the delegation
+        return outputs
+
+
+@pytest.fixture(scope="session")
+def oracle_setup():
+    """A measured 5T-OTA mini-dataset plus shared LUTs for oracle models.
+
+    Session-scoped: the dataset (real SPICE measurements) is generated
+    once and shared by ``test_service`` and ``test_serve``."""
+    from repro.datagen import DesignFilter, generate_dataset
+
+    topology = FiveTransistorOTA()
+    rng = np.random.default_rng(11)
+    dataset = generate_dataset(
+        topology, 10, rng,
+        design_filter=DesignFilter(topology, check_icmr=False),
+        max_attempts=400,
+    )
+    assert len(dataset) >= 6
+    luts = {NMOS_65NM.name: build_lut(NMOS_65NM), PMOS_65NM.name: build_lut(PMOS_65NM)}
+    return topology, dataset.records, luts
 
 
 def assert_responses_identical(sequential, batched) -> None:

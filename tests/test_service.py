@@ -29,6 +29,7 @@ from repro.topologies import (
 )
 
 from tests.conftest import (
+    BatchedOracleModel,
     CountingBackend,
     PoisonedFiveT,
     assert_responses_identical,
@@ -339,73 +340,14 @@ class TestBatchedDecodeParity:
 # ----------------------------------------------------------------------
 # Engine semantics through a deterministic oracle model (SPICE exercised)
 # ----------------------------------------------------------------------
-class _BatchedOracleModel(SizingModel):
-    """A 'perfect transformer' stand-in: returns the device parameters of
-    the dataset design whose metrics are closest to the request."""
-
-    def __init__(self, topology, records, luts):
-        builder = SequenceBuilder(topology, SequenceConfig())
-        super().__init__(
-            transformer=None,
-            bpe=None,
-            vocab=None,
-            sequence_config=builder.config,
-            builders={topology.name: builder},
-            luts=luts,
-        )
-        self._records = records
-        self.single_calls = 0
-        self.batch_calls = 0
-
-    def predict_params(self, topology_name, spec, max_len=None):
-        from repro.datagen.serialize import ParsedParams
-
-        self.single_calls += 1
-
-        def distance(record):
-            return (
-                abs(np.log(record.gain_db / spec.gain_db))
-                + abs(np.log(record.f3db_hz / spec.f3db_hz))
-                + abs(np.log(record.ugf_hz / spec.ugf_hz))
-            )
-
-        best = min(self._records, key=distance)
-        values = {g: dict(p) for g, p in best.device_params.items()}
-        return ParsedParams(values=values, complete=True), f"<oracle:{best.gain_db:.3f}>"
-
-    def predict_params_many(self, specs_by_topology, max_len=None):
-        self.batch_calls += 1
-        outputs = {}
-        for name, specs in specs_by_topology.items():
-            outputs[name] = []
-            for spec in specs:
-                outputs[name].append(self.predict_params(name, spec, max_len))
-                self.single_calls -= 1  # don't double count the delegation
-        return outputs
-
-
-@pytest.fixture(scope="module")
-def oracle_setup(tmp_path_factory):
-    from repro.datagen import DesignFilter, generate_dataset
-    from repro.devices import NMOS_65NM, PMOS_65NM
-    from repro.lut import build_lut
-
-    topology = FiveTransistorOTA()
-    rng = np.random.default_rng(11)
-    dataset = generate_dataset(
-        topology, 10, rng,
-        design_filter=DesignFilter(topology, check_icmr=False),
-        max_attempts=400,
-    )
-    assert len(dataset) >= 6
-    luts = {NMOS_65NM.name: build_lut(NMOS_65NM), PMOS_65NM.name: build_lut(PMOS_65NM)}
-    return topology, dataset.records, luts
+# The oracle model and the measured mini-dataset (``oracle_setup``)
+# moved to tests/conftest.py — they are shared with test_serve.py.
 
 
 class TestEngineServing:
     def _engine(self, oracle_setup, **kwargs):
         topology, records, luts = oracle_setup
-        model = _BatchedOracleModel(topology, records, luts)
+        model = BatchedOracleModel(topology, records, luts)
         engine = SizingEngine(model, **kwargs)
         engine.adopt_topology(topology)
         return engine, model, records
@@ -545,7 +487,7 @@ class TestEngineServing:
         from repro.core import run_sizing_study
 
         topology, records, luts = oracle_setup
-        model = _BatchedOracleModel(topology, records, luts)
+        model = BatchedOracleModel(topology, records, luts)
         flow = SizingFlow(topology, model)
         specs = [
             DesignSpec(r.gain_db * 0.995, r.f3db_hz * 0.98, r.ugf_hz * 0.98)
@@ -555,7 +497,7 @@ class TestEngineServing:
         assert study.total == len(specs)
         assert model.batch_calls >= 1  # fused decode, not a per-spec loop
 
-        reference_flow = SizingFlow(topology, _BatchedOracleModel(topology, records, luts))
+        reference_flow = SizingFlow(topology, BatchedOracleModel(topology, records, luts))
         for spec, result in zip(specs, study.results):
             reference = reference_flow.size(spec)
             assert reference.widths == result.widths
@@ -565,7 +507,7 @@ class TestEngineServing:
 
     def test_flow_delegates_to_engine(self, oracle_setup):
         topology, records, luts = oracle_setup
-        model = _BatchedOracleModel(topology, records, luts)
+        model = BatchedOracleModel(topology, records, luts)
         flow = SizingFlow(topology, model)
         record = records[0]
         spec = DesignSpec(record.gain_db * 0.995, record.f3db_hz * 0.98, record.ugf_hz * 0.98)
@@ -647,7 +589,7 @@ class TestBatchedStageIVParity:
         setup_topology, records, luts = oracle_setup
         engines = []
         for backend in (ScalarBackend(), BatchedBackend()):
-            model = _BatchedOracleModel(setup_topology, records, luts)
+            model = BatchedOracleModel(setup_topology, records, luts)
             engine = SizingEngine(model, cache_size=0, backend=backend)
             engine.adopt_topology(topology if topology is not None else setup_topology)
             engines.append(engine)
@@ -689,7 +631,7 @@ class TestBatchedStageIVParity:
     def test_one_measure_many_call_per_round(self, oracle_setup):
         """All verifiable candidates of a round share one backend call."""
         topology, records, luts = oracle_setup
-        model = _BatchedOracleModel(topology, records, luts)
+        model = BatchedOracleModel(topology, records, luts)
         backend = CountingBackend()
         engine = SizingEngine(model, cache_size=0, backend=backend)
         engine.adopt_topology(topology)
@@ -722,7 +664,7 @@ class TestBatchedStageIVParity:
 
     def test_zero_iteration_budget_skips_the_backend(self, oracle_setup):
         topology, records, luts = oracle_setup
-        model = _BatchedOracleModel(topology, records, luts)
+        model = BatchedOracleModel(topology, records, luts)
         backend = CountingBackend()
         engine = SizingEngine(model, cache_size=0, backend=backend)
         engine.adopt_topology(topology)
