@@ -76,7 +76,7 @@ def optimization_lines(
         for record in records[:n_designs]
     ]
     responses = engine.size_batch(requests)
-    for request, response in zip(requests, responses):
+    for request, response in zip(requests, responses, strict=True):
         spec = request.spec
         m = response.metrics
         lines.append(

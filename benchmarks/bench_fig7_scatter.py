@@ -22,7 +22,7 @@ def test_fig7_gm_gds_scatter(benchmark, artifact, predictions):
             desired, predicted = prediction_set.arrays(group, param)
             corr = float(np.corrcoef(desired, predicted)[0, 1]) if len(desired) > 1 else float("nan")
             pairs = "  ".join(
-                f"({d * scale:.2f},{p * scale:.2f})" for d, p in list(zip(desired, predicted))[:8]
+                f"({d * scale:.2f},{p * scale:.2f})" for d, p in list(zip(desired, predicted, strict=True))[:8]
             )
             lines.append(f"  {group}: r={corr:.3f}  first points: {pairs}")
         lines.append("")

@@ -175,7 +175,7 @@ def test_table8_batched_inference_throughput(artifact, topologies):
     # (relies on per-row reduction-order stability of numpy's BLAS across
     # batch shapes; see the note on TestBatchedDecodeParity in
     # tests/test_service.py).
-    for result, response in zip(sequential_results, responses):
+    for result, response in zip(sequential_results, responses, strict=True):
         sequential_texts = [t.decoded_text for t in result.trace]
         assert sequential_texts == list(response.decoded_texts)
         assert result.widths == response.widths
@@ -313,7 +313,7 @@ def test_table8_verification_throughput(topologies):
         batched_s = min(batched_s, batched_backend.seconds)
 
     # Parity: bit-identical responses, request by request.
-    for reference, response in zip(scalar_responses, batched_responses):
+    for reference, response in zip(scalar_responses, batched_responses, strict=True):
         assert reference.request_id == response.request_id
         assert reference.success == response.success
         assert reference.widths == response.widths
@@ -409,9 +409,9 @@ def test_table8_corner_throughput(topologies):
         batched_s = min(batched_s, time.perf_counter() - start)
 
     # Parity: bit-identical outcomes per (candidate, corner) pair.
-    for reference, sweep in zip(scalar_sweeps, batched_sweeps):
+    for reference, sweep in zip(scalar_sweeps, batched_sweeps, strict=True):
         assert reference.corners == sweep.corners
-        for ref_outcome, outcome in zip(reference.outcomes, sweep.outcomes):
+        for ref_outcome, outcome in zip(reference.outcomes, sweep.outcomes, strict=True):
             assert ref_outcome.ok == outcome.ok
             if not ref_outcome.ok:
                 continue
@@ -507,7 +507,7 @@ def test_table8_tran_throughput(topologies):
         batched_s = min(batched_s, time.perf_counter() - start)
 
     # Parity: bit-identical waveforms, candidate by candidate.
-    for reference, result in zip(sequential, batched):
+    for reference, result in zip(sequential, batched, strict=True):
         assert np.array_equal(reference.times, result.times)
         assert np.array_equal(reference.waveforms, result.waveforms)
         assert reference.newton_iterations == result.newton_iterations

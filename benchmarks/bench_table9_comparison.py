@@ -119,7 +119,7 @@ def test_table9_population_throughput(topologies):
         batched_s = min(batched_s, time.perf_counter() - start)
 
     # Parity: bit-identical metrics, candidate by candidate.
-    for reference, outcome in zip(scalar_outcomes, batched_outcomes):
+    for reference, outcome in zip(scalar_outcomes, batched_outcomes, strict=True):
         assert reference.ok == outcome.ok
         if reference.ok:
             assert np.array_equal(

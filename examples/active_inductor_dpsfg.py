@@ -46,7 +46,7 @@ def main() -> None:
     print(f"\nMason vs MNA transfer function: max relative error = {worst:.2e}")
 
     print("\nport impedance magnitude (the inductive region rises with f):")
-    for f, z in zip(freqs, np.abs(h_mason)):
+    for f, z in zip(freqs, np.abs(h_mason), strict=True):
         print(f"  {f:10.3e} Hz : {z:10.1f} ohm")
 
 

@@ -14,7 +14,6 @@ points and result type as thin adapters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -39,7 +38,7 @@ class Objective(SearchObjective):
         topology: OTATopology,
         spec: DesignSpec,
         check_regions: bool = False,
-        backend: Optional[EvalBackend] = None,
+        backend: EvalBackend | None = None,
     ):
         super().__init__(
             topology,
@@ -62,11 +61,11 @@ class BaselineResult:
     spice_calls: int
     wall_time_s: float
     best_value: float
-    best_widths: Optional[dict[str, float]]
+    best_widths: dict[str, float] | None
     history: list[float] = field(default_factory=list)
 
     @classmethod
-    def from_solve_result(cls, algorithm: str, result: SolveResult) -> "BaselineResult":
+    def from_solve_result(cls, algorithm: str, result: SolveResult) -> BaselineResult:
         return cls(
             algorithm=algorithm,
             success=result.success,

@@ -1,0 +1,46 @@
+"""Repo-specific AST invariant linter (``python -m repro.checks``).
+
+Four rules grounded in this reproduction's bug history, enforced in CI:
+
+``lock-discipline``
+    Thread-shared classes (``EngineStats``, ``ResultCache``,
+    ``ServeStats``, ``MicroBatcher``) mutate ``self`` state only inside
+    ``with self._lock:`` — the PR 6 retrofit, kept from regressing.
+``wire-format-drift``
+    Every ``SizingRequest``/``DesignSpec`` field is referenced in
+    ``to_json``, ``from_json`` and ``ResultCache.key`` — the PR 4/5
+    schema-threading hazard, made structural.
+``rng-determinism``
+    No legacy ``np.random`` module-level calls, no stdlib ``random``, no
+    time-derived seeds — randomness flows through explicit Generators.
+``json-safety``
+    ``json.dumps`` always pins ``allow_nan=False`` — the PR 3 bare
+    ``Infinity`` bug cannot silently corrupt output again.
+
+Suppress a single finding inline with ``# checks: ignore[rule-id]``;
+unused suppressions are themselves findings.  See the README's "Static
+analysis" section for the full catalog.
+"""
+
+from .core import (
+    FileContext,
+    FileRule,
+    Finding,
+    ProjectContext,
+    Report,
+    Rule,
+    run_checks,
+)
+from .registry import DEFAULT_RULES, rule_by_id
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "FileRule",
+    "ProjectContext",
+    "Report",
+    "Rule",
+    "run_checks",
+    "DEFAULT_RULES",
+    "rule_by_id",
+]

@@ -1,0 +1,96 @@
+"""``json-safety``: every ``json.dumps``/``dump`` must pass ``allow_nan=False``.
+
+Historical bug (PR 3): ``SearchObjective`` recorded ``float("inf")`` as
+the best-so-far objective while every candidate of a generation was
+penalized, and that ``inf`` flowed into solver-history JSON as a bare
+``Infinity`` token — which is *not* JSON: every standards-compliant
+consumer downstream failed to parse the output, long after the actual
+bug site.  Python's ``json.dumps`` default (``allow_nan=True``) is what
+allowed the corrupt value to leave the process silently.
+
+The repo convention enforced here: serialization call sites always pass
+``allow_nan=False`` so a non-finite value raises ``ValueError`` at the
+point of serialization (loud, attributable) instead of emitting invalid
+JSON (silent, discovered by whoever parses it).  Payloads expected to
+carry unmeasured/non-finite values must map them to ``None`` first, the
+way ``repro.service.requests._metrics_json`` guards metric bundles.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .core import FileContext, FileRule, Finding, ProjectContext, attr_chain
+
+__all__ = ["JsonSafetyRule"]
+
+_SERIALIZERS = frozenset({"dump", "dumps"})
+
+
+class JsonSafetyRule(FileRule):
+    id = "json-safety"
+    summary = "json.dumps/json.dump must pass allow_nan=False (no bare Infinity/NaN)"
+
+    def check_file(self, ctx: FileContext, project: ProjectContext) -> Iterator[Finding]:
+        json_aliases, function_aliases = _json_bindings(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._serializer_name(node.func, json_aliases, function_aliases)
+            if name is None:
+                continue
+            allow_nan = None
+            for keyword in node.keywords:
+                if keyword.arg == "allow_nan":
+                    allow_nan = keyword.value
+            if (
+                isinstance(allow_nan, ast.Constant)
+                and allow_nan.value is False
+            ):
+                continue
+            if allow_nan is None:
+                detail = "defaults to allow_nan=True"
+            else:
+                detail = "does not pin allow_nan=False"
+            yield Finding(
+                rule=self.id,
+                path=ctx.display_path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"`{name}` {detail}: a non-finite float serializes as bare "
+                    "`Infinity`/`NaN`, which is not JSON — the PR 3 "
+                    "solver-history bug.  Pass allow_nan=False and map "
+                    "expected non-finite values to None first"
+                ),
+            )
+
+    @staticmethod
+    def _serializer_name(
+        func: ast.expr, json_aliases: set[str], function_aliases: dict[str, str]
+    ) -> str | None:
+        chain = attr_chain(func)
+        if chain is None:
+            return None
+        if len(chain) == 2 and chain[0] in json_aliases and chain[1] in _SERIALIZERS:
+            return f"{chain[0]}.{chain[1]}"
+        if len(chain) == 1 and chain[0] in function_aliases:
+            return chain[0]
+        return None
+
+
+def _json_bindings(tree: ast.Module) -> tuple[set[str], dict[str, str]]:
+    """Local names bound to the json module and to its dump functions."""
+    modules: set[str] = set()
+    functions: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "json":
+                    modules.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module == "json":
+            for alias in node.names:
+                if alias.name in _SERIALIZERS:
+                    functions[alias.asname or alias.name] = alias.name
+    return modules, functions

@@ -1,0 +1,176 @@
+"""``lock-discipline``: thread-shared classes mutate only under their lock.
+
+Historical bug (PR 6): ``EngineStats`` and ``ResultCache`` predate the
+HTTP serving layer and were written for single-threaded callers.  When
+``ThreadingHTTPServer`` handler threads arrived, their unlocked counter
+increments and LRU mutations became data races (torn ``/stats`` reads,
+lost ``hits``), and every mutation had to be retrofitted onto one
+internal lock.  This rule keeps that discipline from regressing: in a
+registered thread-shared class, any write to ``self`` state — attribute
+assignment, augmented assignment, ``del``, subscript stores on a
+``self`` attribute, known mutating method calls (``append``, ``update``,
+``move_to_end``, ...), or ``setattr(self, ...)`` — must sit lexically
+inside a ``with self._lock:`` block.  ``__init__``/``__post_init__`` are
+exempt (no concurrent aliases exist yet).
+
+The registry below names the serving-layer classes shared across
+threads today; new classes opt in with a marker comment on their
+``class`` line::
+
+    class ShardPool:  # checks: thread-shared[_lock]
+
+The analysis is lexical: a helper that acquires the lock for its caller
+should carry a one-line ``# checks: ignore[lock-discipline]`` with a
+comment saying who holds the lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .core import FileContext, FileRule, Finding, ProjectContext, attr_chain
+
+__all__ = ["LockDisciplineRule", "THREAD_SHARED_CLASSES"]
+
+#: Classes shared between the serving layer's threads, and the lock
+#: attribute their mutations must hold (see the PR 6 retrofit).
+THREAD_SHARED_CLASSES: dict[str, str] = {
+    "EngineStats": "_lock",
+    "ResultCache": "_lock",
+    "ServeStats": "_lock",
+    "MicroBatcher": "_lock",
+}
+
+#: Constructors run before any other thread can hold a reference.
+_INIT_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+#: Method names that mutate their receiver in place (containers and
+#: common bookkeeping types).
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "appendleft", "add", "clear", "discard", "extend",
+        "insert", "pop", "popleft", "popitem", "remove", "rotate",
+        "setdefault", "update", "move_to_end", "subtract",
+    }
+)
+
+
+class LockDisciplineRule(FileRule):
+    id = "lock-discipline"
+    summary = (
+        "thread-shared classes may mutate self state only inside "
+        "`with self._lock:` (outside __init__)"
+    )
+
+    def check_file(self, ctx: FileContext, project: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            lock_attr = THREAD_SHARED_CLASSES.get(node.name)
+            marker = ctx.thread_shared_markers.get(node.lineno)
+            if marker is not None:
+                lock_attr = marker
+            if lock_attr is None:
+                continue
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name in _INIT_METHODS:
+                    continue
+                yield from self._check_method(ctx, node.name, item, lock_attr)
+
+    # ------------------------------------------------------------------
+    def _check_method(
+        self,
+        ctx: FileContext,
+        class_name: str,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        lock_attr: str,
+    ) -> Iterator[Finding]:
+        def finding(node: ast.AST, what: str) -> Finding:
+            return Finding(
+                rule=self.id,
+                path=ctx.display_path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"{class_name}.{method.name} {what} outside "
+                    f"`with self.{lock_attr}:` — {class_name} is thread-shared, "
+                    "unlocked mutation races concurrent readers/writers "
+                    "(the PR 6 EngineStats/ResultCache retrofit)"
+                ),
+            )
+
+        def writes_in_target(target: ast.expr) -> Iterator[tuple[ast.AST, str]]:
+            """Self-rooted write locations inside one assignment target."""
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    yield from writes_in_target(element)
+                return
+            if isinstance(target, ast.Starred):
+                yield from writes_in_target(target.value)
+                return
+            chain = attr_chain(target)
+            if chain and chain[0] == "self" and len(chain) >= 2:
+                yield target, f"writes `{'.'.join(chain)}`"
+            elif isinstance(target, ast.Subscript):
+                chain = attr_chain(target.value)
+                if chain and chain[0] == "self" and len(chain) >= 2:
+                    yield target, f"stores into `{'.'.join(chain)}[...]`"
+
+        def is_lock_expr(node: ast.expr) -> bool:
+            return attr_chain(node) == ["self", lock_attr]
+
+        def visit(node: ast.AST, locked: bool) -> Iterator[Finding]:
+            if isinstance(node, ast.With):
+                inner = locked or any(
+                    is_lock_expr(item.context_expr) for item in node.items
+                )
+                for item in node.items:
+                    yield from visit(item, locked)
+                for stmt in node.body:
+                    yield from visit(stmt, inner)
+                return
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                # A nested function may escape and run after the lock is
+                # released; treat its body as unlocked.
+                body = node.body if isinstance(node.body, list) else [node.body]
+                for stmt in body:
+                    yield from visit(stmt, False)
+                return
+            if not locked:
+                if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        for site, what in writes_in_target(target):
+                            yield finding(site, what)
+                elif isinstance(node, ast.Delete):
+                    for target in node.targets:
+                        for site, what in writes_in_target(target):
+                            yield finding(site, what.replace("writes", "deletes", 1))
+                elif isinstance(node, ast.Call):
+                    chain = attr_chain(node.func)
+                    if (
+                        chain
+                        and chain[0] == "self"
+                        and len(chain) >= 3
+                        and chain[-1] in _MUTATOR_METHODS
+                    ):
+                        yield finding(node, f"calls mutator `{'.'.join(chain)}()`")
+                    elif (
+                        chain in (["setattr"], ["object", "__setattr__"])
+                        and node.args
+                        and isinstance(node.args[0], ast.Name)
+                        and node.args[0].id == "self"
+                    ):
+                        yield finding(node, "calls `setattr(self, ...)`")
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, locked)
+
+        for stmt in method.body:
+            yield from visit(stmt, False)

@@ -1,0 +1,29 @@
+"""The default rule set, in reporting order.
+
+Each rule's module docstring cites the historical bug that motivates it;
+``python -m repro.checks --list-rules`` prints the one-line summaries.
+"""
+
+from __future__ import annotations
+
+from .core import Rule
+from .json_safety import JsonSafetyRule
+from .lock_discipline import LockDisciplineRule
+from .rng import RngDeterminismRule
+from .wire_format import WireFormatRule
+
+__all__ = ["DEFAULT_RULES", "rule_by_id"]
+
+DEFAULT_RULES: tuple[Rule, ...] = (
+    LockDisciplineRule(),
+    WireFormatRule(),
+    RngDeterminismRule(),
+    JsonSafetyRule(),
+)
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    for rule in DEFAULT_RULES:
+        if rule.id == rule_id:
+            return rule
+    raise KeyError(f"no such rule: {rule_id!r}")

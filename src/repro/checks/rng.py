@@ -1,0 +1,139 @@
+"""``rng-determinism``: all randomness flows through an explicit Generator.
+
+Historical context: every solver in :mod:`repro.solvers` takes an
+explicit ``rng: np.random.Generator`` (the engine derives it from a
+stable hash of the request id, see ``SizingEngine._solve_with_method``),
+which is what makes solver reruns reproducible and the parity/golden
+tests meaningful.  A single module-level ``np.random.shuffle`` or an
+``import random`` sneaks process-global hidden state past that protocol,
+and a time-derived seed (``default_rng(time.time())``) silently breaks
+run-to-run determinism.  This rule forbids all three inside the package:
+
+* calls into the legacy ``np.random`` module-level API (``np.random.seed``,
+  ``np.random.rand``, ``np.random.shuffle``, ...) — only the explicit
+  constructors (``default_rng``, ``Generator``, ``SeedSequence``, bit
+  generators) are allowed;
+* any import of the stdlib :mod:`random` module;
+* seeding from wall-clock time (``time.time``/``time_ns``/monotonic
+  clocks or ``datetime.now``) in ``default_rng``/``seed``/``SeedSequence``
+  arguments.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .core import FileContext, FileRule, Finding, ProjectContext, attr_chain
+
+__all__ = ["RngDeterminismRule"]
+
+#: Names under ``np.random`` that construct *explicit* RNG state.
+_ALLOWED_NP_RANDOM = frozenset(
+    {
+        "default_rng", "Generator", "BitGenerator", "SeedSequence",
+        "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+    }
+)
+
+#: Seeding entry points whose arguments must not be time-derived.
+_SEED_SINKS = frozenset({"default_rng", "seed", "SeedSequence"})
+
+#: Wall-clock sources that make a seed nondeterministic across runs.
+_TIME_SOURCES = frozenset(
+    {
+        ("time", "time"), ("time", "time_ns"),
+        ("time", "monotonic"), ("time", "monotonic_ns"),
+        ("time", "perf_counter"), ("time", "perf_counter_ns"),
+        ("datetime", "now"), ("datetime", "utcnow"),
+    }
+)
+
+
+def _time_call_inside(node: ast.expr) -> str | None:
+    """The dotted name of a wall-clock call inside ``node``, if any."""
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        chain = attr_chain(sub.func)
+        if chain and len(chain) >= 2 and tuple(chain[-2:]) in _TIME_SOURCES:
+            return ".".join(chain)
+    return None
+
+
+class RngDeterminismRule(FileRule):
+    id = "rng-determinism"
+    summary = (
+        "randomness must flow through an explicitly passed/seeded "
+        "np.random.Generator — no np.random module-level calls, no stdlib "
+        "random, no time-derived seeds"
+    )
+
+    def check_file(self, ctx: FileContext, project: ProjectContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self._finding(
+                            ctx, node,
+                            "imports the stdlib `random` module — its global "
+                            "Mersenne state bypasses the explicit-Generator "
+                            "protocol every solver follows; take an "
+                            "`np.random.Generator` argument instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self._finding(
+                        ctx, node,
+                        "imports from the stdlib `random` module — its global "
+                        "Mersenne state bypasses the explicit-Generator "
+                        "protocol; take an `np.random.Generator` argument "
+                        "instead",
+                    )
+                elif node.module == "numpy.random" and node.level == 0:
+                    for alias in node.names:
+                        if alias.name not in _ALLOWED_NP_RANDOM:
+                            yield self._finding(
+                                ctx, node,
+                                f"imports legacy `numpy.random.{alias.name}` — "
+                                "module-level RNG state is process-global; use "
+                                "an explicitly passed Generator",
+                            )
+            elif isinstance(node, ast.Attribute):
+                chain = attr_chain(node)
+                if (
+                    chain
+                    and len(chain) == 3
+                    and chain[0] in ("np", "numpy")
+                    and chain[1] == "random"
+                    and chain[2] not in _ALLOWED_NP_RANDOM
+                ):
+                    yield self._finding(
+                        ctx, node,
+                        f"uses legacy `{'.'.join(chain)}` — module-level "
+                        "np.random state is process-global and "
+                        "seed-order-dependent; draw from an explicitly "
+                        "passed `np.random.Generator`",
+                    )
+            elif isinstance(node, ast.Call):
+                chain = attr_chain(node.func)
+                if chain and chain[-1] in _SEED_SINKS:
+                    for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                        source = _time_call_inside(arg)
+                        if source is not None:
+                            yield self._finding(
+                                ctx, node,
+                                f"seeds `{'.'.join(chain)}` from `{source}()` — "
+                                "time-derived seeds make runs irreproducible; "
+                                "derive seeds from stable inputs (e.g. a config "
+                                "seed or a request-id hash)",
+                            )
+
+    def _finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=ctx.display_path,
+            line=node.lineno,
+            col=node.col_offset,
+            message=message,
+        )

@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -46,7 +46,7 @@ class SizingModel:
         transformer: Transformer,
         corpus: TokenizedCorpus,
         luts: dict[str, LookupTable],
-    ) -> "SizingModel":
+    ) -> SizingModel:
         any_builder = next(iter(corpus.builders.values()))
         return cls(
             transformer=transformer,
@@ -73,7 +73,7 @@ class SizingModel:
     # Inference (Stages I + II)
     # ------------------------------------------------------------------
     def predict_params(
-        self, topology_name: str, spec: DesignSpec, max_len: Optional[int] = None
+        self, topology_name: str, spec: DesignSpec, max_len: int | None = None
     ) -> tuple[ParsedParams, str]:
         """Specs -> encoder sequence -> transformer -> parsed parameters.
 
@@ -95,7 +95,7 @@ class SizingModel:
         self,
         topology_name: str,
         specs: Sequence[DesignSpec],
-        max_len: Optional[int] = None,
+        max_len: int | None = None,
     ) -> list[tuple[ParsedParams, str]]:
         """Batched :meth:`predict_params`: one decode for many specs.
 
@@ -109,7 +109,7 @@ class SizingModel:
     def predict_params_many(
         self,
         specs_by_topology: dict[str, list[DesignSpec]],
-        max_len: Optional[int] = None,
+        max_len: int | None = None,
     ) -> dict[str, list[tuple[ParsedParams, str]]]:
         """Cross-topology batched inference: one decode for everything.
 
@@ -155,7 +155,7 @@ class SizingModel:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, directory: Union[str, Path]) -> None:
+    def save(self, directory: str | Path) -> None:
         path = Path(directory)
         path.mkdir(parents=True, exist_ok=True)
         self.transformer.save(path / "transformer.npz")
@@ -172,12 +172,12 @@ class SizingModel:
             "topologies": sorted(self.builders),
             "luts": sorted(self.luts),
         }
-        (path / "bundle.json").write_text(json.dumps(meta))
+        (path / "bundle.json").write_text(json.dumps(meta, allow_nan=False))
         for tech_name, lut in self.luts.items():
             lut.save(path / f"lut_{tech_name}.npz")
 
     @classmethod
-    def load(cls, directory: Union[str, Path]) -> "SizingModel":
+    def load(cls, directory: str | Path) -> SizingModel:
         path = Path(directory)
         meta = json.loads((path / "bundle.json").read_text())
         transformer = Transformer.load(path / "transformer.npz")

@@ -12,7 +12,7 @@ Regenerates the paper's evaluation quantities:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -77,7 +77,7 @@ def predict_over_records(
         chunk = records[start : start + max(1, batch_size)]
         specs = [DesignSpec(r.gain_db, r.f3db_hz, r.ugf_hz) for r in chunk]
         outputs = model.predict_params_batch(topology.name, specs)
-        for record, (parsed, _) in zip(chunk, outputs):
+        for record, (parsed, _) in zip(chunk, outputs, strict=True):
             if not parsed.complete:
                 failures += 1
                 continue

@@ -21,7 +21,7 @@ requests (``engine.size_batch``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from ..spice import PerformanceMetrics
 from ..topologies import OTATopology
@@ -38,8 +38,8 @@ class IterationTrace:
     requested_spec: DesignSpec
     decoded_text: str
     parsed_ok: bool
-    widths: Optional[dict[str, float]]
-    metrics: Optional[PerformanceMetrics]
+    widths: dict[str, float] | None
+    metrics: PerformanceMetrics | None
     satisfied: bool
 
 
@@ -55,14 +55,14 @@ class SizingResult:
 
     success: bool
     spec: DesignSpec
-    widths: Optional[dict[str, float]]
-    metrics: Optional[PerformanceMetrics]
+    widths: dict[str, float] | None
+    metrics: PerformanceMetrics | None
     iterations: int
     spice_simulations: int
     wall_time_s: float
     trace: list[IterationTrace] = field(default_factory=list)
-    corner_metrics: Optional[dict[str, PerformanceMetrics]] = None
-    worst_corner: Optional[str] = None
+    corner_metrics: dict[str, PerformanceMetrics] | None = None
+    worst_corner: str | None = None
 
     @property
     def single_simulation(self) -> bool:
@@ -128,7 +128,7 @@ class SizingFlow:
     # ------------------------------------------------------------------
     def widths_from_params(
         self, parsed_values: dict[str, dict[str, float]]
-    ) -> Optional[dict[str, float]]:
+    ) -> dict[str, float] | None:
         """Stage III: translate per-group device parameters into widths.
 
         Returns ``None`` when the predicted parameters are physically
@@ -146,7 +146,7 @@ class SizingFlow:
         max_iterations: int = 6,
         rel_tol: float = 0.0,
         corners: Sequence = (),
-        analyses: Optional[Sequence[str]] = None,
+        analyses: Sequence[str] | None = None,
     ) -> SizingResult:
         """Run the full Fig. 3 flow for one specification.
 
@@ -173,7 +173,7 @@ class SizingFlow:
         max_iterations: int = 6,
         rel_tol: float = 0.0,
         corners: Sequence = (),
-        analyses: Optional[Sequence[str]] = None,
+        analyses: Sequence[str] | None = None,
     ) -> list[SizingResult]:
         """Run the flow for many specifications with batched inference
         and batched verification.

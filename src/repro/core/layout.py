@@ -21,7 +21,7 @@ DP-SFG transfer function.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -53,7 +53,7 @@ def evaluate_with_parasitics(
     topology: OTATopology,
     measurement: MeasurementResult,
     parasitics: ParasiticEstimate,
-    frequencies: Optional[np.ndarray] = None,
+    frequencies: np.ndarray | None = None,
 ) -> PerformanceMetrics:
     """Re-evaluate metrics after a layout parasitic update -- no SPICE.
 

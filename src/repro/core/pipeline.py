@@ -13,7 +13,7 @@ import json
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Callable, Optional
+from collections.abc import Callable
 
 import numpy as np
 
@@ -59,7 +59,7 @@ class PipelineConfig:
     train_fraction: float = 0.8
     num_merges: int = 200
     decoder_format: str = "param_assignments"
-    encoder_max_paths: Optional[int] = None
+    encoder_max_paths: int | None = None
     include_paths_in_encoder: bool = True
     d_model: int = 96
     n_heads: int = 8
@@ -74,7 +74,7 @@ class PipelineConfig:
     dtype: str = "float64"
 
     def cache_key(self) -> str:
-        payload = json.dumps(asdict(self), sort_keys=True, default=str)
+        payload = json.dumps(asdict(self), sort_keys=True, default=str, allow_nan=False)
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
@@ -119,9 +119,9 @@ class PipelineArtifacts:
 
 
 def train_sizing_model(
-    config: Optional[PipelineConfig] = None,
-    cache_dir: Optional[Path] = None,
-    log: Optional[Callable[[str], None]] = None,
+    config: PipelineConfig | None = None,
+    cache_dir: Path | None = None,
+    log: Callable[[str], None] | None = None,
 ) -> PipelineArtifacts:
     """Run (or load from cache) the one-time training phase.
 
@@ -131,7 +131,7 @@ def train_sizing_model(
     config = config or PipelineConfig()
     say = log or (lambda message: None)
 
-    cache_path: Optional[Path] = None
+    cache_path: Path | None = None
     if cache_dir is not None:
         cache_path = Path(cache_dir) / config.cache_key()
         if (cache_path / "bundle.json").exists():
@@ -277,7 +277,9 @@ def _save_artifacts(path: Path, artifacts: PipelineArtifacts) -> None:
         "history_val_loss": artifacts.history_val_loss,
         "history_val_accuracy": artifacts.history_val_accuracy,
     }
-    (path / "splits.json").write_text(json.dumps(split_meta))
+    # allow_nan=False: a diverged training history (NaN loss) must fail
+    # here instead of writing unparseable JSON to the bundle directory.
+    (path / "splits.json").write_text(json.dumps(split_meta, allow_nan=False))
 
 
 def _load_artifacts(path: Path, config: PipelineConfig) -> PipelineArtifacts:

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, fields, replace
-from typing import Optional
 
 from ..spice import TRAN_METRIC_DIRECTIONS, PerformanceMetrics
 
@@ -37,9 +36,9 @@ class DesignSpec:
     gain_db: float
     f3db_hz: float
     ugf_hz: float
-    slew_v_per_s: Optional[float] = None
-    settling_time_s: Optional[float] = None
-    overshoot_frac: Optional[float] = None
+    slew_v_per_s: float | None = None
+    settling_time_s: float | None = None
+    overshoot_frac: float | None = None
 
     def __post_init__(self) -> None:
         if self.gain_db <= 0 or self.f3db_hz <= 0 or self.ugf_hz <= 0:
@@ -105,12 +104,12 @@ class DesignSpec:
         targets (settling, overshoot) contribute their relative *excess*;
         an unmeasured or non-finite metric contributes 1.0.
         """
-        def shortfall(target: float, value: Optional[float]) -> float:
+        def shortfall(target: float, value: float | None) -> float:
             if value is None or not (value == value):  # None or NaN
                 return 1.0
             return max(0.0, (target - value) / target)
 
-        def excess(target: float, value: Optional[float]) -> float:
+        def excess(target: float, value: float | None) -> float:
             if value is None or not (value == value):
                 return 1.0
             return max(0.0, (value - target) / target)
@@ -130,7 +129,7 @@ class DesignSpec:
             )
         return misses
 
-    def scaled(self, factors: dict[str, float]) -> "DesignSpec":
+    def scaled(self, factors: dict[str, float]) -> DesignSpec:
         """Return a spec with each named target multiplied by its factor.
 
         Targets without a factor (and unset transient targets) are
@@ -144,7 +143,7 @@ class DesignSpec:
         return replace(self, **updates)
 
     @classmethod
-    def from_metrics(cls, metrics: PerformanceMetrics, slack: float = 0.0) -> "DesignSpec":
+    def from_metrics(cls, metrics: PerformanceMetrics, slack: float = 0.0) -> DesignSpec:
         """Spec targeting a measured design's metrics (optionally derated).
 
         ``slack`` derates each target by a relative fraction, which makes

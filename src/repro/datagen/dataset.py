@@ -15,7 +15,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -57,7 +57,7 @@ class DesignRecord:
         }
 
     @classmethod
-    def from_json(cls, data: dict) -> "DesignRecord":
+    def from_json(cls, data: dict) -> DesignRecord:
         return cls(
             widths={k: float(v) for k, v in data["widths"].items()},
             gain_db=float(data["gain_db"]),
@@ -119,15 +119,17 @@ class OTADataset:
         return train, val
 
     # ------------------------------------------------------------------
-    def save(self, path: Union[str, Path]) -> None:
+    def save(self, path: str | Path) -> None:
         payload = {
             "topology": self.topology_name,
             "records": [r.to_json() for r in self.records],
         }
-        Path(path).write_text(json.dumps(payload))
+        # allow_nan=False: records pass the finite-metrics design filter,
+        # so a non-finite value here is a bug worth failing on loudly.
+        Path(path).write_text(json.dumps(payload, allow_nan=False))
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "OTADataset":
+    def load(cls, path: str | Path) -> OTADataset:
         data = json.loads(Path(path).read_text())
         return cls(
             topology_name=data["topology"],
@@ -139,8 +141,8 @@ def generate_dataset(
     topology: OTATopology,
     n_designs: int,
     rng: np.random.Generator,
-    design_filter: Optional[DesignFilter] = None,
-    max_attempts: Optional[int] = None,
+    design_filter: DesignFilter | None = None,
+    max_attempts: int | None = None,
 ) -> OTADataset:
     """Generate ``n_designs`` accepted designs for one topology.
 
@@ -208,9 +210,9 @@ class TokenizedCorpus:
 
 def build_corpus(
     datasets: Sequence[OTADataset],
-    sequence_config: Optional[SequenceConfig] = None,
+    sequence_config: SequenceConfig | None = None,
     num_merges: int = 200,
-    topologies: Optional[dict[str, OTATopology]] = None,
+    topologies: dict[str, OTATopology] | None = None,
 ) -> TokenizedCorpus:
     """Tokenize several topology datasets into one training corpus.
 

@@ -15,7 +15,7 @@ them to the training set:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -58,7 +58,7 @@ class DesignFilter:
     def __init__(
         self,
         topology: OTATopology,
-        spec_range: Optional[SpecRange] = None,
+        spec_range: SpecRange | None = None,
         check_regions: bool = True,
         check_icmr: bool = True,
         icmr_points: int = 5,

@@ -15,7 +15,7 @@ per *group*):
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -34,13 +34,13 @@ def grid_sampler(topology: OTATopology, points_per_group: int) -> Iterator[dict[
         axes.append(np.geomspace(low, high, points_per_group))
     names = topology.group_names
     for combo in itertools.product(*axes):
-        yield {name: float(width) for name, width in zip(names, combo)}
+        yield {name: float(width) for name, width in zip(names, combo, strict=True)}
 
 
 def random_sampler(
     topology: OTATopology,
     rng: np.random.Generator,
-    count: Optional[int] = None,
+    count: int | None = None,
 ) -> Iterator[dict[str, float]]:
     """Log-uniform sampling of each group's width bounds.
 
@@ -53,7 +53,7 @@ def random_sampler(
     while count is None or produced < count:
         sample = {
             name: float(np.exp(rng.uniform(np.log(low), np.log(high))))
-            for name, (low, high) in zip(names, bounds)
+            for name, (low, high) in zip(names, bounds, strict=True)
         }
         produced += 1
         yield sample

@@ -26,7 +26,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Mapping, Optional
+from collections.abc import Mapping
 
 from ..dpsfg import render_sequences
 from ..nlp.numformat import (
@@ -79,7 +79,7 @@ class SequenceConfig:
     """
 
     decoder_format: SequenceFormat = SequenceFormat.PARAM_ASSIGNMENTS
-    encoder_max_paths: Optional[int] = None
+    encoder_max_paths: int | None = None
     specs_per_path: bool = False
     include_paths_in_encoder: bool = True
 
@@ -99,7 +99,7 @@ class ParsedParams:
 class SequenceBuilder:
     """Builds and parses encoder/decoder texts for one topology."""
 
-    def __init__(self, topology: OTATopology, config: Optional[SequenceConfig] = None):
+    def __init__(self, topology: OTATopology, config: SequenceConfig | None = None):
         self.topology = topology
         self.config = config or SequenceConfig()
         self._symbolic_lines = render_sequences(
@@ -260,7 +260,7 @@ class SequenceBuilder:
         # parameter.
         template_params = self._template_params()
         predicted_values = [m.group(0) for m in VALUE_PATTERN.finditer(body)]
-        for (param, device), value_text in zip(template_params, predicted_values):
+        for (param, device), value_text in zip(template_params, predicted_values, strict=False):
             group = device_to_group.get(device)
             if group is None:
                 continue

@@ -35,7 +35,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 from functools import lru_cache
-from typing import Mapping, Optional, Sequence, Union
+from collections.abc import Mapping, Sequence
+from typing import Union
 
 from .params import TEMPERATURE_K, THERMAL_VOLTAGE, TechParams
 
@@ -218,7 +219,7 @@ def resolve_corner(spec: CornerLike) -> Corner:
     raise TypeError(f"cannot resolve a corner from {type(spec).__name__}")
 
 
-def resolve_corners(specs: Optional[Sequence[CornerLike]]) -> tuple[Corner, ...]:
+def resolve_corners(specs: Sequence[CornerLike] | None) -> tuple[Corner, ...]:
     """Normalize a corner list; names must be unique (they key results)."""
     if specs is None:
         return ()

@@ -36,7 +36,6 @@ performs the polarity mapping.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
 
 import numpy as np
 
@@ -44,7 +43,7 @@ from .params import TechParams
 
 __all__ = ["EKVModel", "SmallSignal", "interp_f", "interp_f_prime"]
 
-ArrayLike = Union[float, np.ndarray]
+ArrayLike = float | np.ndarray
 
 
 def interp_f(v: ArrayLike) -> np.ndarray:

@@ -116,7 +116,7 @@ class MOSFET:
             saturated=saturated,
         )
 
-    def with_width(self, width: float) -> "MOSFET":
+    def with_width(self, width: float) -> MOSFET:
         """Return a copy of this device with a different width."""
         return MOSFET(
             name=self.name,
@@ -128,7 +128,7 @@ class MOSFET:
             length=self.length,
         )
 
-    def with_tech(self, tech: TechParams) -> "MOSFET":
+    def with_tech(self, tech: TechParams) -> MOSFET:
         """Return a copy under a different technology parameter set.
 
         Used by the corner machinery: a PVT corner rebuilds every device of

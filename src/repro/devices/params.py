@@ -104,7 +104,7 @@ class TechParams:
         """True when this parameter set describes an NMOS device."""
         return self.polarity == 1
 
-    def with_(self, **kwargs) -> "TechParams":
+    def with_(self, **kwargs) -> TechParams:
         """Return a copy with selected fields replaced (for what-if studies)."""
         return replace(self, **kwargs)
 

@@ -25,7 +25,7 @@ numeric evaluation through Mason's formula.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from collections.abc import Mapping
 
 import networkx as nx
 
@@ -87,7 +87,7 @@ class DPSFG:
             names.update(data["weight"].parameter_names())
         return names
 
-    def merged_env(self, env: Optional[Mapping[str, float]] = None) -> dict[str, float]:
+    def merged_env(self, env: Mapping[str, float] | None = None) -> dict[str, float]:
         merged = dict(self.values)
         if env:
             merged.update(env)
@@ -124,7 +124,7 @@ class _GraphAccumulator:
 def build_dpsfg(
     circuit: Circuit,
     output_node: str,
-    small_signals: Optional[Mapping[str, SmallSignal]] = None,
+    small_signals: Mapping[str, SmallSignal] | None = None,
 ) -> DPSFG:
     """Build the DP-SFG of ``circuit`` (Steps 0-3 of Sec. III-B).
 
@@ -161,7 +161,7 @@ def build_dpsfg(
     if output_node not in internal:
         raise ValueError(f"output node {output_node!r} must be an internal node")
 
-    def v_vertex(node: str) -> Optional[str]:
+    def v_vertex(node: str) -> str | None:
         """Voltage vertex for a node: None for small-signal grounds."""
         if node == GROUND:
             return None

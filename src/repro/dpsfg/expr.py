@@ -21,7 +21,7 @@ in a reciprocal.  Each expression can
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Union
+from collections.abc import Mapping
 
 from ..nlp.numformat import format_capacitance, format_conductance
 
@@ -47,7 +47,7 @@ class Atom:
         if self.kind not in ("g", "c", "const"):
             raise ValueError(f"unknown atom kind {self.kind!r}")
 
-    def evaluate(self, s: complex, env: Optional[Env]) -> complex:
+    def evaluate(self, s: complex, env: Env | None) -> complex:
         if self.kind == "const":
             return complex(self.value)
         if env is None or self.name not in env:
@@ -56,7 +56,7 @@ class Atom:
             return s * env[self.name]
         return complex(env[self.name])
 
-    def render(self, env: Optional[Env] = None) -> str:
+    def render(self, env: Env | None = None) -> str:
         if self.kind == "const":
             value = self.value
             return str(int(value)) if float(value).is_integer() else f"{value:g}"
@@ -74,16 +74,16 @@ class LinComb:
     terms: tuple[tuple[float, Atom], ...]
 
     @staticmethod
-    def of(*terms: tuple[float, Atom]) -> "LinComb":
+    def of(*terms: tuple[float, Atom]) -> LinComb:
         return LinComb(tuple(terms))
 
-    def __add__(self, other: "LinComb") -> "LinComb":
+    def __add__(self, other: LinComb) -> LinComb:
         return LinComb(self.terms + other.terms).collect()
 
-    def __neg__(self) -> "LinComb":
+    def __neg__(self) -> LinComb:
         return LinComb(tuple((-coef, atom) for coef, atom in self.terms))
 
-    def collect(self) -> "LinComb":
+    def collect(self) -> LinComb:
         """Merge duplicate atoms, dropping zero-coefficient terms."""
         merged: dict[Atom, float] = {}
         order: list[Atom] = []
@@ -98,7 +98,7 @@ class LinComb:
     def is_empty(self) -> bool:
         return not self.collect().terms
 
-    def evaluate(self, s: complex, env: Optional[Env]) -> complex:
+    def evaluate(self, s: complex, env: Env | None) -> complex:
         return sum(
             (coef * atom.evaluate(s, env) for coef, atom in self.terms),
             start=complex(0.0),
@@ -107,7 +107,7 @@ class LinComb:
     def parameter_names(self) -> set[str]:
         return {atom.name for _, atom in self.terms if atom.kind != "const"}
 
-    def render(self, env: Optional[Env] = None) -> str:
+    def render(self, env: Env | None = None) -> str:
         if not self.terms:
             return "0"
         pieces: list[str] = []
@@ -134,7 +134,7 @@ class Reciprocal:
 
     inner: LinComb
 
-    def evaluate(self, s: complex, env: Optional[Env]) -> complex:
+    def evaluate(self, s: complex, env: Env | None) -> complex:
         denominator = self.inner.evaluate(s, env)
         if denominator == 0:
             raise ZeroDivisionError(f"DPI denominator vanished: {self.inner.render(env)}")
@@ -143,12 +143,12 @@ class Reciprocal:
     def parameter_names(self) -> set[str]:
         return self.inner.parameter_names()
 
-    def render(self, env: Optional[Env] = None) -> str:
+    def render(self, env: Env | None = None) -> str:
         return f"1/({self.inner.render(env)})"
 
 
 #: An edge weight is either a linear combination or its reciprocal.
-Weight = Union[LinComb, Reciprocal]
+Weight = LinComb | Reciprocal
 
 
 def one() -> LinComb:

@@ -17,7 +17,7 @@ transfer function.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -35,7 +35,7 @@ def _edge_gain(sfg: DPSFG, tail: str, head: str, s: complex, env: Env) -> comple
 
 def _path_gain(sfg: DPSFG, path: Sequence[str], s: complex, env: Env) -> complex:
     gain = complex(1.0)
-    for tail, head in zip(path, path[1:]):
+    for tail, head in zip(path, path[1:], strict=False):
         gain *= _edge_gain(sfg, tail, head, s, env)
     return gain
 
@@ -43,7 +43,7 @@ def _path_gain(sfg: DPSFG, path: Sequence[str], s: complex, env: Env) -> complex
 def _loop_gain(sfg: DPSFG, loop: Sequence[str], s: complex, env: Env) -> complex:
     gain = complex(1.0)
     closed = list(loop) + [loop[0]]
-    for tail, head in zip(closed, closed[1:]):
+    for tail, head in zip(closed, closed[1:], strict=False):
         gain *= _edge_gain(sfg, tail, head, s, env)
     return gain
 
@@ -97,7 +97,7 @@ class MasonEvaluator:
                 det += (-1.0) ** len(subset) * product
         return det
 
-    def gain(self, source: str, s: complex, env: Optional[Env] = None) -> complex:
+    def gain(self, source: str, s: complex, env: Env | None = None) -> complex:
         """Mason gain from one excitation vertex to the output at ``s``."""
         merged = self.sfg.merged_env(env)
         delta = self.determinant(s, merged)
@@ -108,7 +108,7 @@ class MasonEvaluator:
             total += _path_gain(self.sfg, path, s, merged) * cofactor
         return total / delta
 
-    def transfer(self, s: complex, env: Optional[Env] = None) -> complex:
+    def transfer(self, s: complex, env: Env | None = None) -> complex:
         """Superposed output over all excitations, weighted by amplitude."""
         total = complex(0.0)
         for source, amplitude in self.sfg.excitations.items():
@@ -119,7 +119,7 @@ class MasonEvaluator:
 def transfer_function(
     sfg: DPSFG,
     frequencies: np.ndarray,
-    env: Optional[Env] = None,
+    env: Env | None = None,
 ) -> np.ndarray:
     """Evaluate the DP-SFG transfer function over a frequency grid (Hz)."""
     evaluator = MasonEvaluator(sfg)

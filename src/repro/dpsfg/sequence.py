@@ -15,7 +15,7 @@ paper keeps ``sC`` symbolic in its example.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
 
 from .builder import DPSFG
 from .expr import LinComb
@@ -26,7 +26,7 @@ __all__ = ["render_weight", "render_path", "render_cycle", "render_sequences"]
 Env = Mapping[str, float]
 
 
-def render_weight(sfg: DPSFG, tail: str, head: str, env: Optional[Env]) -> str:
+def render_weight(sfg: DPSFG, tail: str, head: str, env: Env | None) -> str:
     """Render one edge weight; multi-term sums are parenthesized."""
     weight = sfg.weight(tail, head)
     text = weight.render(env)
@@ -35,7 +35,7 @@ def render_weight(sfg: DPSFG, tail: str, head: str, env: Optional[Env]) -> str:
     return text
 
 
-def render_path(sfg: DPSFG, path: Sequence[str], env: Optional[Env] = None) -> str:
+def render_path(sfg: DPSFG, path: Sequence[str], env: Env | None = None) -> str:
     """Render an open path as ``v0 w01 v1 w12 v2 ...``."""
     pieces: list[str] = []
     for index, vertex in enumerate(path):
@@ -45,7 +45,7 @@ def render_path(sfg: DPSFG, path: Sequence[str], env: Optional[Env] = None) -> s
     return " ".join(pieces)
 
 
-def render_cycle(sfg: DPSFG, cycle: Sequence[str], env: Optional[Env] = None) -> str:
+def render_cycle(sfg: DPSFG, cycle: Sequence[str], env: Env | None = None) -> str:
     """Render a cycle as a closed walk returning to its first vertex."""
     closed = list(cycle) + [cycle[0]]
     return render_path(sfg, closed, env)
@@ -53,9 +53,9 @@ def render_cycle(sfg: DPSFG, cycle: Sequence[str], env: Optional[Env] = None) ->
 
 def render_sequences(
     sfg: DPSFG,
-    env: Optional[Env] = None,
-    inventory: Optional[PathInventory] = None,
-    max_paths: Optional[int] = None,
+    env: Env | None = None,
+    inventory: PathInventory | None = None,
+    max_paths: int | None = None,
 ) -> list[str]:
     """All path/cycle lines of a DP-SFG in deterministic order.
 

@@ -17,7 +17,6 @@ at intermediate bias points stay accurate.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Union
 
 import numpy as np
 from scipy.interpolate import RectBivariateSpline
@@ -31,7 +30,7 @@ __all__ = ["LookupTable", "build_lut", "LUT_OUTPUTS"]
 #: LUT output names in the Eq. (3) ordering.
 LUT_OUTPUTS = ("id", "gm", "gds", "cds", "cgs")
 
-ArrayLike = Union[float, np.ndarray]
+ArrayLike = float | np.ndarray
 
 
 class LookupTable:
@@ -114,7 +113,7 @@ class LookupTable:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: Union[str, Path]) -> None:
+    def save(self, path: str | Path) -> None:
         """Serialize the table (not the splines) to an ``.npz`` file."""
         payload = {
             "tech_name": np.array(self.tech.name),
@@ -128,7 +127,7 @@ class LookupTable:
         np.savez(path, **payload)
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "LookupTable":
+    def load(cls, path: str | Path) -> LookupTable:
         """Load a table saved by :meth:`save`."""
         data = np.load(path)
         tech_name = str(data["tech_name"])

@@ -24,7 +24,6 @@ to the same fixed point (covered by a regression test).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -116,7 +115,7 @@ def estimate_width(
     lut: LookupTable,
     vdd: float = 1.2,
     alpha: float = 1e-4,
-    epsilon: Optional[float] = None,
+    epsilon: float | None = None,
     max_iterations: int = 50,
     vds_points: int = 241,
     update: str = "jump",
@@ -151,7 +150,7 @@ def estimate_width(
     gm_id = params.gm_over_id
     vds_curr = vdd / 2.0
     cost_prev = float("inf")
-    best: Optional[tuple[float, float, float, dict[str, float]]] = None
+    best: tuple[float, float, float, dict[str, float]] | None = None
     converged = False
     iterations = 0
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 import re
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 from .tokenizer import Vocabulary
 
@@ -90,8 +90,8 @@ class RestrictedBPE:
     def from_merges(
         cls,
         merges: Iterable[Sequence[str]],
-        num_merges: Optional[int] = None,
-    ) -> "RestrictedBPE":
+        num_merges: int | None = None,
+    ) -> RestrictedBPE:
         """Reconstruct a trained encoder from a saved merge list.
 
         The inverse of persisting :attr:`merges`: ranks are rebuilt from
@@ -126,7 +126,7 @@ class RestrictedBPE:
             pair_counts: Counter[tuple[str, str]] = Counter()
             for span, tokens in span_tokens.items():
                 weight = span_counts[span]
-                for left, right in zip(tokens, tokens[1:]):
+                for left, right in zip(tokens, tokens[1:], strict=False):
                     pair_counts[(left, right)] += weight
             if not pair_counts:
                 break
@@ -154,7 +154,7 @@ class RestrictedBPE:
         while len(tokens) > 1:
             ranked = [
                 (self._merge_ranks[pair], pair)
-                for pair in zip(tokens, tokens[1:])
+                for pair in zip(tokens, tokens[1:], strict=False)
                 if pair in self._merge_ranks
             ]
             if not ranked:

@@ -12,7 +12,7 @@ tokens every sequence model needs (pad / begin / end / unknown).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 __all__ = ["PAD", "BOS", "EOS", "UNK", "SPECIAL_TOKENS", "Vocabulary", "char_tokenize", "char_detokenize"]
 
@@ -54,7 +54,7 @@ class Vocabulary:
         return index
 
     @classmethod
-    def from_tokens(cls, tokens: Iterable[str]) -> "Vocabulary":
+    def from_tokens(cls, tokens: Iterable[str]) -> Vocabulary:
         """Build a vocabulary from an iterable of tokens (deduplicated,
         insertion ordered, specials first)."""
         vocab = cls()

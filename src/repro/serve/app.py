@@ -42,7 +42,8 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Optional, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from ..service.engine import SizingEngine
 from ..service.requests import SizingRequest, SizingResponse
@@ -57,15 +58,17 @@ __all__ = ["SizingServer", "create_server"]
 class _Handler(BaseHTTPRequestHandler):
     """Per-connection HTTP handler; all state lives on ``self.server``."""
 
-    server: "SizingServer"
+    server: SizingServer
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
 
     # ------------------------------------------------------------------
     def _send_json(
-        self, status: int, payload: Any, headers: Optional[dict[str, str]] = None
+        self, status: int, payload: Any, headers: dict[str, str] | None = None
     ) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        # allow_nan=False: a non-finite value must fail here, loudly, not
+        # reach clients as bare Infinity (which is not JSON).
+        body = json.dumps(payload, sort_keys=True, allow_nan=False).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -76,7 +79,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if self.server.log is not None:
-            self.server.log("%s - %s" % (self.address_string(), format % args))
+            self.server.log(f"{self.address_string()} - {format % args}")
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler contract
@@ -114,7 +117,7 @@ class _Handler(BaseHTTPRequestHandler):
         self._serve_sizing(request, deadline_ms)
 
     def _serve_sizing(
-        self, request: SizingRequest, deadline_ms: Optional[float]
+        self, request: SizingRequest, deadline_ms: float | None
     ) -> None:
         server = self.server
         try:
@@ -192,8 +195,8 @@ class SizingServer(ThreadingHTTPServer):
         max_wait_ms: float = 20.0,
         queue_depth: int = 256,
         retry_after_s: int = 1,
-        handler: Optional[Callable[[list[SizingRequest]], Sequence[SizingResponse]]] = None,
-        log: Optional[Callable[[str], None]] = None,
+        handler: Callable[[list[SizingRequest]], Sequence[SizingResponse]] | None = None,
+        log: Callable[[str], None] | None = None,
     ):
         super().__init__(address, _Handler)
         self.engine = engine
@@ -224,7 +227,7 @@ class SizingServer(ThreadingHTTPServer):
             ),
         }
 
-    def shutdown_gracefully(self, timeout: Optional[float] = None) -> None:
+    def shutdown_gracefully(self, timeout: float | None = None) -> None:
         """Stop accepting, drain the queue, then close the socket.
 
         Every already-accepted request still gets its response: the

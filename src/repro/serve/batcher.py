@@ -33,7 +33,8 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Callable, Generic, Optional, Sequence, TypeVar
+from collections.abc import Callable, Sequence
+from typing import Generic, TypeVar
 
 from .stats import ServeStats
 
@@ -62,17 +63,17 @@ class Ticket(Generic[RequestT, ResponseT]):
 
     __slots__ = ("request", "deadline", "enqueued_at", "response", "expired", "error", "_done")
 
-    def __init__(self, request: RequestT, deadline: Optional[float], enqueued_at: float):
+    def __init__(self, request: RequestT, deadline: float | None, enqueued_at: float):
         self.request = request
         #: Absolute ``time.monotonic()`` deadline, or ``None``.
         self.deadline = deadline
         self.enqueued_at = enqueued_at
-        self.response: Optional[ResponseT] = None
+        self.response: ResponseT | None = None
         self.expired = False
-        self.error: Optional[str] = None
+        self.error: str | None = None
         self._done = threading.Event()
 
-    def wait(self, timeout: Optional[float] = None) -> bool:
+    def wait(self, timeout: float | None = None) -> bool:
         """Block until the ticket resolves; ``False`` on wait timeout."""
         return self._done.wait(timeout)
 
@@ -94,7 +95,7 @@ class MicroBatcher(Generic[RequestT, ResponseT]):
         max_batch_size: int = 16,
         max_wait_ms: float = 20.0,
         queue_depth: int = 256,
-        stats: Optional[ServeStats] = None,
+        stats: ServeStats | None = None,
         name: str = "repro-serve-dispatcher",
     ):
         if max_batch_size < 1:
@@ -128,7 +129,7 @@ class MicroBatcher(Generic[RequestT, ResponseT]):
         return self._closing.is_set()
 
     def submit(
-        self, request: RequestT, deadline_ms: Optional[float] = None
+        self, request: RequestT, deadline_ms: float | None = None
     ) -> Ticket[RequestT, ResponseT]:
         """Enqueue one request; returns the ticket to wait on.
 
@@ -151,7 +152,7 @@ class MicroBatcher(Generic[RequestT, ResponseT]):
         self.stats.record_received()
         return ticket
 
-    def close(self, timeout: Optional[float] = None) -> None:
+    def close(self, timeout: float | None = None) -> None:
         """Graceful shutdown: reject new work, drain what is queued.
 
         Blocks until the dispatcher has flushed every pending submission
@@ -227,7 +228,7 @@ class MicroBatcher(Generic[RequestT, ResponseT]):
                 ticket._resolve()
             return
         done = time.monotonic()
-        for ticket, response in zip(live, responses):
+        for ticket, response in zip(live, responses, strict=True):
             ticket.response = response
             self.stats.record_served(done - ticket.enqueued_at)
             ticket._resolve()

@@ -19,7 +19,8 @@ validation and never reaches the engine or the cache key.
 from __future__ import annotations
 
 import json
-from typing import Any, Mapping, Optional
+from collections.abc import Mapping
+from typing import Any
 
 from ..service.requests import SizingRequest, SizingResponse
 
@@ -48,7 +49,7 @@ class RequestError(ValueError):
 
 def parse_request_payload(
     payload: Any, *, allow_deadline: bool = False
-) -> tuple[SizingRequest, Optional[float]]:
+) -> tuple[SizingRequest, float | None]:
     """Validate one decoded JSON payload into ``(request, deadline_ms)``.
 
     ``allow_deadline`` enables the serving-only ``deadline_ms`` key (the
@@ -58,7 +59,7 @@ def parse_request_payload(
     """
     if not isinstance(payload, Mapping):
         raise RequestError("request payload must be a JSON object")
-    deadline_ms: Optional[float] = None
+    deadline_ms: float | None = None
     if allow_deadline and DEADLINE_KEY in payload:
         payload = dict(payload)
         raw = payload.pop(DEADLINE_KEY)
@@ -80,7 +81,7 @@ def parse_request_payload(
 
 def parse_request_text(
     text: str, *, allow_deadline: bool = False
-) -> tuple[SizingRequest, Optional[float]]:
+) -> tuple[SizingRequest, float | None]:
     """Parse one JSON document (a JSONL line or an HTTP body)."""
     try:
         payload = json.loads(text)

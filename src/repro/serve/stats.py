@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 import threading
 from collections import Counter, deque
-from typing import Any, Optional
+from typing import Any
 
 __all__ = ["ServeStats"]
 
@@ -114,8 +114,8 @@ class ServeStats:
 
     def as_dict(
         self,
-        queue_depth: Optional[int] = None,
-        queue_capacity: Optional[int] = None,
+        queue_depth: int | None = None,
+        queue_capacity: int | None = None,
     ) -> dict[str, Any]:
         """One consistent JSON-ready snapshot (the ``server`` stats block)."""
         latency = self.latency_ms()

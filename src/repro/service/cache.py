@@ -17,10 +17,12 @@ worker threads and its ``/stats`` reader can share one engine.
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import OrderedDict
 from dataclasses import replace
-from typing import Any, Hashable, Optional
+from collections.abc import Hashable
+from typing import Any
 
 from ..core.specs import DesignSpec
 from ..topologies import binding_corner
@@ -31,7 +33,18 @@ __all__ = ["ResultCache", "quantize_spec"]
 
 def quantize_spec(value: float, sig_digits: int = 3) -> float:
     """Round to ``sig_digits`` significant digits (the encoder's own
-    resolution, see :mod:`repro.nlp.numformat`)."""
+    resolution, see :mod:`repro.nlp.numformat`).
+
+    Non-finite inputs are rejected loudly: an ``inf``/``nan`` spec value
+    would otherwise propagate into a cache key (``inf`` survives ``%g``
+    formatting, and ``nan != nan`` makes the key unmatchable), poisoning
+    lookups instead of failing at the bad request.
+    """
+    if not math.isfinite(value):
+        raise ValueError(
+            f"cannot quantize non-finite spec value {value!r}: "
+            "cache keys require finite targets"
+        )
     return float(f"{value:.{sig_digits}g}")
 
 
@@ -93,7 +106,7 @@ class ResultCache:
         with self._lock:
             return self._transferable(request) is not None
 
-    def _transferable(self, request: SizingRequest) -> Optional[SizingResponse]:
+    def _transferable(self, request: SizingRequest) -> SizingResponse | None:
         """The cached response if its verdict carries over to ``request``."""
         entry = self._entries.get(self.key(request))
         if entry is None:
@@ -127,7 +140,7 @@ class ResultCache:
                 return response
         return None
 
-    def get(self, request: SizingRequest) -> Optional[SizingResponse]:
+    def get(self, request: SizingRequest) -> SizingResponse | None:
         """The cached response re-addressed to ``request``, or ``None``."""
         with self._lock:
             response = self._transferable(request)

@@ -55,7 +55,8 @@ import argparse
 import sys
 from dataclasses import replace
 from pathlib import Path
-from typing import IO, Iterator, Optional, Sequence
+from collections.abc import Iterator, Sequence
+from typing import IO
 
 from ..solvers import available_solvers
 from ..topologies import available_topologies
@@ -164,6 +165,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ignore the knobs above and train the benchmark-suite configuration")
     train.add_argument("--quiet", action="store_true", help="suppress progress logging")
 
+    checks = sub.add_parser(
+        "checks",
+        help="run the repo-specific AST invariant linter (repro.checks)",
+        description=(
+            "Static analysis over the package sources: lock discipline on "
+            "thread-shared classes, wire-format/cache-key drift, RNG "
+            "determinism, JSON non-finite safety. Exit 0 when clean, 1 on "
+            "any finding. Equivalent to `python -m repro.checks`."
+        ),
+    )
+    checks.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to check "
+                             "(default: the installed repro package)")
+    checks.add_argument("--format", choices=("text", "json"), default="text",
+                        help="stdout report format (default text)")
+    checks.add_argument("--output", type=Path, default=None, metavar="FILE",
+                        help="also write the JSON report to FILE")
+    checks.add_argument("--list-rules", action="store_true",
+                        help="list rule ids and exit")
+
     sub.add_parser("topologies", help="list registered topologies")
     sub.add_parser("solvers", help="list registered sizing methods")
     return parser
@@ -173,7 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
 # size
 # ----------------------------------------------------------------------
 def _open_input(spec: str) -> IO[str]:
-    return sys.stdin if spec == "-" else open(spec, "r", encoding="utf-8")
+    return sys.stdin if spec == "-" else open(spec, encoding="utf-8")
 
 
 def _open_output(spec: str) -> IO[str]:
@@ -265,7 +286,7 @@ def _run_size(args: argparse.Namespace) -> int:
     failures = 0
     try:
         for lines in _batched_lines(source, max(1, args.batch_size)):
-            requests: list[Optional[SizingRequest]] = []
+            requests: list[SizingRequest | None] = []
             parse_errors: dict[int, str] = {}
             for index, line in enumerate(lines):
                 # Validation shared with the HTTP serving layer: a bad
@@ -397,7 +418,7 @@ def _run_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "size":
         return _run_size(args)
@@ -405,6 +426,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serve(args)
     if args.command == "train":
         return _run_train(args)
+    if args.command == "checks":
+        from ..checks.cli import run as run_checks_cli
+        from ..checks.registry import DEFAULT_RULES
+
+        if args.list_rules:
+            for rule in DEFAULT_RULES:
+                print(f"{rule.id}: {rule.summary}")
+            return 0
+        return run_checks_cli(args.paths, fmt=args.format, output=args.output)
     if args.command == "topologies":
         for name in available_topologies():
             print(name)

@@ -41,7 +41,8 @@ import threading
 import time
 import zlib
 from dataclasses import dataclass, fields
-from typing import Any, Optional, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -116,7 +117,7 @@ class EngineStats:
             for name, delta in deltas.items():
                 setattr(self, name, getattr(self, name) + delta)
 
-    def snapshot(self) -> "EngineStats":
+    def snapshot(self) -> EngineStats:
         """A consistent point-in-time copy (its own independent lock)."""
         with self._lock:
             return EngineStats(**{f.name: getattr(self, f.name) for f in fields(self)})
@@ -145,13 +146,13 @@ class _ActiveRequest:
         self.decoded_texts: list[str] = []
         self.spice_count = 0
         self.iteration = 0
-        self.best: Optional[tuple[dict[str, float], PerformanceMetrics]] = None
+        self.best: tuple[dict[str, float], PerformanceMetrics] | None = None
         self.best_shortfall = float("inf")
         #: Per-corner measurements of the best iterate (corner requests).
-        self.best_corner_metrics: Optional[dict[str, PerformanceMetrics]] = None
-        self.best_worst_corner: Optional[str] = None
+        self.best_corner_metrics: dict[str, PerformanceMetrics] | None = None
+        self.best_worst_corner: str | None = None
         self.start = time.perf_counter()
-        self.result: Optional[SizingResult] = None
+        self.result: SizingResult | None = None
 
 
 class SizingEngine:
@@ -163,7 +164,7 @@ class SizingEngine:
         cache_size: int = 256,
         width_bounds: tuple[float, float] = (0.1e-6, 200e-6),
         max_candidate_spread: float = 5.0,
-        backend: Optional[EvalBackend] = None,
+        backend: EvalBackend | None = None,
     ):
         self.model = model
         self.width_bounds = width_bounds
@@ -175,7 +176,7 @@ class SizingEngine:
         #: parameters cannot describe any physical device, so re-inferring
         #: beats verifying a garbage design.
         self.max_candidate_spread = max_candidate_spread
-        self.cache: Optional[ResultCache] = ResultCache(cache_size) if cache_size else None
+        self.cache: ResultCache | None = ResultCache(cache_size) if cache_size else None
         self.stats = EngineStats()
         self._topologies: dict[str, OTATopology] = {}
         # Lazy topology construction may race under concurrent callers;
@@ -202,7 +203,7 @@ class SizingEngine:
     # ------------------------------------------------------------------
     def widths_from_params(
         self, topology: OTATopology, parsed_values: dict[str, dict[str, float]]
-    ) -> Optional[dict[str, float]]:
+    ) -> dict[str, float] | None:
         """Translate per-group device parameters into widths.
 
         Returns ``None`` when the predicted parameters are physically
@@ -282,7 +283,7 @@ class SizingEngine:
             # transient requests batch their step-response integrations.
             verifiable: dict[tuple, list[tuple[_ActiveRequest, dict[str, float]]]] = {}
             for name, group in by_topology.items():
-                for state, (parsed, text) in zip(group, outputs[name]):
+                for state, (parsed, text) in zip(group, outputs[name], strict=True):
                     widths = self._stage_iii(state, parsed, text)
                     if widths is not None:
                         key = (name, state.request.corners, state.request.analyses)
@@ -298,17 +299,17 @@ class SizingEngine:
                     sweeps = self.backend.measure_many(
                         topology, widths_list, corners=corners, **kwargs
                     )
-                    for (state, widths), sweep in zip(pairs, sweeps):
+                    for (state, widths), sweep in zip(pairs, sweeps, strict=True):
                         self._stage_iv_corners(state, widths, sweep)
                 else:
                     outcomes = self.backend.measure_many(topology, widths_list, **kwargs)
-                    for (state, widths), outcome in zip(pairs, outcomes):
+                    for (state, widths), outcome in zip(pairs, outcomes, strict=True):
                         self._stage_iv(state, widths, outcome)
             active = [s for s in active if s.result is None]
 
     def _stage_iii(
         self, s: _ActiveRequest, parsed: ParsedParams, text: str
-    ) -> Optional[dict[str, float]]:
+    ) -> dict[str, float] | None:
         """Consume one inference result: record the decode, estimate widths.
 
         Returns the width vector to verify, or ``None`` when this iteration
@@ -507,7 +508,7 @@ class SizingEngine:
             **solver_kwargs,
         )
         spec = _derated_spec(request.spec, request.rel_tol)
-        rng = np.random.default_rng(zlib.crc32(request.id.encode("utf-8")))
+        rng = np.random.default_rng(zlib.crc32(request.id.encode()))
         result = solver.solve(spec, budget=request.budget, rng=rng)
         self.stats.add(spice_simulations=result.spice_calls)
         return SizingResponse(
@@ -576,7 +577,7 @@ class SizingEngine:
         requests of the batch still fuse into one decode.
         """
         self.stats.add(batches=1)
-        responses: list[Optional[SizingResponse]] = [None] * len(requests)
+        responses: list[SizingResponse | None] = [None] * len(requests)
         states: dict[int, _ActiveRequest] = {}
         leaders: dict[object, int] = {}
         followers: dict[int, int] = {}

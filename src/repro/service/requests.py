@@ -53,7 +53,8 @@ import itertools
 import json
 import math
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping, Optional
+from collections.abc import Mapping
+from typing import Any
 
 from ..core.specs import DesignSpec
 from ..devices import Corner, resolve_corners
@@ -63,7 +64,7 @@ from ..topologies import DEFAULT_ANALYSES, TRAN_ANALYSES, resolve_analyses
 __all__ = ["SizingRequest", "SizingResponse"]
 
 
-def _metrics_json(metrics: Optional[PerformanceMetrics]) -> Optional[dict[str, Any]]:
+def _metrics_json(metrics: PerformanceMetrics | None) -> dict[str, Any] | None:
     """Flat JSON form of one metrics bundle (non-finite values -> null).
 
     Transient metric keys appear only when measured, so AC-only responses
@@ -72,7 +73,7 @@ def _metrics_json(metrics: Optional[PerformanceMetrics]) -> Optional[dict[str, A
     if metrics is None:
         return None
 
-    def finite(value: float) -> Optional[float]:
+    def finite(value: float) -> float | None:
         return value if math.isfinite(value) else None
 
     payload = {
@@ -87,7 +88,7 @@ def _metrics_json(metrics: Optional[PerformanceMetrics]) -> Optional[dict[str, A
     return payload
 
 
-def _metrics_from_json(payload: Optional[Mapping[str, Any]]) -> Optional[PerformanceMetrics]:
+def _metrics_from_json(payload: Mapping[str, Any] | None) -> PerformanceMetrics | None:
     if payload is None:
         return None
 
@@ -132,7 +133,7 @@ class SizingRequest:
     max_iterations: int = 6
     rel_tol: float = 0.0
     method: str = "copilot"
-    budget: Optional[int] = None
+    budget: int | None = None
     corners: tuple[Corner, ...] = ()
     analyses: tuple[str, ...] = DEFAULT_ANALYSES
 
@@ -172,7 +173,7 @@ class SizingRequest:
         f3db_hz: float,
         ugf_hz: float,
         **kwargs: Any,
-    ) -> "SizingRequest":
+    ) -> SizingRequest:
         """Convenience constructor from the three bare spec values."""
         return cls(topology=topology, spec=DesignSpec(gain_db, f3db_hz, ugf_hz), **kwargs)
 
@@ -199,10 +200,10 @@ class SizingRequest:
         return payload
 
     def to_json_line(self) -> str:
-        return json.dumps(self.to_json(), sort_keys=True)
+        return json.dumps(self.to_json(), sort_keys=True, allow_nan=False)
 
     @classmethod
-    def from_json(cls, payload: Mapping[str, Any]) -> "SizingRequest":
+    def from_json(cls, payload: Mapping[str, Any]) -> SizingRequest:
         """Parse the stable flat schema; extra keys are rejected loudly."""
         known = {
             "id", "topology", "gain_db", "f3db_hz", "ugf_hz",
@@ -243,7 +244,7 @@ class SizingRequest:
         return cls(topology=str(payload["topology"]), spec=spec, **kwargs)
 
     @classmethod
-    def from_json_line(cls, line: str) -> "SizingRequest":
+    def from_json_line(cls, line: str) -> SizingRequest:
         return cls.from_json(json.loads(line))
 
 
@@ -260,24 +261,24 @@ class SizingResponse:
     request_id: str
     topology: str
     success: bool
-    widths: Optional[dict[str, float]]
-    metrics: Optional[PerformanceMetrics]
+    widths: dict[str, float] | None
+    metrics: PerformanceMetrics | None
     iterations: int
     spice_simulations: int
     wall_time_s: float
     cached: bool = False
-    error: Optional[str] = None
+    error: str | None = None
     decoded_texts: tuple[str, ...] = ()
     method: str = "copilot"
-    corner_metrics: Optional[dict[str, PerformanceMetrics]] = None
-    worst_corner: Optional[str] = None
+    corner_metrics: dict[str, PerformanceMetrics] | None = None
+    worst_corner: str | None = None
 
     @property
     def single_simulation(self) -> bool:
         """True when the very first verification already satisfied specs."""
         return self.success and self.spice_simulations == 1
 
-    def with_request_id(self, request_id: str, cached: bool = True) -> "SizingResponse":
+    def with_request_id(self, request_id: str, cached: bool = True) -> SizingResponse:
         """A copy re-addressed to another request (cache/duplicate hits)."""
         return replace(self, request_id=request_id, cached=cached)
 
@@ -307,10 +308,10 @@ class SizingResponse:
         }
 
     def to_json_line(self) -> str:
-        return json.dumps(self.to_json(), sort_keys=True)
+        return json.dumps(self.to_json(), sort_keys=True, allow_nan=False)
 
     @classmethod
-    def from_json(cls, payload: Mapping[str, Any]) -> "SizingResponse":
+    def from_json(cls, payload: Mapping[str, Any]) -> SizingResponse:
         widths = payload.get("widths")
         corner_payload = payload.get("corner_metrics")
         corner_metrics = None
@@ -338,5 +339,5 @@ class SizingResponse:
         )
 
     @classmethod
-    def from_json_line(cls, line: str) -> "SizingResponse":
+    def from_json_line(cls, line: str) -> SizingResponse:
         return cls.from_json(json.loads(line))

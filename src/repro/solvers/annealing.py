@@ -11,7 +11,6 @@ SPICE-call count the cost *to reach a satisfying design*.
 from __future__ import annotations
 
 import time
-from typing import Optional
 
 import numpy as np
 
@@ -54,8 +53,8 @@ class SimulatedAnnealingSolver(SearchSolver):
     def solve(
         self,
         spec: DesignSpec,
-        budget: Optional[int] = None,
-        rng: Optional[np.random.Generator] = None,
+        budget: int | None = None,
+        rng: np.random.Generator | None = None,
     ) -> SolveResult:
         budget = self._budget(budget)
         rng = self._rng(rng)

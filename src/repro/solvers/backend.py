@@ -28,7 +28,7 @@ isolation, so solvers can switch backends without changing results
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
 
 from ..devices import Corner, CornerLike, resolve_corners
 from ..spice import ConvergenceError
@@ -45,8 +45,8 @@ class EvalBackend(ABC):
         self,
         topology: OTATopology,
         widths_list: Sequence[Mapping[str, float]],
-        corners: Optional[Sequence[CornerLike]] = None,
-        analyses: Optional[Sequence[str]] = None,
+        corners: Sequence[CornerLike] | None = None,
+        analyses: Sequence[str] | None = None,
     ) -> list:
         """Measure every candidate; one aligned outcome per width vector.
 
@@ -69,7 +69,7 @@ class EvalBackend(ABC):
         topology: OTATopology,
         widths: Mapping[str, float],
         corner: CornerLike = None,
-        analyses: Optional[Sequence[str]] = None,
+        analyses: Sequence[str] | None = None,
     ) -> MeasureOutcome:
         """Single-candidate convenience wrapper over :meth:`measure_many`."""
         kwargs = {} if analyses is None else {"analyses": analyses}
@@ -87,8 +87,8 @@ class ScalarBackend(EvalBackend):
         self,
         topology: OTATopology,
         widths_list: Sequence[Mapping[str, float]],
-        corners: Optional[Sequence[CornerLike]] = None,
-        analyses: Optional[Sequence[str]] = None,
+        corners: Sequence[CornerLike] | None = None,
+        analyses: Sequence[str] | None = None,
     ) -> list:
         if corners is not None:
             resolved = resolve_corners(corners)
@@ -116,7 +116,7 @@ class ScalarBackend(EvalBackend):
         topology: OTATopology,
         widths: Mapping[str, float],
         corners: tuple[Corner, ...],
-        analyses: Optional[Sequence[str]] = None,
+        analyses: Sequence[str] | None = None,
     ) -> CornerSweep:
         outcomes = []
         for corner in corners:
@@ -136,8 +136,8 @@ class BatchedBackend(EvalBackend):
         self,
         topology: OTATopology,
         widths_list: Sequence[Mapping[str, float]],
-        corners: Optional[Sequence[CornerLike]] = None,
-        analyses: Optional[Sequence[str]] = None,
+        corners: Sequence[CornerLike] | None = None,
+        analyses: Sequence[str] | None = None,
     ) -> list:
         kwargs = {} if analyses is None else {"analyses": analyses}
         if corners is not None:

@@ -31,7 +31,7 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -85,7 +85,7 @@ class SearchSpace:
         """[0,1]^n point -> width dictionary."""
         clipped = np.clip(np.asarray(point, dtype=float), 0.0, 1.0)
         log_widths = self._log_low + clipped * (self._log_high - self._log_low)
-        return {name: float(np.exp(w)) for name, w in zip(self.names, log_widths)}
+        return {name: float(np.exp(w)) for name, w in zip(self.names, log_widths, strict=True)}
 
     def random_point(self, rng: np.random.Generator) -> np.ndarray:
         return rng.random(self.dimension)
@@ -106,12 +106,12 @@ class SolveResult:
     spice_calls: int
     wall_time_s: float
     best_value: float
-    best_widths: Optional[dict[str, float]]
-    best_metrics: Optional[PerformanceMetrics] = None
+    best_widths: dict[str, float] | None
+    best_metrics: PerformanceMetrics | None = None
     history: list[float] = field(default_factory=list)
     iterations: int = 0
-    corner_metrics: Optional[dict[str, PerformanceMetrics]] = None
-    worst_corner: Optional[str] = None
+    corner_metrics: dict[str, PerformanceMetrics] | None = None
+    worst_corner: str | None = None
 
 
 class SearchObjective:
@@ -134,10 +134,10 @@ class SearchObjective:
         self,
         topology: OTATopology,
         spec: DesignSpec,
-        backend: Optional[EvalBackend] = None,
+        backend: EvalBackend | None = None,
         check_regions: bool = False,
-        corners: Optional[Sequence[CornerLike]] = None,
-        analyses: Optional[Sequence[str]] = None,
+        corners: Sequence[CornerLike] | None = None,
+        analyses: Sequence[str] | None = None,
     ):
         self.topology = topology
         self.spec = spec
@@ -159,10 +159,10 @@ class SearchObjective:
         self.space = SearchSpace(topology)
         self.spice_calls = 0
         self.best_value = float("inf")
-        self.best_widths: Optional[dict[str, float]] = None
-        self.best_metrics: Optional[PerformanceMetrics] = None
-        self.best_corner_metrics: Optional[dict[str, PerformanceMetrics]] = None
-        self.best_worst_corner: Optional[str] = None
+        self.best_widths: dict[str, float] | None = None
+        self.best_metrics: PerformanceMetrics | None = None
+        self.best_corner_metrics: dict[str, PerformanceMetrics] | None = None
+        self.best_worst_corner: str | None = None
         self.history: list[float] = []
         #: Running minimum over *observed* objective values, penalties
         #: included — what ``history`` records.  Unlike ``best_value`` it
@@ -179,12 +179,12 @@ class SearchObjective:
                 self.topology, widths_list, corners=self.corners, **kwargs
             )
             return np.array(
-                [self._record_sweep(w, s) for w, s in zip(widths_list, sweeps)],
+                [self._record_sweep(w, s) for w, s in zip(widths_list, sweeps, strict=True)],
                 dtype=float,
             )
         outcomes = self.backend.measure_many(self.topology, widths_list, **kwargs)
         return np.array(
-            [self._record(w, o) for w, o in zip(widths_list, outcomes)], dtype=float
+            [self._record(w, o) for w, o in zip(widths_list, outcomes, strict=True)], dtype=float
         )
 
     def evaluate_one(self, point: np.ndarray) -> float:
@@ -285,10 +285,10 @@ class Solver(ABC):
         self,
         topology: OTATopology,
         *,
-        backend: Optional[EvalBackend] = None,
+        backend: EvalBackend | None = None,
         model=None,
-        corners: Optional[Sequence[CornerLike]] = None,
-        analyses: Optional[Sequence[str]] = None,
+        corners: Sequence[CornerLike] | None = None,
+        analyses: Sequence[str] | None = None,
     ):
         self.topology = topology
         self.backend = backend if backend is not None else BatchedBackend()
@@ -302,8 +302,8 @@ class Solver(ABC):
     def solve(
         self,
         spec: DesignSpec,
-        budget: Optional[int] = None,
-        rng: Optional[np.random.Generator] = None,
+        budget: int | None = None,
+        rng: np.random.Generator | None = None,
     ) -> SolveResult:
         """Search for a design meeting ``spec`` within ``budget`` SPICE calls.
 
@@ -335,11 +335,11 @@ class SearchSolver(Solver):
         )
 
     @staticmethod
-    def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    def _rng(rng: np.random.Generator | None) -> np.random.Generator:
         return rng if rng is not None else np.random.default_rng(0)
 
     @staticmethod
-    def _budget(budget: Optional[int]) -> int:
+    def _budget(budget: int | None) -> int:
         if budget is None:
             return DEFAULT_BUDGET
         if budget < 0:

@@ -12,7 +12,6 @@ budget the comparison hinges on.
 from __future__ import annotations
 
 import time
-from typing import Optional
 
 import numpy as np
 
@@ -98,8 +97,8 @@ class CopilotSolver(Solver):
     def solve(
         self,
         spec: DesignSpec,
-        budget: Optional[int] = None,
-        rng: Optional[np.random.Generator] = None,
+        budget: int | None = None,
+        rng: np.random.Generator | None = None,
     ) -> SolveResult:
         del rng  # The flow is deterministic: greedy decoding, no sampling.
         from ..service.requests import SizingRequest

@@ -11,7 +11,6 @@ small for rand/1 mutation (fewer than four members).
 from __future__ import annotations
 
 import time
-from typing import Optional
 
 import numpy as np
 
@@ -52,8 +51,8 @@ class DifferentialEvolutionSolver(SearchSolver):
     def solve(
         self,
         spec: DesignSpec,
-        budget: Optional[int] = None,
-        rng: Optional[np.random.Generator] = None,
+        budget: int | None = None,
+        rng: np.random.Generator | None = None,
     ) -> SolveResult:
         budget = self._budget(budget)
         rng = self._rng(rng)

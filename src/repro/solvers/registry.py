@@ -20,7 +20,8 @@ registering one class -- no dispatch table to edit::
 
 from __future__ import annotations
 
-from typing import Callable, Optional, TypeVar
+from collections.abc import Callable
+from typing import TypeVar
 
 from ..topologies import OTATopology
 from .base import Solver
@@ -42,7 +43,7 @@ F = TypeVar("F", bound=Callable[..., Solver])
 _REGISTRY: dict[str, Callable[..., Solver]] = {}
 
 
-def register(factory: Optional[F] = None, *, name: Optional[str] = None, replace: bool = False):
+def register(factory: F | None = None, *, name: str | None = None, replace: bool = False):
     """Register a solver factory (class or callable) under its name.
 
     Usable directly (``register(ParticleSwarmSolver)``), as a decorator

@@ -10,7 +10,6 @@ particle satisfies the specification.
 from __future__ import annotations
 
 import time
-from typing import Optional
 
 import numpy as np
 
@@ -53,8 +52,8 @@ class ParticleSwarmSolver(SearchSolver):
     def solve(
         self,
         spec: DesignSpec,
-        budget: Optional[int] = None,
-        rng: Optional[np.random.Generator] = None,
+        budget: int | None = None,
+        rng: np.random.Generator | None = None,
     ) -> SolveResult:
         budget = self._budget(budget)
         rng = self._rng(rng)

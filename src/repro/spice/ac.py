@@ -18,7 +18,6 @@ grounds).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -86,7 +85,7 @@ class _ACSystem:
         self._index = {name: i for i, name in enumerate(self.node_names)}
         self._conductance, self._capacitance, self._rhs = self._assemble()
 
-    def _node(self, name: str) -> Optional[int]:
+    def _node(self, name: str) -> int | None:
         return None if name == GROUND else self._index[name]
 
     def _assemble(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -95,7 +94,7 @@ class _ACSystem:
         c_matrix = np.zeros((self.size, self.size))
         rhs = np.zeros(self.size, dtype=complex)
 
-        def stamp_admittance(matrix: np.ndarray, i1: Optional[int], i2: Optional[int], value: float) -> None:
+        def stamp_admittance(matrix: np.ndarray, i1: int | None, i2: int | None, value: float) -> None:
             if i1 is not None:
                 matrix[i1, i1] += value
                 if i2 is not None:
@@ -107,10 +106,10 @@ class _ACSystem:
 
         def stamp_vccs(
             matrix: np.ndarray,
-            out_pos: Optional[int],
-            out_neg: Optional[int],
-            ctrl_pos: Optional[int],
-            ctrl_neg: Optional[int],
+            out_pos: int | None,
+            out_neg: int | None,
+            ctrl_pos: int | None,
+            ctrl_neg: int | None,
             gm: float,
         ) -> None:
             # Current gm*(v_ctrl_pos - v_ctrl_neg) flows out_pos -> out_neg.
@@ -174,7 +173,7 @@ class _ACSystem:
 
 def run_ac(
     solution: DCSolution,
-    frequencies: Optional[np.ndarray] = None,
+    frequencies: np.ndarray | None = None,
 ) -> ACResult:
     """Run a small-signal AC analysis at the given DC operating point.
 
@@ -199,7 +198,7 @@ _AC_CHUNK = 64
 
 def run_ac_many(
     solutions: list,
-    frequencies: Optional[np.ndarray] = None,
+    frequencies: np.ndarray | None = None,
 ) -> list:
     """Run the AC analysis of many operating points in one stacked solve.
 

@@ -23,7 +23,7 @@ These are the same continuation tricks production SPICE engines use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -84,7 +84,7 @@ class _MNASystem:
         self._index = {name: i for i, name in enumerate(self.node_names)}
 
     # ------------------------------------------------------------------
-    def node_index(self, name: str) -> Optional[int]:
+    def node_index(self, name: str) -> int | None:
         """Index of a node in the unknown vector; ``None`` for ground."""
         if name == GROUND:
             return None
@@ -123,7 +123,7 @@ class _MNASystem:
         f = np.zeros(self.size)
         jac = np.zeros((self.size, self.size))
 
-        def volt(idx: Optional[int]) -> float:
+        def volt(idx: int | None) -> float:
             return 0.0 if idx is None else float(x[idx])
 
         # gmin shunts keep floating subcircuits well-conditioned.
@@ -251,7 +251,7 @@ def _default_guess(system: _MNASystem) -> np.ndarray:
 
 def solve_dc(
     circuit: Circuit,
-    initial_guess: Optional[dict[str, float]] = None,
+    initial_guess: dict[str, float] | None = None,
     max_iterations: int = 150,
 ) -> DCSolution:
     """Solve the DC operating point of ``circuit``.
@@ -277,7 +277,7 @@ def solve_dc(
 
 
 def _initial_point(
-    system: _MNASystem, initial_guess: Optional[dict[str, float]]
+    system: _MNASystem, initial_guess: dict[str, float] | None
 ) -> np.ndarray:
     """Starting vector: heuristic guess overridden by the caller's hints."""
     x0 = _default_guess(system)
@@ -339,7 +339,7 @@ def _solve_with_continuation(
 
 def solve_dc_many(
     circuits: list,
-    initial_guess: Union[dict[str, float], Sequence[Optional[dict[str, float]]], None] = None,
+    initial_guess: dict[str, float] | Sequence[dict[str, float] | None] | None = None,
     max_iterations: int = 150,
 ) -> list:
     """Solve the DC operating point of many structurally similar circuits.
@@ -378,7 +378,7 @@ def solve_dc_many(
     for indices in groups.values():
         batch = [circuits[i] for i in indices]
         batch_guesses = [guesses[i] for i in indices]
-        for i, outcome in zip(indices, _solve_batch(batch, batch_guesses, max_iterations)):
+        for i, outcome in zip(indices, _solve_batch(batch, batch_guesses, max_iterations), strict=True):
             results[i] = outcome
     return results
 
@@ -438,7 +438,7 @@ class _ArrayTech:
         self.lambda_l = lambda_l
 
     @classmethod
-    def from_techs(cls, techs) -> "_ArrayTech":
+    def from_techs(cls, techs) -> _ArrayTech:
         return cls(
             vt0=np.array([t.vt0 for t in techs]),
             n_slope=np.array([t.n_slope for t in techs]),
@@ -447,7 +447,7 @@ class _ArrayTech:
             lambda_l=np.array([t.lambda_l for t in techs]),
         )
 
-    def take(self, indices: np.ndarray) -> "_ArrayTech":
+    def take(self, indices: np.ndarray) -> _ArrayTech:
         return _ArrayTech(
             self.vt0[indices],
             self.n_slope[indices],
@@ -498,7 +498,7 @@ class _BatchStamps:
             else:
                 self.vsource_dc.append(np.array(values))
 
-    def take(self, indices: np.ndarray) -> "_BatchStamps":
+    def take(self, indices: np.ndarray) -> _BatchStamps:
         subset = _BatchStamps.__new__(_BatchStamps)
         subset.slot_widths = [w[indices] for w in self.slot_widths]
         subset.slot_polarity = self.slot_polarity
@@ -616,7 +616,7 @@ def _residual_and_jacobian_batch(
     f = np.zeros((batch, system.size))
     jac = np.zeros((batch, system.size, system.size))
 
-    def volt(idx: Optional[int]):
+    def volt(idx: int | None):
         return 0.0 if idx is None else x[:, idx]
 
     # gmin shunts keep floating subcircuits well-conditioned.

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Optional
 
 import numpy as np
 
@@ -75,9 +74,9 @@ class PerformanceMetrics:
     gain_db: float
     f3db_hz: float
     ugf_hz: float
-    slew_v_per_s: Optional[float] = None
-    settling_time_s: Optional[float] = None
-    overshoot_frac: Optional[float] = None
+    slew_v_per_s: float | None = None
+    settling_time_s: float | None = None
+    overshoot_frac: float | None = None
 
     def as_array(self) -> np.ndarray:
         """The AC triple as an array (shape pinned by the parity tests;
@@ -150,7 +149,7 @@ def extract_metrics(result: ACResult, output_node: str) -> PerformanceMetrics:
 def extract_tran_metrics(
     tran,
     output_node: str,
-    base: Optional[PerformanceMetrics] = None,
+    base: PerformanceMetrics | None = None,
     settle_tol: float = 0.02,
 ) -> PerformanceMetrics:
     """Step-response metrics of ``output_node`` from a transient result.

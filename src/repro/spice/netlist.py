@@ -17,7 +17,6 @@ sources.  Node ``"0"`` (alias ``"gnd"``) is ground.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from ..devices import MOSFET, Corner, TechParams
 
@@ -117,7 +116,7 @@ class Circuit:
     #: PVT corner this netlist was built at (``None`` = nominal); metadata
     #: only — the elements already carry the corner-skewed values.  Set by
     #: ``OTATopology.build_circuit`` and surfaced in the SPICE export header.
-    corner: Optional[Corner] = None
+    corner: Corner | None = None
 
     # ------------------------------------------------------------------
     # Element construction helpers
@@ -243,7 +242,7 @@ class Circuit:
                     )
                 device.width = new_width
 
-    def copy(self) -> "Circuit":
+    def copy(self) -> Circuit:
         """Deep-enough copy: shared immutable tech params, fresh elements."""
         dup = Circuit(name=self.name, corner=self.corner)
         for m in self.mosfets:

@@ -12,7 +12,7 @@ Two sweep styles from the paper's flow live here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -52,8 +52,8 @@ def characterize_device(
     tech: TechParams,
     reference_width: float = 700e-9,
     length: float = 180e-9,
-    vgs_grid: Optional[Sequence[float]] = None,
-    vds_grid: Optional[Sequence[float]] = None,
+    vgs_grid: Sequence[float] | None = None,
+    vds_grid: Sequence[float] | None = None,
     use_testbench: bool = True,
 ) -> CharacterizationResult:
     """Run the nested DC sweep of Fig. 5 and collect per-unit-width tables.
@@ -160,7 +160,7 @@ def icmr_sweep(
     circuit: Circuit,
     vcm_sources: Sequence[str],
     vcm_values: Iterable[float],
-    monitored_devices: Optional[Sequence[str]] = None,
+    monitored_devices: Sequence[str] | None = None,
 ) -> ICMRResult:
     """Sweep the common-mode input voltage and record device saturation.
 
@@ -173,7 +173,7 @@ def icmr_sweep(
     all_saturated = np.zeros(len(values), dtype=bool)
     converged = np.zeros(len(values), dtype=bool)
     work = circuit.copy()
-    guess: Optional[dict[str, float]] = None
+    guess: dict[str, float] | None = None
     for k, vcm in enumerate(values):
         for source_name in vcm_sources:
             work.vsource(source_name).dc = float(vcm)
@@ -197,7 +197,7 @@ def dc_transfer_sweep(
     sweep_values = np.asarray(list(values), dtype=float)
     observed = np.full(len(sweep_values), np.nan)
     work = circuit.copy()
-    guess: Optional[dict[str, float]] = None
+    guess: dict[str, float] | None = None
     for k, value in enumerate(sweep_values):
         work.vsource(source_name).dc = float(value)
         try:

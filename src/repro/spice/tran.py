@@ -40,7 +40,6 @@ aborting the batch.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -156,7 +155,7 @@ def _cap_elements_batch(system: _MNASystem, solutions: list) -> list:
     return elements
 
 
-def _dv(x: np.ndarray, i1: Optional[int], i2: Optional[int]):
+def _dv(x: np.ndarray, i1: int | None, i2: int | None):
     """Branch voltage ``v(i1) - v(i2)`` with ground as implicit zero.
 
     Works on a flat unknown vector (scalar path) and on a ``(P, size)``
@@ -390,7 +389,7 @@ def run_tran_many(
             step_amplitude,
             max_newton_iterations,
         )
-        for i, outcome in zip(indices, outcomes):
+        for i, outcome in zip(indices, outcomes, strict=True):
             results[i] = outcome
     return results
 

@@ -19,7 +19,6 @@ gate edge, and the ``-gm`` self-loop at node 1.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..devices import VDD, CornerLike, NMOS_65NM, resolve_corner
 from ..spice import Circuit
@@ -33,7 +32,7 @@ def build_active_inductor(
     coupling_capacitance: float = 100e-15,
     gate_resistance: float = 10e3,
     bias_current: float = 50e-6,
-    vdd: Optional[float] = None,
+    vdd: float | None = None,
     corner: CornerLike = None,
 ) -> Circuit:
     """Build the Fig. 2(a) active-inductor circuit.

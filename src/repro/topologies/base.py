@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -95,7 +95,7 @@ class DeviceGroup:
     devices: tuple[str, ...]
     role: str
     tech: TechParams
-    region: Optional[str] = None
+    region: str | None = None
     width_bounds: tuple[float, float] = (0.7e-6, 50e-6)
 
     def __post_init__(self) -> None:
@@ -120,7 +120,7 @@ class MeasurementResult:
     dc: DCSolution
     metrics: PerformanceMetrics
     device_params: dict[str, dict[str, float]]
-    tran: Optional[TranResult] = None
+    tran: TranResult | None = None
 
     def all_saturated(self) -> bool:
         return all(op.saturated for op in self.dc.operating_points.values())
@@ -137,8 +137,8 @@ class MeasureOutcome:
     """
 
     widths: dict[str, float]
-    result: Optional[MeasurementResult] = None
-    error: Optional[str] = None
+    result: MeasurementResult | None = None
+    error: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -173,7 +173,7 @@ class CornerSweep:
 
     def outcome(self, corner_name: str) -> MeasureOutcome:
         """The outcome at the named corner."""
-        for corner, outcome in zip(self.corners, self.outcomes):
+        for corner, outcome in zip(self.corners, self.outcomes, strict=True):
             if corner.name == corner_name:
                 return outcome
         raise KeyError(f"no corner named {corner_name!r} in this sweep")
@@ -182,7 +182,7 @@ class CornerSweep:
         """Per-corner metrics of the converged corners, keyed by name."""
         return {
             corner.name: outcome.result.metrics
-            for corner, outcome in zip(self.corners, self.outcomes)
+            for corner, outcome in zip(self.corners, self.outcomes, strict=True)
             if outcome.ok
         }
 
@@ -215,9 +215,9 @@ def binding_corner(
     """
     if not metrics_by_corner:
         raise ValueError("binding_corner needs at least one corner's metrics")
-    worst_name: Optional[str] = None
-    worst_metrics: Optional[PerformanceMetrics] = None
-    worst_key: Optional[tuple[float, float]] = None
+    worst_name: str | None = None
+    worst_metrics: PerformanceMetrics | None = None
+    worst_key: tuple[float, float] | None = None
     for name, metrics in metrics_by_corner.items():
         key = (
             float(sum(spec.miss_fractions(metrics).values())),
@@ -305,8 +305,8 @@ class OTATopology(ABC):
     strong_ic_min: float = 5.0
 
     def __init__(self) -> None:
-        self._symbolic_cache: Optional[DPSFG] = None
-        self._inventory_cache: Optional[PathInventory] = None
+        self._symbolic_cache: DPSFG | None = None
+        self._inventory_cache: PathInventory | None = None
 
     # ------------------------------------------------------------------
     # Subclass interface
@@ -317,7 +317,7 @@ class OTATopology(ABC):
         """Matched device groups, in schematic order."""
 
     @abstractmethod
-    def build(self, widths: Mapping[str, float], vcm: Optional[float] = None) -> Circuit:
+    def build(self, widths: Mapping[str, float], vcm: float | None = None) -> Circuit:
         """Construct the sized netlist from per-group widths."""
 
     def initial_guess(self) -> dict[str, float]:
@@ -383,7 +383,7 @@ class OTATopology(ABC):
     def build_circuit(
         self,
         widths: Mapping[str, float],
-        vcm: Optional[float] = None,
+        vcm: float | None = None,
         corner: CornerLike = None,
     ) -> Circuit:
         """Construct the sized netlist at a PVT corner.
@@ -425,10 +425,10 @@ class OTATopology(ABC):
     def measure(
         self,
         widths: Mapping[str, float],
-        vcm: Optional[float] = None,
-        frequencies: Optional[np.ndarray] = None,
+        vcm: float | None = None,
+        frequencies: np.ndarray | None = None,
         corner: CornerLike = None,
-        analyses: Optional[Sequence[str]] = None,
+        analyses: Sequence[str] | None = None,
     ) -> MeasurementResult:
         """Build, solve DC, run AC and extract the paper's three metrics.
 
@@ -471,7 +471,7 @@ class OTATopology(ABC):
         )
 
     def _package_measurement(
-        self, circuit: Circuit, dc: DCSolution, ac, tran: Optional[TranResult] = None
+        self, circuit: Circuit, dc: DCSolution, ac, tran: TranResult | None = None
     ) -> MeasurementResult:
         """Metrics + per-device small-signal bundle of one solved design."""
         metrics = extract_metrics(ac, self.output_node)
@@ -496,11 +496,11 @@ class OTATopology(ABC):
     def measure_many(
         self,
         widths_list: list,
-        vcm: Optional[float] = None,
-        frequencies: Optional[np.ndarray] = None,
+        vcm: float | None = None,
+        frequencies: np.ndarray | None = None,
         corner: CornerLike = None,
-        corners: Optional[Sequence[CornerLike]] = None,
-        analyses: Optional[Sequence[str]] = None,
+        corners: Sequence[CornerLike] | None = None,
+        analyses: Sequence[str] | None = None,
     ) -> list:
         """Measure a whole population of width vectors in one bulk pass.
 
@@ -558,7 +558,7 @@ class OTATopology(ABC):
 
         solutions = solve_dc_many(circuits, initial_guess=self.initial_guess_for(corner))
         solved: list[tuple[int, Circuit, DCSolution]] = []
-        for index, circuit, solution in zip(buildable, circuits, solutions):
+        for index, circuit, solution in zip(buildable, circuits, solutions, strict=True):
             if isinstance(solution, ConvergenceError):
                 outcomes[index].error = str(solution)
             else:
@@ -566,7 +566,7 @@ class OTATopology(ABC):
 
         ac_results = run_ac_many([dc for _, _, dc in solved], frequencies=frequencies)
         trans = self._tran_slots([dc for _, _, dc in solved], resolved_analyses)
-        for (index, circuit, dc), ac, tran in zip(solved, ac_results, trans):
+        for (index, circuit, dc), ac, tran in zip(solved, ac_results, trans, strict=True):
             if isinstance(tran, ConvergenceError):
                 outcomes[index].error = str(tran)
             else:
@@ -584,8 +584,8 @@ class OTATopology(ABC):
         self,
         widths_list: list,
         corners: tuple[Corner, ...],
-        vcm: Optional[float],
-        frequencies: Optional[np.ndarray],
+        vcm: float | None,
+        frequencies: np.ndarray | None,
         analyses: tuple[str, ...] = DEFAULT_ANALYSES,
     ) -> list[CornerSweep]:
         """Bulk-evaluate population x corners; see :meth:`measure_many`.
@@ -616,7 +616,7 @@ class OTATopology(ABC):
 
         solutions = solve_dc_many(circuits, initial_guess=guesses)
         solved: list[tuple[int, int, Circuit, DCSolution]] = []
-        for (i, j), circuit, solution in zip(pair_slots, circuits, solutions):
+        for (i, j), circuit, solution in zip(pair_slots, circuits, solutions, strict=True):
             if isinstance(solution, ConvergenceError):
                 rows[i][j].error = str(solution)
             else:
@@ -624,14 +624,14 @@ class OTATopology(ABC):
 
         ac_results = run_ac_many([dc for _, _, _, dc in solved], frequencies=frequencies)
         trans = self._tran_slots([dc for _, _, _, dc in solved], analyses)
-        for (i, j, circuit, dc), ac, tran in zip(solved, ac_results, trans):
+        for (i, j, circuit, dc), ac, tran in zip(solved, ac_results, trans, strict=True):
             if isinstance(tran, ConvergenceError):
                 rows[i][j].error = str(tran)
             else:
                 rows[i][j].result = self._package_measurement(circuit, dc, ac, tran=tran)
         return [
             CornerSweep(widths=dict(widths), corners=corners, outcomes=tuple(row))
-            for widths, row in zip(widths_list, rows)
+            for widths, row in zip(widths_list, rows, strict=True)
         ]
 
     def regions_ok(self, dc: DCSolution) -> bool:

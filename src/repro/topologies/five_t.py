@@ -14,7 +14,7 @@ Nodes: ``d1`` (M1/M3 drains), ``out`` (M2/M4 drains, loaded by CL),
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from collections.abc import Mapping
 
 from ..devices import NMOS_65NM, PMOS_65NM
 from ..spice import Circuit
@@ -63,7 +63,7 @@ class FiveTransistorOTA(OTATopology):
     def groups(self) -> tuple[DeviceGroup, ...]:
         return self._GROUPS
 
-    def build(self, widths: Mapping[str, float], vcm: Optional[float] = None) -> Circuit:
+    def build(self, widths: Mapping[str, float], vcm: float | None = None) -> Circuit:
         per_device = self.expand_widths(widths)
         vcm_value = self.vcm if vcm is None else vcm
         circuit = Circuit(name=self.name)

@@ -21,7 +21,8 @@ or, for an arbitrary zero-argument factory under an explicit name::
 
 from __future__ import annotations
 
-from typing import Callable, Optional, TypeVar
+from collections.abc import Callable
+from typing import TypeVar
 
 from .base import OTATopology
 
@@ -33,7 +34,7 @@ F = TypeVar("F", bound=Callable[[], OTATopology])
 _REGISTRY: dict[str, Callable[[], OTATopology]] = {}
 
 
-def register(factory: Optional[F] = None, *, name: Optional[str] = None, replace: bool = False):
+def register(factory: F | None = None, *, name: str | None = None, replace: bool = False):
     """Register a topology factory (class or callable) under its name.
 
     Usable directly (``register(FiveTransistorOTA)``), as a decorator

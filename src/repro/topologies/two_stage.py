@@ -19,7 +19,7 @@ OTA's bandwidth would sit within an order of magnitude of the 5T-OTA's.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from collections.abc import Mapping
 
 from ..devices import NMOS_65NM, PMOS_65NM
 from ..spice import Circuit
@@ -92,7 +92,7 @@ class TwoStageOTA(OTATopology):
     def groups(self) -> tuple[DeviceGroup, ...]:
         return self._GROUPS
 
-    def build(self, widths: Mapping[str, float], vcm: Optional[float] = None) -> Circuit:
+    def build(self, widths: Mapping[str, float], vcm: float | None = None) -> Circuit:
         per_device = self.expand_widths(widths)
         vcm_value = self.vcm if vcm is None else vcm
         circuit = Circuit(name=self.name)

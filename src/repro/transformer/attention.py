@@ -12,7 +12,6 @@ self-attention, masked decoder self-attention, and decoder cross-attention
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -37,7 +36,7 @@ class MultiHeadAttention(Module):
         self.w_v = self.register("w_v", Linear(d_model, d_model, rng))
         self.w_o = self.register("w_o", Linear(d_model, d_model, rng))
         self.dropout = self.register("dropout", Dropout(dropout, rng))
-        self._cache: Optional[tuple] = None
+        self._cache: tuple | None = None
 
     # ------------------------------------------------------------------
     def _split_heads(self, x: np.ndarray) -> np.ndarray:
@@ -55,7 +54,7 @@ class MultiHeadAttention(Module):
         self,
         query_input: np.ndarray,
         kv_input: np.ndarray,
-        mask: Optional[np.ndarray],
+        mask: np.ndarray | None,
         training: bool,
     ) -> np.ndarray:
         """Attend queries (from ``query_input``) over keys/values (from

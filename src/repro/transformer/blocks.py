@@ -10,7 +10,6 @@ as in the original architecture.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -31,7 +30,7 @@ class EncoderBlock(Module):
         self.norm2 = self.register("norm2", LayerNorm(d_model))
         self.residual_dropout = self.register("residual_dropout", Dropout(dropout, rng))
 
-    def forward(self, x: np.ndarray, mask: Optional[np.ndarray], training: bool) -> np.ndarray:
+    def forward(self, x: np.ndarray, mask: np.ndarray | None, training: bool) -> np.ndarray:
         attended = self.self_attn.forward(x, x, mask, training)
         x = self.norm1.forward(x + self.residual_dropout.forward(attended, training))
         fed = self.ffn.forward(x, training)
@@ -65,8 +64,8 @@ class DecoderBlock(Module):
         self,
         x: np.ndarray,
         memory: np.ndarray,
-        self_mask: Optional[np.ndarray],
-        cross_mask: Optional[np.ndarray],
+        self_mask: np.ndarray | None,
+        cross_mask: np.ndarray | None,
         training: bool,
     ) -> np.ndarray:
         attended = self.self_attn.forward(x, x, self_mask, training)

@@ -9,7 +9,7 @@ optimizer can iterate them by name.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -51,7 +51,7 @@ class Module:
     def __init__(self) -> None:
         self.params: dict[str, np.ndarray] = {}
         self.grads: dict[str, np.ndarray] = {}
-        self._children: dict[str, "Module"] = {}
+        self._children: dict[str, Module] = {}
 
     # ------------------------------------------------------------------
     def add_param(self, name: str, value: np.ndarray) -> np.ndarray:
@@ -60,7 +60,7 @@ class Module:
         self.grads[name] = np.zeros_like(value)
         return value
 
-    def register(self, name: str, module: "Module") -> "Module":
+    def register(self, name: str, module: Module) -> Module:
         self._children[name] = module
         return module
 
@@ -108,10 +108,10 @@ class Linear(Module):
         super().__init__()
         scale = np.sqrt(2.0 / (d_in + d_out))  # Glorot
         self.weight = self.add_param("weight", rng.normal(0.0, scale, size=(d_in, d_out)))
-        self.bias: Optional[np.ndarray] = (
+        self.bias: np.ndarray | None = (
             self.add_param("bias", np.zeros(d_out)) if bias else None
         )
-        self._x: Optional[np.ndarray] = None
+        self._x: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._x = x
@@ -138,7 +138,7 @@ class Embedding(Module):
         self.table = self.add_param(
             "table", rng.normal(0.0, 1.0 / np.sqrt(d_model), size=(vocab_size, d_model))
         )
-        self._ids: Optional[np.ndarray] = None
+        self._ids: np.ndarray | None = None
 
     def forward(self, ids: np.ndarray) -> np.ndarray:
         self._ids = ids
@@ -157,7 +157,7 @@ class LayerNorm(Module):
         self.gamma = self.add_param("gamma", np.ones(d_model))
         self.beta = self.add_param("beta", np.zeros(d_model))
         self.eps = eps
-        self._cache: Optional[tuple[np.ndarray, np.ndarray]] = None
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         mean = x.mean(axis=-1, keepdims=True)
@@ -191,7 +191,7 @@ class Dropout(Module):
             raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
         self.rate = rate
         self.rng = rng
-        self._mask: Optional[np.ndarray] = None
+        self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
         if not training or self.rate == 0.0:
@@ -217,7 +217,7 @@ class FeedForward(Module):
         self.linear2 = self.register("linear2", Linear(d_ff, d_model, rng))
         self.dropout1 = self.register("dropout1", Dropout(dropout, rng))
         self.dropout2 = self.register("dropout2", Dropout(dropout, rng))
-        self._hidden_pre: Optional[np.ndarray] = None
+        self._hidden_pre: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
         hidden_pre = self.linear1.forward(x)

@@ -9,7 +9,6 @@ accurately.  Padding positions are masked out of the loss entirely.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -51,7 +50,7 @@ class LossResult:
 class WeightedCrossEntropy:
     """Softmax cross-entropy with per-class weights and pad masking."""
 
-    def __init__(self, class_weights: Optional[np.ndarray] = None, pad_id: int = 0):
+    def __init__(self, class_weights: np.ndarray | None = None, pad_id: int = 0):
         self.class_weights = class_weights
         self.pad_id = pad_id
 

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, asdict
 from pathlib import Path
-from typing import Optional, Union
 
 import numpy as np
 
@@ -93,7 +92,7 @@ class Transformer(Module):
         self.embed_dropout_tgt = self.register("embed_dropout_tgt", Dropout(c.dropout, rng))
         self.positional = sinusoidal_positional_encoding(c.max_len, c.d_model).astype(c.dtype)
         self._scale = float(np.sqrt(c.d_model))
-        self._cache: Optional[dict] = None
+        self._cache: dict | None = None
 
     # ------------------------------------------------------------------
     # Forward / backward
@@ -139,7 +138,7 @@ class Transformer(Module):
         """Backpropagate from the logits gradient; accumulates into grads."""
         assert self._cache is not None, "backward before forward"
         dy = self.out_proj.backward(dlogits)
-        dmemory_total: Optional[np.ndarray] = None
+        dmemory_total: np.ndarray | None = None
         for block in reversed(self.decoder_blocks):
             dy, dmemory = block.backward(dy)
             dmemory_total = dmemory if dmemory_total is None else dmemory_total + dmemory
@@ -161,7 +160,7 @@ class Transformer(Module):
         src_pad: np.ndarray,
         bos_id: int,
         eos_id: int,
-        max_len: Optional[int] = None,
+        max_len: int | None = None,
     ) -> list[list[int]]:
         """Greedy autoregressive decoding with per-layer KV caching.
 
@@ -206,7 +205,7 @@ class Transformer(Module):
         for step in range(limit - 1):
             last = generated[:, -1:]
             y = self.tgt_embed.forward(last) * self._scale + self.positional[step : step + 1]
-            for block, cache in zip(self.decoder_blocks, caches):
+            for block, cache in zip(self.decoder_blocks, caches, strict=True):
                 self_attn = block.self_attn
                 q = self_attn._split_heads(self_attn.w_q.forward(y))
                 cache["self_k"][:, :, step : step + 1] = self_attn._split_heads(
@@ -248,7 +247,7 @@ class Transformer(Module):
         src_pad: np.ndarray,
         bos_id: int,
         eos_id: int,
-        max_len: Optional[int] = None,
+        max_len: int | None = None,
     ) -> list[list[int]]:
         """Reference greedy decoder re-running the full prefix each step."""
         limit = min(max_len or self.config.max_len, self.config.max_len)
@@ -286,7 +285,7 @@ class Transformer(Module):
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: Union[str, Path]) -> None:
+    def save(self, path: str | Path) -> None:
         """Save config + parameters to an ``.npz`` checkpoint."""
         payload: dict[str, np.ndarray] = {
             f"param:{name}": value for name, value in self.named_parameters()
@@ -296,7 +295,7 @@ class Transformer(Module):
         np.savez(path, **payload)
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "Transformer":
+    def load(cls, path: str | Path) -> Transformer:
         """Load a checkpoint saved by :meth:`save`."""
         data = np.load(path)
         config_kwargs = {}

@@ -11,7 +11,6 @@ We implement Adam with optional gradient clipping and two schedules:
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 import numpy as np
 
@@ -29,7 +28,7 @@ class Adam:
         lr: float = 1e-4,
         betas: tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
-        grad_clip: Optional[float] = 1.0,
+        grad_clip: float | None = 1.0,
     ):
         self.model = model
         self.lr = lr

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Optional, Sequence, Union
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -59,7 +59,7 @@ def make_batches(
     pad_id: int,
     bos_id: int,
     eos_id: int,
-    rng: Optional[np.random.Generator] = None,
+    rng: np.random.Generator | None = None,
 ) -> list[Batch]:
     """Pack pairs into padded batches, bucketed by length.
 
@@ -163,8 +163,8 @@ class Trainer:
         train_pairs: Sequence[SequencePair],
         val_pairs: Sequence[SequencePair],
         epochs: int = 40,
-        callback: Optional[Callable[[int, TrainingHistory], None]] = None,
-        checkpoint_path: Optional[Union[str, Path]] = None,
+        callback: Callable[[int, TrainingHistory], None] | None = None,
+        checkpoint_path: str | Path | None = None,
     ) -> TrainingHistory:
         """Full training run; keeps the best-validation checkpoint if asked."""
         best_val = float("inf")
@@ -184,7 +184,7 @@ class Trainer:
         return self.history
 
     # ------------------------------------------------------------------
-    def predict(self, sources: Sequence[Sequence[int]], max_len: Optional[int] = None) -> list[list[int]]:
+    def predict(self, sources: Sequence[Sequence[int]], max_len: int | None = None) -> list[list[int]]:
         """Greedy decode a batch of source id sequences."""
         src, src_pad = _pad(list(sources), self.pad_id)
         return self.model.greedy_decode(src, src_pad, self.bos_id, self.eos_id, max_len=max_len)

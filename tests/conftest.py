@@ -153,7 +153,7 @@ def assert_outcomes_identical(reference, outcome) -> None:
 def assert_sweeps_identical(reference, sweep) -> None:
     """One aligned ``CornerSweep`` pair, outcome by outcome."""
     assert reference.corners == sweep.corners
-    for ref_outcome, outcome in zip(reference.outcomes, sweep.outcomes):
+    for ref_outcome, outcome in zip(reference.outcomes, sweep.outcomes, strict=True):
         assert_outcomes_identical(ref_outcome, outcome)
 
 
@@ -225,7 +225,7 @@ def oracle_setup():
 def assert_responses_identical(sequential, batched) -> None:
     """Field-by-field bit-identity of two ``SizingResponse`` lists."""
     assert len(sequential) == len(batched)
-    for ref, got in zip(sequential, batched):
+    for ref, got in zip(sequential, batched, strict=True):
         assert ref.request_id == got.request_id
         assert ref.success == got.success
         assert ref.widths == got.widths

@@ -1,0 +1,514 @@
+"""Tests for :mod:`repro.checks` — the repo's AST invariant linter.
+
+Each rule is exercised four ways: a positive fixture reproducing the
+historical bug shape the rule encodes, a clean fixture, a suppressed hit
+(``# checks: ignore[...]``), and an unused suppression.  A meta-test
+pins the live ``src/repro`` tree clean under every default rule, which
+is the same gate CI enforces.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.checks import DEFAULT_RULES, run_checks
+from repro.checks.cli import main as checks_main
+from repro.checks.core import UNUSED_SUPPRESSION
+from repro.checks.json_safety import JsonSafetyRule
+from repro.checks.lock_discipline import LockDisciplineRule
+from repro.checks.registry import rule_by_id
+from repro.checks.rng import RngDeterminismRule
+from repro.checks.wire_format import WireFormatRule
+
+
+def check_source(tmp_path: Path, source: str, rules, name: str = "fixture.py"):
+    """Write one fixture module and run ``rules`` over it."""
+    target = tmp_path / name
+    target.write_text(textwrap.dedent(source))
+    report = run_checks([target], list(rules), display_root=tmp_path)
+    return report.findings
+
+
+# ----------------------------------------------------------------------
+# Framework: suppressions, unused suppressions, report shape, CLI
+# ----------------------------------------------------------------------
+class TestFramework:
+    def test_rule_ids_registered(self):
+        assert [rule.id for rule in DEFAULT_RULES] == [
+            "lock-discipline",
+            "wire-format-drift",
+            "rng-determinism",
+            "json-safety",
+        ]
+        assert rule_by_id("json-safety").id == "json-safety"
+
+    def test_suppression_silences_finding(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import json
+
+            def emit(payload):
+                return json.dumps(payload)  # checks: ignore[json-safety]
+            """,
+            [JsonSafetyRule()],
+        )
+        assert findings == []
+
+    def test_suppression_is_rule_specific(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import json
+
+            def emit(payload):
+                return json.dumps(payload)  # checks: ignore[lock-discipline]
+            """,
+            [JsonSafetyRule()],
+        )
+        rules = {finding.rule for finding in findings}
+        # The real finding survives AND the mismatched ignore is stale.
+        assert rules == {"json-safety", UNUSED_SUPPRESSION}
+
+    def test_unused_suppression_reported(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            def fine():
+                return 1  # checks: ignore[json-safety]
+            """,
+            [JsonSafetyRule()],
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == UNUSED_SUPPRESSION
+        assert "json-safety" in findings[0].message
+
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        findings = check_source(tmp_path, "def broken(:\n", DEFAULT_RULES)
+        assert [finding.rule for finding in findings] == ["syntax-error"]
+
+    def test_report_dict_shape(self, tmp_path):
+        target = tmp_path / "fixture.py"
+        target.write_text("import json\njson.dumps({})\n")
+        report = run_checks([target], [JsonSafetyRule()], display_root=tmp_path)
+        payload = report.as_dict()
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        assert payload["counts"] == {"json-safety": 1}
+        assert payload["findings"][0]["path"] == "fixture.py"
+        # The report itself must round-trip as strict JSON.
+        assert json.loads(json.dumps(payload, allow_nan=False)) == payload
+
+    def test_cli_exit_codes_and_report_file(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import json\njson.dumps({})\n")
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        out = tmp_path / "report.json"
+
+        assert checks_main([str(clean)]) == 0
+        assert checks_main([str(dirty), "--output", str(out)]) == 1
+        assert checks_main([str(tmp_path / "missing.py")]) == 2
+
+        payload = json.loads(out.read_text())
+        assert payload["counts"] == {"json-safety": 1}
+        capsys.readouterr()
+
+    def test_cli_list_rules(self, capsys):
+        assert checks_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in DEFAULT_RULES:
+            assert rule.id in out
+
+
+# ----------------------------------------------------------------------
+# lock-discipline (the PR 6 EngineStats/ResultCache retrofit)
+# ----------------------------------------------------------------------
+class TestLockDiscipline:
+    RULE = [LockDisciplineRule()]
+
+    def test_unlocked_stats_write_flagged(self, tmp_path):
+        # Minimal repro of the historical bug: a counter increment on a
+        # thread-shared stats object without the lock.
+        findings = check_source(
+            tmp_path,
+            """
+            import threading
+
+            class EngineStats:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._requests = 0
+
+                def record(self):
+                    self._requests += 1
+            """,
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "lock-discipline"
+        assert "self._requests" in findings[0].message
+
+    def test_locked_write_clean(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import threading
+
+            class EngineStats:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._requests = 0
+
+                def record(self):
+                    with self._lock:
+                        self._requests += 1
+            """,
+            self.RULE,
+        )
+        assert findings == []
+
+    def test_init_is_exempt_and_mutator_calls_flagged(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import threading
+            from collections import OrderedDict
+
+            class ResultCache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._entries = OrderedDict()
+
+                def clear(self):
+                    self._entries.clear()
+            """,
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "self._entries.clear()" in findings[0].message
+
+    def test_nested_function_is_treated_as_unlocked(self, tmp_path):
+        # A closure created under the lock may run after release.
+        findings = check_source(
+            tmp_path,
+            """
+            import threading
+
+            class ServeStats:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def deferred(self):
+                    with self._lock:
+                        def later():
+                            self._count += 1
+                        return later
+            """,
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "self._count" in findings[0].message
+
+    def test_marker_comment_opts_in_new_class(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import threading
+
+            class ShardPool:  # checks: thread-shared[_guard]
+                def __init__(self):
+                    self._guard = threading.Lock()
+                    self._shards = []
+
+                def locked_add(self, shard):
+                    with self._guard:
+                        self._shards.append(shard)
+
+                def unlocked_add(self, shard):
+                    self._shards.append(shard)
+            """,
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "ShardPool.unlocked_add" in findings[0].message
+
+    def test_suppressed_hit_and_unused_suppression(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import threading
+
+            class MicroBatcher:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._queue = []
+
+                def helper(self):
+                    # Caller holds the lock (see test fixture rationale).
+                    self._queue.pop()  # checks: ignore[lock-discipline]
+
+                def fine(self):
+                    with self._lock:
+                        self._queue.append(1)  # checks: ignore[lock-discipline]
+            """,
+            self.RULE,
+        )
+        # The helper's ignore is consumed; the locked line's ignore is stale.
+        assert [finding.rule for finding in findings] == [UNUSED_SUPPRESSION]
+        assert findings[0].line == 15
+
+
+# ----------------------------------------------------------------------
+# wire-format-drift (the PR 4/5 corners/analyses/tran-targets drift)
+# ----------------------------------------------------------------------
+class TestWireFormat:
+    RULE = [WireFormatRule()]
+
+    CLEAN = """
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class SizingRequest:
+        topology: str
+        corners: tuple = ()
+        id: str = "req-0"
+        deadline_ms: float = 0.0
+
+        def to_json(self):
+            return {"topology": self.topology, "corners": list(self.corners), "id": self.id}
+
+        @classmethod
+        def from_json(cls, data):
+            return cls(
+                topology=data["topology"],
+                corners=tuple(data["corners"]),
+                id=data["id"],
+            )
+
+    class ResultCache:
+        @staticmethod
+        def key(request):
+            return (request.topology, request.corners)
+    """
+
+    def test_clean_fixture(self, tmp_path):
+        assert check_source(tmp_path, self.CLEAN, self.RULE) == []
+
+    def test_field_missing_from_cache_key_flagged(self, tmp_path):
+        # Minimal repro of the PR 4 hazard: `corners` serialized but not
+        # part of the cache key -> requests differing only in corners
+        # would collide and transfer each other's verdicts.
+        source = self.CLEAN.replace(
+            "return (request.topology, request.corners)",
+            "return (request.topology,)",
+        )
+        findings = check_source(tmp_path, source, self.RULE)
+        assert len(findings) == 1
+        assert "`corners`" in findings[0].message
+        assert "ResultCache.key" in findings[0].message
+
+    def test_field_missing_from_serializers_flagged(self, tmp_path):
+        source = self.CLEAN.replace(
+            '"corners": list(self.corners), ', ""
+        ).replace("corners=tuple(data[\"corners\"]),\n", "")
+        findings = check_source(tmp_path, source, self.RULE)
+        messages = [finding.message for finding in findings]
+        assert len(findings) == 2
+        assert any("SizingRequest.to_json" in message for message in messages)
+        assert any("SizingRequest.from_json" in message for message in messages)
+
+    def test_reference_via_string_collection_constant(self, tmp_path):
+        # The live tree references transient fields through constants
+        # (`for name in TRAN_METRIC_NAMES`); the rule must see through it.
+        findings = check_source(
+            tmp_path,
+            """
+            from dataclasses import dataclass
+
+            FIELD_NAMES = ("topology", "corners")
+
+            @dataclass(frozen=True)
+            class SizingRequest:
+                topology: str
+                corners: tuple = ()
+
+                def to_json(self):
+                    return {name: getattr(self, name) for name in FIELD_NAMES}
+
+                @classmethod
+                def from_json(cls, data):
+                    return cls(**{name: data[name] for name in FIELD_NAMES})
+
+            class ResultCache:
+                @staticmethod
+                def key(request):
+                    return tuple(getattr(request, name) for name in FIELD_NAMES)
+            """,
+            self.RULE,
+        )
+        assert findings == []
+
+    def test_no_request_class_means_no_findings(self, tmp_path):
+        assert check_source(tmp_path, "x = 1\n", self.RULE) == []
+
+
+# ----------------------------------------------------------------------
+# rng-determinism (explicit-Generator protocol)
+# ----------------------------------------------------------------------
+class TestRngDeterminism:
+    RULE = [RngDeterminismRule()]
+
+    def test_module_level_np_random_call_flagged(self, tmp_path):
+        # Minimal repro of the bug shape: process-global RNG state.
+        findings = check_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def jitter(widths):
+                return widths + np.random.rand(len(widths))
+            """,
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "np.random.rand" in findings[0].message
+
+    def test_stdlib_random_import_flagged(self, tmp_path):
+        findings = check_source(tmp_path, "import random\n", self.RULE)
+        assert len(findings) == 1
+        assert "stdlib `random`" in findings[0].message
+
+    def test_legacy_numpy_random_import_flagged(self, tmp_path):
+        findings = check_source(
+            tmp_path, "from numpy.random import shuffle\n", self.RULE
+        )
+        assert len(findings) == 1
+        assert "numpy.random.shuffle" in findings[0].message
+
+    def test_time_derived_seed_flagged(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import time
+            import numpy as np
+
+            rng = np.random.default_rng(int(time.time()))
+            """,
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "time.time" in findings[0].message
+
+    def test_explicit_generator_protocol_clean(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import zlib
+            import numpy as np
+
+            def make_rng(request_id: str) -> np.random.Generator:
+                return np.random.default_rng(zlib.crc32(request_id.encode()))
+
+            def sample(rng: np.random.Generator) -> float:
+                return float(rng.normal())
+            """,
+            self.RULE,
+        )
+        assert findings == []
+
+    def test_suppressed_hit(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            "import random  # checks: ignore[rng-determinism]\n",
+            self.RULE,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# json-safety (the PR 3 bare-Infinity solver-history bug)
+# ----------------------------------------------------------------------
+class TestJsonSafety:
+    RULE = [JsonSafetyRule()]
+
+    def test_bare_dumps_flagged(self, tmp_path):
+        # Minimal repro of the historical bug: an inf objective reaches
+        # json.dumps, which would emit bare `Infinity` (not JSON).
+        findings = check_source(
+            tmp_path,
+            """
+            import json
+
+            def history_line(best_objective: float) -> str:
+                return json.dumps({"best": best_objective})
+            """,
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "allow_nan" in findings[0].message
+
+    def test_allow_nan_false_clean(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import json
+
+            def emit(payload) -> str:
+                return json.dumps(payload, sort_keys=True, allow_nan=False)
+            """,
+            self.RULE,
+        )
+        assert findings == []
+
+    def test_allow_nan_true_flagged(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            "import json\njson.dumps({}, allow_nan=True)\n",
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "does not pin" in findings[0].message
+
+    def test_from_import_alias_flagged(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            "from json import dumps as to_text\nto_text({})\n",
+            self.RULE,
+        )
+        assert len(findings) == 1
+
+    def test_json_dump_to_file_flagged(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import io
+            import json
+
+            json.dump({}, io.StringIO())
+            """,
+            self.RULE,
+        )
+        assert len(findings) == 1
+
+    def test_enforcement_is_real(self):
+        # The convention the rule enforces actually catches the PR 3 bug.
+        with pytest.raises(ValueError):
+            json.dumps({"best": float("inf")}, allow_nan=False)
+
+
+# ----------------------------------------------------------------------
+# Meta: the live tree is clean (the CI gate)
+# ----------------------------------------------------------------------
+class TestLiveTree:
+    def test_src_repro_is_clean_under_all_default_rules(self):
+        package_root = Path(repro.__file__).resolve().parent
+        report = run_checks([package_root], list(DEFAULT_RULES))
+        assert report.findings == [], "\n".join(
+            finding.format() for finding in report.findings
+        )
+        assert report.files_checked > 50

@@ -187,7 +187,7 @@ class TestCornerMeasurement:
         # The parsed deck simulates at the annotated corner: device tech
         # carries the skew again (the M cards name the nominal model) and
         # the supply card its scaled value.
-        for original, restored in zip(circuit.mosfets, parsed.mosfets):
+        for original, restored in zip(circuit.mosfets, parsed.mosfets, strict=True):
             assert restored.tech == original.tech
         assert parsed.vsource("VDD").dc == circuit.vsource("VDD").dc
         nominal_deck = to_spice(five_t.build_circuit(GOOD_WIDTHS["5T-OTA"]))
@@ -205,7 +205,7 @@ class TestCornerMeasurement:
         lines.insert(len(lines) - 1, header)  # just before .end
         parsed = parse_netlist("\n".join(lines) + "\n")
         assert parsed.corner == resolve_corner("ss")
-        for original, restored in zip(circuit.mosfets, parsed.mosfets):
+        for original, restored in zip(circuit.mosfets, parsed.mosfets, strict=True):
             assert restored.tech == original.tech
 
     def test_ordinary_corner_comments_stay_comments(self):
@@ -283,7 +283,7 @@ class TestCornerBackendParity:
         scalar = ScalarBackend().measure_many(five_t, population, corners=ALL_CORNERS)
         batched = BatchedBackend().measure_many(five_t, population, corners=ALL_CORNERS)
         assert all(isinstance(sweep, CornerSweep) for sweep in batched)
-        for reference, sweep in zip(scalar, batched):
+        for reference, sweep in zip(scalar, batched, strict=True):
             assert_sweeps_identical(reference, sweep)
 
     def test_tt_converges_ss_raises_isolated_per_pair(self):
@@ -310,7 +310,7 @@ class TestCornerBackendParity:
             assert sweep.outcome("ss").error is not None
             # Neighbours are untouched, at every corner.
             assert sweeps[0].ok and sweeps[2].ok
-        for reference, sweep in zip(scalar, batched):
+        for reference, sweep in zip(scalar, batched, strict=True):
             assert_sweeps_identical(reference, sweep)
 
     def test_unbuildable_candidate_fails_every_corner(self, five_t):

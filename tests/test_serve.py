@@ -418,7 +418,7 @@ class TestHTTPServing:
             SizingResponse.from_json(results[request.id][2]) for request in requests
         ]
         assert_responses_identical(direct, served)
-        for reference, (_, _, payload) in zip(direct, (results[r.id] for r in requests)):
+        for reference, (_, _, payload) in zip(direct, (results[r.id] for r in requests), strict=True):
             expected = reference.to_json()
             expected.pop("wall_time_s")
             payload = dict(payload)

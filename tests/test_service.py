@@ -18,6 +18,7 @@ from repro.core import DesignSpec, PipelineConfig, SizingFlow, train_sizing_mode
 from repro.core.bundle import SizingModel
 from repro.datagen import SequenceBuilder, SequenceConfig
 from repro.service import ResultCache, SizingEngine, SizingRequest, SizingResponse
+from repro.service.cache import quantize_spec
 from repro.solvers import BatchedBackend, ScalarBackend
 from repro.spice import PerformanceMetrics
 from repro.topologies import (
@@ -170,6 +171,33 @@ class TestResponseJSON:
         payload = json.loads(self._response().to_json_line())
         del payload["method"]
         assert SizingResponse.from_json(payload).method == "copilot"
+
+
+# ----------------------------------------------------------------------
+# Spec quantization
+# ----------------------------------------------------------------------
+class TestQuantizeSpec:
+    def test_rounds_to_three_significant_digits(self):
+        assert quantize_spec(25.004) == 25.0
+        assert quantize_spec(1.23456e6) == 1.23e6
+        assert quantize_spec(9.999e-7, sig_digits=2) == 1.0e-6
+
+    @pytest.mark.parametrize(
+        "value", [float("inf"), float("-inf"), float("nan")]
+    )
+    def test_non_finite_value_rejected(self, value):
+        # Regression: inf survives %g formatting and nan never equals
+        # itself, so a non-finite target used to poison cache keys
+        # silently instead of failing at the bad request.
+        with pytest.raises(ValueError, match="non-finite"):
+            quantize_spec(value)
+
+    def test_non_finite_spec_cannot_form_a_cache_key(self):
+        # inf passes DesignSpec's positivity validation, so the cache key
+        # is the last line of defense.
+        request = SizingRequest.for_spec("5T-OTA", float("inf"), 5e6, 8e7)
+        with pytest.raises(ValueError, match="non-finite"):
+            ResultCache.key(request)
 
 
 # ----------------------------------------------------------------------
@@ -329,7 +357,7 @@ class TestBatchedDecodeParity:
         # The wire schema stamps the request's method explicitly, never
         # relying on the dataclass default.
         assert [r.method for r in responses] == ["copilot"] * len(requests)
-        for result, response in zip(sequential, responses):
+        for result, response in zip(sequential, responses, strict=True):
             assert [t.decoded_text for t in result.trace] == list(response.decoded_texts)
             assert result.widths == response.widths
             assert result.success == response.success
@@ -498,7 +526,7 @@ class TestEngineServing:
         assert model.batch_calls >= 1  # fused decode, not a per-spec loop
 
         reference_flow = SizingFlow(topology, BatchedOracleModel(topology, records, luts))
-        for spec, result in zip(specs, study.results):
+        for spec, result in zip(specs, study.results, strict=True):
             reference = reference_flow.size(spec)
             assert reference.widths == result.widths
             assert reference.success == result.success
@@ -620,9 +648,9 @@ class TestBatchedStageIVParity:
         # flags, widths, metrics and verdicts, iteration by iteration.
         traces_seq = engine_seq.size_results(requests)
         traces_batched = engine_batched.size_results(requests)
-        for ref, got in zip(traces_seq, traces_batched):
+        for ref, got in zip(traces_seq, traces_batched, strict=True):
             assert len(ref.trace) == len(got.trace)
-            for t_ref, t_got in zip(ref.trace, got.trace):
+            for t_ref, t_got in zip(ref.trace, got.trace, strict=True):
                 assert t_ref.requested_spec == t_got.requested_spec
                 assert t_ref.parsed_ok == t_got.parsed_ok
                 assert t_ref.widths == t_got.widths

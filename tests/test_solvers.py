@@ -117,7 +117,7 @@ class TestMeasureManyParity:
         sequential = [five_t_module.measure(w) for w in population]
         outcomes = five_t_module.measure_many(population)
         assert len(outcomes) == len(population)
-        for ref, outcome in zip(sequential, outcomes):
+        for ref, outcome in zip(sequential, outcomes, strict=True):
             self._assert_identical(ref, outcome)
 
     def test_non_convergent_candidate_is_isolated(self):
@@ -151,7 +151,7 @@ class TestMeasureManyParity:
         population = make_population(five_t_module, 3, seed=2)
         scalar = ScalarBackend().measure_many(five_t_module, population)
         batched = BatchedBackend().measure_many(five_t_module, population)
-        for s, b in zip(scalar, batched):
+        for s, b in zip(scalar, batched, strict=True):
             assert s.ok and b.ok
             assert np.array_equal(
                 s.result.metrics.as_array(), b.result.metrics.as_array(), equal_nan=True

@@ -82,7 +82,7 @@ class TestACAnalysis:
         freqs = np.logspace(2, 9, 40)
         solutions = [solve_dc(rc_lowpass(r=r)) for r in (5e2, 1e3, 2e3, 8e3)]
         stacked = run_ac_many(solutions, freqs)
-        for dc, result in zip(solutions, stacked):
+        for dc, result in zip(solutions, stacked, strict=True):
             reference = run_ac(dc, freqs)
             assert result.node_names == reference.node_names
             np.testing.assert_array_equal(result.phasors, reference.phasors)

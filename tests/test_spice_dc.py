@@ -141,7 +141,7 @@ class TestSolveDCMany:
     def test_bitwise_matches_scalar_over_width_batch(self):
         widths = [1e-6, 2e-6, 5e-6, 12e-6, 30e-6]
         batched = solve_dc_many([self._cs_stage(w) for w in widths])
-        for width, solution in zip(widths, batched):
+        for width, solution in zip(widths, batched, strict=True):
             reference = solve_dc(self._cs_stage(width))
             assert solution.node_voltages == reference.node_voltages
             assert solution.source_currents == reference.source_currents

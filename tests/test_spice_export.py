@@ -33,7 +33,7 @@ class TestRoundTrip:
         original = topology.build(GOOD_WIDTHS[name])
         restored = parse_netlist(to_spice(original), name=name)
         assert len(restored.mosfets) == len(original.mosfets)
-        for a, b in zip(original.mosfets, restored.mosfets):
+        for a, b in zip(original.mosfets, restored.mosfets, strict=True):
             assert a.name == b.name
             assert a.width == pytest.approx(b.width, rel=1e-5)
             assert (a.drain, a.gate, a.source) == (b.drain, b.gate, b.source)
@@ -85,6 +85,6 @@ class TestExportProperties:
         original = five_t.build({"M1": w1, "M3": w3, "M5": w5}, vcm=vcm)
         restored = parse_netlist(to_spice(original))
         assert restored.vsource("VINP").dc == pytest.approx(vcm, rel=1e-5)
-        for a, b in zip(original.mosfets, restored.mosfets):
+        for a, b in zip(original.mosfets, restored.mosfets, strict=True):
             assert b.width == pytest.approx(a.width, rel=1e-5)
             assert b.length == pytest.approx(a.length, rel=1e-5)

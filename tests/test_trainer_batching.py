@@ -19,8 +19,8 @@ class TestBucketedBatching:
         batches = make_batches(pairs, batch_size=3, pad_id=0, bos_id=1, eos_id=2, rng=rng)
         seen = []
         for batch in batches:
-            for row, pad_row in zip(batch.src, batch.src_pad):
-                seen.append(tuple(int(v) for v, p in zip(row, pad_row) if not p))
+            for row, pad_row in zip(batch.src, batch.src_pad, strict=True):
+                seen.append(tuple(int(v) for v, p in zip(row, pad_row, strict=True) if not p))
         assert sorted(seen) == sorted(p.source for p in pairs)
 
     def test_buckets_group_similar_lengths(self):
@@ -48,7 +48,7 @@ class TestBucketedBatching:
         pairs = _pairs([5, 3, 8, 2])
         a = make_batches(pairs, 2, 0, 1, 2, rng=None)
         b = make_batches(pairs, 2, 0, 1, 2, rng=None)
-        for batch_a, batch_b in zip(a, b):
+        for batch_a, batch_b in zip(a, b, strict=True):
             np.testing.assert_array_equal(batch_a.src, batch_b.src)
             np.testing.assert_array_equal(batch_a.tgt_out, batch_b.tgt_out)
 

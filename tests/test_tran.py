@@ -191,7 +191,7 @@ class TestIntegratorProperties:
         if not solutions:
             return
         batched = run_tran_many(solutions, t_stop=50e-9, n_steps=20)
-        for solution, outcome in zip(solutions, batched):
+        for solution, outcome in zip(solutions, batched, strict=True):
             reference = run_tran(solution, t_stop=50e-9, n_steps=20)
             assert np.array_equal(reference.waveforms, outcome.waveforms)
             assert reference.newton_iterations == outcome.newton_iterations
@@ -210,7 +210,7 @@ class TestTranBatchGrouping:
         solutions = [solve_dc(plain), solve_dc(extra)]
         for ordered in (solutions, solutions[::-1]):
             batched = run_tran_many(ordered, t_stop=5e-6, n_steps=50)
-            for solution, outcome in zip(ordered, batched):
+            for solution, outcome in zip(ordered, batched, strict=True):
                 reference = run_tran(solution, t_stop=5e-6, n_steps=50)
                 assert np.array_equal(reference.waveforms, outcome.waveforms)
 
@@ -223,7 +223,7 @@ class TestTranMeasureParity:
         population = make_population(five_t, 6, seed=3)
         sequential = [five_t.measure(w, analyses=TRAN) for w in population]
         outcomes = five_t.measure_many(population, analyses=TRAN)
-        for reference, outcome in zip(sequential, outcomes):
+        for reference, outcome in zip(sequential, outcomes, strict=True):
             assert outcome.ok
             assert outcome.result.metrics.has_tran
             assert_measurements_identical(reference, outcome.result)
@@ -232,7 +232,7 @@ class TestTranMeasureParity:
         population = make_population(five_t, 3, seed=7)
         scalar = ScalarBackend().measure_many(five_t, population, analyses=TRAN)
         batched = BatchedBackend().measure_many(five_t, population, analyses=TRAN)
-        for s, b in zip(scalar, batched):
+        for s, b in zip(scalar, batched, strict=True):
             assert s.ok and b.ok
             assert_measurements_identical(s.result, b.result)
 
@@ -258,13 +258,13 @@ class TestTranMeasureParity:
         batched = BatchedBackend().measure_many(
             five_t, population, corners=corners, analyses=TRAN
         )
-        for reference, sweep in zip(scalar, batched):
+        for reference, sweep in zip(scalar, batched, strict=True):
             assert_sweeps_identical(reference, sweep)
         # The corner skew is physical: SS slews slower than FF.
         sweep = batched[0]
         slew = {
             corner.name: outcome.result.metrics.slew_v_per_s
-            for corner, outcome in zip(sweep.corners, sweep.outcomes)
+            for corner, outcome in zip(sweep.corners, sweep.outcomes, strict=True)
         }
         assert slew["ss"] < slew["tt"] < slew["ff"]
 
