@@ -1,11 +1,28 @@
-"""Repo-specific AST invariant linter (``python -m repro.checks``).
+"""Repo-specific static analyzer (``python -m repro.checks``).
 
-Four rules grounded in this reproduction's bug history, enforced in CI:
+A two-pass, project-wide analyzer: pass 1 (:mod:`repro.checks.project`)
+builds a symbol table and call graph over every analyzed file — import
+resolution, class/method ownership, per-function summaries of acquired
+locks, blocking operations, numpy solves, and inferred attribute types —
+and pass 2 runs seven rules over those summaries, enforced in CI:
 
 ``lock-discipline``
     Thread-shared classes (``EngineStats``, ``ResultCache``,
     ``ServeStats``, ``MicroBatcher``) mutate ``self`` state only inside
     ``with self._lock:`` — the PR 6 retrofit, kept from regressing.
+``lock-order``
+    Nested lock acquisitions form one consistent global order — cycles
+    are flagged interprocedurally through the call graph — and no
+    blocking work (I/O, ``time.sleep``, ``size_batch``) runs while any
+    lock is held.
+``fork-safety``
+    Classes marked ``# checks: process-shared`` hold no locks, threads,
+    sockets, files, generators, or bound callables, transitively; no
+    module-level mutable state is mutated under ``size_batch``.
+``hot-loop``
+    Functions marked ``# checks: hot-path`` contain no per-item numpy
+    solves and no fresh work-array allocations inside solve loops — the
+    PR 2-5 vectorization wins, made structural.
 ``wire-format-drift``
     Every ``SizingRequest``/``DesignSpec`` field is referenced in
     ``to_json``, ``from_json`` and ``ResultCache.key`` — the PR 4/5
@@ -18,10 +35,14 @@ Four rules grounded in this reproduction's bug history, enforced in CI:
     ``Infinity`` bug cannot silently corrupt output again.
 
 Suppress a single finding inline with ``# checks: ignore[rule-id]``;
-unused suppressions are themselves findings.  See the README's "Static
-analysis" section for the full catalog.
+unused suppressions are themselves findings (and ``--fix`` deletes them
+in place).  Findings carry severities; a committed baseline file can
+grandfather known findings, and ``--changed-only`` restricts reporting
+to git-changed files while still resolving symbols from the full tree.
+See the README's "Static analysis" section for the full catalog.
 """
 
+from .baseline import apply_baseline, load_baseline, write_baseline
 from .core import (
     FileContext,
     FileRule,
@@ -31,6 +52,8 @@ from .core import (
     Rule,
     run_checks,
 )
+from .fixes import apply_fixes
+from .project import ProjectGraph
 from .registry import DEFAULT_RULES, rule_by_id
 
 __all__ = [
@@ -38,9 +61,14 @@ __all__ = [
     "FileContext",
     "FileRule",
     "ProjectContext",
+    "ProjectGraph",
     "Report",
     "Rule",
     "run_checks",
     "DEFAULT_RULES",
     "rule_by_id",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+    "apply_fixes",
 ]

@@ -1,0 +1,79 @@
+"""Baseline file support: grandfathered findings that do not fail CI.
+
+A baseline is a committed JSON file enumerating known findings by a
+line-number-independent fingerprint ``(rule, path, message)`` — moving
+code around does not resurrect a grandfathered finding, but changing
+what the finding *says* (or fixing it) does.  CI fails only on findings
+absent from the baseline, so new debt cannot ride in on old debt's
+coattails.
+
+This repo's policy is an **empty** baseline: every finding the rules
+surfaced was fixed before they landed enabled (`checks-baseline.json`
+at the repo root records that state).  The mechanism exists for
+downstream forks and for emergencies, not as a parking lot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .core import Finding, Report
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+
+def load_baseline(path: Path) -> dict[tuple[str, str, str], int]:
+    """Fingerprint -> allowed count from a baseline file."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != 1:
+        raise ValueError(f"unrecognized baseline format in {path}")
+    allowed: dict[tuple[str, str, str], int] = {}
+    for entry in data.get("findings", []):
+        key = (entry["rule"], entry["path"], entry["message"])
+        allowed[key] = allowed.get(key, 0) + 1
+    return allowed
+
+
+def write_baseline(path: Path, report: Report) -> int:
+    """Write the report's findings as the new baseline; returns count."""
+    findings = sorted(report.findings, key=lambda finding: finding.sort_key)
+    payload = {
+        "version": 1,
+        "comment": (
+            "Grandfathered repro.checks findings. Policy: keep this empty; "
+            "fix findings instead of baselining them. Regenerate with "
+            "`python -m repro.checks --write-baseline`."
+        ),
+        "findings": [
+            {"rule": f.rule, "path": f.path, "message": f.message} for f in findings
+        ],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, allow_nan=False) + "\n", encoding="utf-8"
+    )
+    return len(findings)
+
+
+def apply_baseline(report: Report, allowed: dict[tuple[str, str, str], int]) -> Report:
+    """Drop findings matching the baseline; count them as grandfathered.
+
+    Each baseline entry absorbs at most its recorded multiplicity, so a
+    *second* instance of a grandfathered finding still fails.
+    """
+    remaining = dict(allowed)
+    kept: list[Finding] = []
+    grandfathered = 0
+    for finding in report.findings:
+        key = finding.fingerprint
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            grandfathered += 1
+        else:
+            kept.append(finding)
+    return Report(
+        findings=kept,
+        files_checked=report.files_checked,
+        rules=report.rules,
+        grandfathered=grandfathered,
+    )

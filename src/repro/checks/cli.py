@@ -1,21 +1,31 @@
 """Command line front end: ``python -m repro.checks [paths...]``.
 
-Exit status: 0 when every rule passes, 1 on any finding (including
-unused suppressions), 2 on usage errors.  ``--format json`` prints the
-machine-readable report to stdout; ``--output FILE`` additionally writes
-the JSON report to a file regardless of the stdout format (CI uploads it
-as an artifact).
+Exit status: 0 when no error-severity finding survives the baseline,
+1 otherwise (``--strict`` promotes warnings to failures too), 2 on
+usage errors.  ``--format json`` prints the machine-readable report to
+stdout; ``--output FILE`` additionally writes the JSON report to a file
+regardless of the stdout format (CI uploads it as an artifact).
+
+``--changed-only [REF]`` restricts *reporting* to files changed versus
+REF (default HEAD) per ``git diff`` plus untracked files — the full
+tree is still parsed so cross-module resolution never degrades.
+``--baseline FILE`` grandfathers known findings; ``--write-baseline``
+regenerates that file.  ``--fix`` deletes unused suppressions in place
+(the default is check-only; CI stays read-only).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from collections.abc import Sequence
 from pathlib import Path
 
+from .baseline import apply_baseline, load_baseline, write_baseline
 from .core import Report, Rule, run_checks
+from .fixes import apply_fixes
 from .registry import DEFAULT_RULES
 
 __all__ = ["main", "build_parser", "run"]
@@ -25,9 +35,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.checks",
         description=(
-            "Repo-specific AST invariant linter: lock discipline on "
-            "thread-shared classes, wire-format/cache-key drift, RNG "
-            "determinism, JSON non-finite safety."
+            "Repo-specific two-pass static analyzer: lock discipline and "
+            "lock ordering on thread-shared classes, fork-safety of "
+            "process-shared objects, hot-loop vectorization discipline, "
+            "wire-format/cache-key drift, RNG determinism, JSON "
+            "non-finite safety."
         ),
     )
     parser.add_argument(
@@ -44,6 +56,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the JSON report to FILE (CI artifact)",
     )
     parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="JSON baseline of grandfathered findings; matching findings "
+             "are reported as grandfathered and do not fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to --baseline FILE and exit 0",
+    )
+    parser.add_argument(
+        "--changed-only", nargs="?", const="HEAD", default=None, metavar="REF",
+        help="report findings only for files changed vs REF (git diff + "
+             "untracked; default REF: HEAD); the full tree is still "
+             "parsed for symbol resolution",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="delete unused `# checks: ignore[...]` suppressions in "
+             "place, then re-check (default: check only, never writes)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on warning-severity findings too (default: only "
+             "error severity fails)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="list rule ids and exit",
     )
@@ -55,11 +92,42 @@ def _default_paths() -> list[Path]:
     return [Path(__file__).resolve().parents[1]]
 
 
+def _changed_paths(ref: str, anchor: Path) -> set[Path] | None:
+    """Absolute paths of ``.py`` files changed vs ``ref`` (plus untracked)."""
+    probe = anchor if anchor.is_dir() else anchor.parent
+    try:
+        root = Path(
+            subprocess.run(
+                ["git", "-C", str(probe), "rev-parse", "--show-toplevel"],
+                capture_output=True, text=True, check=True,
+            ).stdout.strip()
+        )
+        diff = subprocess.run(
+            ["git", "-C", str(root), "diff", "--name-only", "-z", ref],
+            capture_output=True, text=True, check=True,
+        ).stdout
+        untracked = subprocess.run(
+            ["git", "-C", str(root), "ls-files", "--others", "--exclude-standard", "-z"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError) as error:
+        detail = getattr(error, "stderr", "") or str(error)
+        print(f"error: --changed-only failed: {detail.strip()}", file=sys.stderr)
+        return None
+    names = [name for name in (diff + untracked).split("\0") if name]
+    return {root / name for name in names if name.endswith(".py")}
+
+
 def run(
     paths: Sequence[Path],
     fmt: str = "text",
     output: Path | None = None,
     rules: Sequence[Rule] | None = None,
+    baseline: Path | None = None,
+    write_baseline_file: bool = False,
+    changed_only: str | None = None,
+    fix: bool = False,
+    strict: bool = False,
 ) -> int:
     """Run the checker; returns the process exit status."""
     active_rules = list(DEFAULT_RULES) if rules is None else list(rules)
@@ -68,7 +136,52 @@ def run(
         if not path.exists():
             print(f"error: no such path: {path}", file=sys.stderr)
             return 2
-    report = run_checks(resolved, active_rules, display_root=Path.cwd())
+
+    restrict: set[Path] | None = None
+    if changed_only is not None:
+        restrict = _changed_paths(changed_only, resolved[0])
+        if restrict is None:
+            return 2
+
+    def check() -> Report:
+        return run_checks(
+            resolved, active_rules, display_root=Path.cwd(), restrict_paths=restrict
+        )
+
+    report = check()
+
+    if write_baseline_file:
+        if baseline is None:
+            print("error: --write-baseline requires --baseline FILE", file=sys.stderr)
+            return 2
+        count = write_baseline(baseline, report)
+        print(f"repro.checks: wrote {count} finding(s) to {baseline}", file=sys.stderr)
+        return 0
+
+    allowed = None
+    if baseline is not None:
+        if baseline.exists():
+            try:
+                allowed = load_baseline(baseline)
+            except (ValueError, KeyError, json.JSONDecodeError) as error:
+                print(f"error: bad baseline {baseline}: {error}", file=sys.stderr)
+                return 2
+        else:
+            print(f"error: no such baseline: {baseline}", file=sys.stderr)
+            return 2
+        report = apply_baseline(report, allowed)
+
+    if fix:
+        fixed = apply_fixes(report, Path.cwd())
+        if fixed:
+            print(
+                f"repro.checks: fixed unused suppressions in {len(fixed)} file(s)",
+                file=sys.stderr,
+            )
+            report = check()
+            if allowed is not None:
+                report = apply_baseline(report, allowed)
+
     if output is not None:
         output.write_text(
             json.dumps(report.as_dict(), indent=2, sort_keys=True, allow_nan=False)
@@ -79,16 +192,22 @@ def run(
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True, allow_nan=False))
     else:
         _print_text(report)
-    return 0 if report.ok else 1
+    failing = report.findings if strict else report.errors
+    return 0 if not failing else 1
 
 
 def _print_text(report: Report) -> None:
     for finding in report.findings:
         print(finding.format())
-    status = "clean" if report.ok else f"{len(report.findings)} finding(s)"
+    status = "clean" if report.ok else (
+        f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
+    )
+    grandfathered = (
+        f", {report.grandfathered} grandfathered" if report.grandfathered else ""
+    )
     print(
         f"repro.checks: {status} across {report.files_checked} file(s), "
-        f"{len(report.rules)} rule(s)",
+        f"{len(report.rules)} rule(s){grandfathered}",
         file=sys.stderr,
     )
 
@@ -99,4 +218,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         for rule in DEFAULT_RULES:
             print(f"{rule.id}: {rule.summary}")
         return 0
-    return run(args.paths, fmt=args.format, output=args.output)
+    return run(
+        args.paths,
+        fmt=args.format,
+        output=args.output,
+        baseline=args.baseline,
+        write_baseline_file=args.write_baseline,
+        changed_only=args.changed_only,
+        fix=args.fix,
+        strict=args.strict,
+    )

@@ -22,6 +22,19 @@ their ``class`` line::
     class ShardPool:  # checks: thread-shared[_lock]
 
 naming the lock attribute every mutation must hold (default ``_lock``).
+
+Two further markers drive the project-wide rules:
+
+    class SizingModel:  # checks: process-shared
+
+opts a class into the fork-safety rule (its attributes must stay free of
+locks, threads, sockets, open files, generators, and bound callables so
+the object can cross a process boundary), and
+
+    def solve_dc_many(  # checks: hot-path
+
+opts a function into the hot-loop discipline rule (no per-item numpy
+solves or fresh work-array allocations inside its Python loops).
 """
 
 from __future__ import annotations
@@ -52,8 +65,12 @@ __all__ = [
 UNUSED_SUPPRESSION = "unused-suppression"
 
 _DIRECTIVE = re.compile(
-    r"#\s*checks:\s*(?P<kind>ignore|thread-shared)\s*(?:\[(?P<args>[^\]]*)\])?"
+    r"#\s*checks:\s*(?P<kind>ignore|thread-shared|process-shared|hot-path)"
+    r"\s*(?:\[(?P<args>[^\]]*)\])?"
 )
+
+#: Valid finding severities, most severe first.
+SEVERITIES = ("error", "warning")
 
 
 @dataclass(frozen=True)
@@ -65,13 +82,19 @@ class Finding:
     line: int
     col: int
     message: str
+    severity: str = "error"
 
     @property
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule)
 
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-number-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.message)
+
     def format(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: [{self.severity}] {self.message}"
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -79,6 +102,7 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "severity": self.severity,
             "message": self.message,
         }
 
@@ -95,6 +119,10 @@ class FileContext:
     suppressions: dict[int, set[str]] = field(default_factory=dict)
     #: line number -> lock attribute named by a ``thread-shared`` marker
     thread_shared_markers: dict[int, str] = field(default_factory=dict)
+    #: lines carrying a ``process-shared`` marker (fork-safety opt-in)
+    process_shared_markers: set[int] = field(default_factory=set)
+    #: lines carrying a ``hot-path`` marker (hot-loop discipline opt-in)
+    hot_path_markers: set[int] = field(default_factory=set)
 
     @classmethod
     def parse(cls, path: Path, display_path: str | None = None) -> FileContext:
@@ -120,12 +148,17 @@ class FileContext:
                     continue
                 line = token.start[0]
                 args = (match.group("args") or "").strip()
-                if match.group("kind") == "ignore":
+                kind = match.group("kind")
+                if kind == "ignore":
                     ids = {part.strip() for part in args.split(",") if part.strip()}
                     if ids:
                         self.suppressions.setdefault(line, set()).update(ids)
-                else:  # thread-shared
+                elif kind == "thread-shared":
                     self.thread_shared_markers[line] = args or "_lock"
+                elif kind == "process-shared":
+                    self.process_shared_markers.add(line)
+                else:  # hot-path
+                    self.hot_path_markers.add(line)
         except tokenize.TokenError:  # pragma: no cover - already parsed as AST
             pass
 
@@ -136,6 +169,21 @@ class ProjectContext:
     def __init__(self, files: Sequence[FileContext]):
         self.files = list(files)
         self._string_collections: dict[str, frozenset[str]] | None = None
+        self._graph: Any = None
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Any:
+        """The pass-1 :class:`~repro.checks.project.ProjectGraph`.
+
+        Built lazily on first access and shared by every project-wide
+        rule, so the symbol table / call graph is computed once per run.
+        """
+        if self._graph is None:
+            from .project import ProjectGraph
+
+            self._graph = ProjectGraph.build(self.files)
+        return self._graph
 
     # ------------------------------------------------------------------
     def classes(self, name: str) -> list[tuple[FileContext, ast.ClassDef]]:
@@ -268,21 +316,35 @@ class Report:
     findings: list[Finding]
     files_checked: int
     rules: list[Rule]
+    #: findings dropped because they matched the committed baseline
+    grandfathered: int = 0
 
     @property
     def ok(self) -> bool:
         return not self.findings
 
+    @property
+    def errors(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.severity == "warning"]
+
     def as_dict(self) -> dict[str, Any]:
         counts: dict[str, int] = {}
+        severities: dict[str, int] = {}
         for finding in self.findings:
             counts[finding.rule] = counts.get(finding.rule, 0) + 1
+            severities[finding.severity] = severities.get(finding.severity, 0) + 1
         return {
             "version": 1,
             "files_checked": self.files_checked,
             "rules": [{"id": rule.id, "summary": rule.summary} for rule in self.rules],
             "findings": [finding.as_dict() for finding in self.findings],
             "counts": dict(sorted(counts.items())),
+            "severities": dict(sorted(severities.items())),
+            "grandfathered": self.grandfathered,
         }
 
 
@@ -303,6 +365,7 @@ def run_checks(
     paths: Sequence[Path],
     rules: Sequence[Rule],
     display_root: Path | None = None,
+    restrict_paths: set[Path] | None = None,
 ) -> Report:
     """Parse ``paths``, run every rule, apply suppressions.
 
@@ -310,6 +373,14 @@ def run_checks(
     ``unused-suppression`` finding per ignore directive that matched
     nothing.  Files that fail to parse yield a ``syntax-error`` finding
     instead of aborting the run.
+
+    ``restrict_paths`` implements ``--changed-only``: every file is
+    still parsed (the symbol table and call graph always cover the full
+    tree, so cross-module resolution never degrades), but findings —
+    including the unused-suppression audit — are only *reported* for
+    files in the restricted set.  Syntax errors are reported regardless;
+    a file that does not parse poisons the shared symbol table for
+    everyone.
     """
     contexts: list[FileContext] = []
     findings: list[Finding] = []
@@ -335,6 +406,13 @@ def run_checks(
                 )
             )
 
+    restrict_display: set[str] | None = None
+    if restrict_paths is not None:
+        resolved = {path.resolve() for path in restrict_paths}
+        restrict_display = {
+            ctx.display_path for ctx in contexts if ctx.path.resolve() in resolved
+        }
+
     project = ProjectContext(contexts)
     raw: list[Finding] = []
     for rule in rules:
@@ -349,10 +427,12 @@ def run_checks(
         )
         if suppressed:
             used.add((finding.path, finding.line, finding.rule))
-        else:
+        elif restrict_display is None or finding.path in restrict_display:
             findings.append(finding)
 
     for ctx in contexts:
+        if restrict_display is not None and ctx.display_path not in restrict_display:
+            continue
         for line, rule_ids in sorted(ctx.suppressions.items()):
             for rule_id in sorted(rule_ids):
                 if (ctx.display_path, line, rule_id) not in used:

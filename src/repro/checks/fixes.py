@@ -1,0 +1,79 @@
+"""``--fix`` support: delete unused suppressions in place.
+
+The unused-suppression audit (PR 7) reports every ``# checks:
+ignore[rule]`` that matched no finding, so stale ignores cannot outlive
+the code they excused.  This module goes one step further, ruff-style:
+given a report, it rewrites the flagged lines — removing just the stale
+rule ids from the comma list, or the whole directive comment when every
+id on it is stale.  The checker itself stays read-only by default; CI
+never writes.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .core import UNUSED_SUPPRESSION, Report
+
+__all__ = ["apply_fixes"]
+
+_STALE_ID = re.compile(r"suppression `# checks: ignore\[(?P<id>[^\]]+)\]` matched")
+_DIRECTIVE_ON_LINE = re.compile(
+    r"(?P<lead>\s*)#\s*checks:\s*ignore\s*\[(?P<ids>[^\]]*)\]"
+)
+
+
+def apply_fixes(report: Report, root: Path) -> list[str]:
+    """Rewrite files to drop stale suppressions; returns display paths fixed.
+
+    Only ``unused-suppression`` findings are fixable.  Paths in the
+    report are resolved against ``root`` (the display root the checker
+    ran with).
+    """
+    stale: dict[str, dict[int, set[str]]] = {}
+    for finding in report.findings:
+        if finding.rule != UNUSED_SUPPRESSION:
+            continue
+        match = _STALE_ID.search(finding.message)
+        if match is None:
+            continue
+        stale.setdefault(finding.path, {}).setdefault(finding.line, set()).add(
+            match.group("id")
+        )
+
+    fixed: list[str] = []
+    for display_path, lines in sorted(stale.items()):
+        path = Path(display_path)
+        if not path.is_absolute():
+            path = root / display_path
+        if not path.exists():
+            continue
+        source = path.read_text(encoding="utf-8")
+        source_lines = source.split("\n")
+        changed = False
+        for line_number, stale_ids in lines.items():
+            index = line_number - 1
+            if not 0 <= index < len(source_lines):
+                continue
+            rewritten = _rewrite_line(source_lines[index], stale_ids)
+            if rewritten != source_lines[index]:
+                source_lines[index] = rewritten
+                changed = True
+        if changed:
+            # newline="" keeps any \r\n endings (already embedded) verbatim.
+            path.write_text("\n".join(source_lines), encoding="utf-8", newline="")
+            fixed.append(display_path)
+    return fixed
+
+
+def _rewrite_line(line: str, stale_ids: set[str]) -> str:
+    match = _DIRECTIVE_ON_LINE.search(line)
+    if match is None:
+        return line
+    ids = [part.strip() for part in match.group("ids").split(",") if part.strip()]
+    kept = [rule_id for rule_id in ids if rule_id not in stale_ids]
+    if kept:
+        replacement = f"{match.group('lead')}# checks: ignore[{', '.join(kept)}]"
+        return line[: match.start()] + replacement + line[match.end() :]
+    return line[: match.start()].rstrip() + line[match.end() :]

@@ -1,0 +1,163 @@
+"""Rule ``fork-safety``: objects destined for a worker pool stay portable.
+
+The ROADMAP's multiprocess sharding tentpole will send the model bundle
+and the gm/Id LUTs across process boundaries (pickled, or fork-inherited
+and then diverging).  The classic failure is an innocuous-looking
+attribute smuggled in three modules away: a ``threading.Lock`` inside a
+helper the bundle holds, a bound method cached on ``self``, an open
+file, a generator — all either unpicklable or silently wrong after
+``fork``.  Cross-process cache bugs are born exactly here.
+
+Classes opt in with a marker on their ``class`` line::
+
+    class SizingModel:  # checks: process-shared
+
+and the rule *transitively* verifies — descending through annotated and
+constructor-inferred attribute types via the pass-1 symbol table — that
+no reachable attribute holds a lock, thread, socket, open file, queue,
+generator, lambda, or bound method.
+
+Severity ``warning``, second check: module-level mutable state mutated
+by any function reachable (through the call graph) from
+``SizingEngine.size_batch``.  After ``fork`` each worker inherits a
+private copy of that state; mutations diverge silently across the pool,
+which is how one worker's cache disagrees with another's.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .core import Finding, ProjectContext, Rule
+from .project import AttrType, ClassInfo, ProjectGraph
+
+__all__ = ["ForkSafetyRule"]
+
+#: Attribute types that must not cross a process boundary.
+FORBIDDEN_TYPES = {
+    "threading.Lock": "a threading.Lock",
+    "threading.RLock": "a threading.RLock",
+    "threading.Condition": "a threading.Condition",
+    "threading.Event": "a threading.Event",
+    "threading.Semaphore": "a threading.Semaphore",
+    "threading.BoundedSemaphore": "a threading.BoundedSemaphore",
+    "threading.Barrier": "a threading.Barrier",
+    "threading.Thread": "a live thread",
+    "threading.local": "thread-local storage",
+    "socket.socket": "a socket",
+    "queue.Queue": "a queue.Queue (holds internal locks)",
+    "queue.LifoQueue": "a queue.LifoQueue (holds internal locks)",
+    "queue.PriorityQueue": "a queue.PriorityQueue (holds internal locks)",
+    "queue.SimpleQueue": "a queue.SimpleQueue",
+    "open": "an open file handle",
+    "io.open": "an open file handle",
+    "io.FileIO": "an open file handle",
+    "tempfile.NamedTemporaryFile": "an open temporary file",
+}
+
+_KIND_DESCRIPTIONS = {
+    "lambda": "a lambda (unpicklable)",
+    "generator": "a generator (unpicklable, state lost on fork)",
+    "bound-method": "a bound method (pins the whole instance into the pickle)",
+}
+
+
+class ForkSafetyRule(Rule):
+    id = "fork-safety"
+    summary = (
+        "classes marked `# checks: process-shared` must hold no locks, "
+        "threads, sockets, files, generators, or bound callables, even "
+        "transitively; state mutated under `size_batch` must not be "
+        "module-global"
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        for info in graph.classes.values():
+            if info.process_shared:
+                yield from self._check_class(graph, info, (info.name,), set())
+        yield from self._check_module_state(graph)
+
+    # ------------------------------------------------------------------
+    def _check_class(
+        self,
+        graph: ProjectGraph,
+        info: ClassInfo,
+        path: tuple[str, ...],
+        visited: set[str],
+    ) -> Iterator[Finding]:
+        if info.qualname in visited or len(path) > 8:
+            return
+        visited = visited | {info.qualname}
+        seen_attrs: set[tuple[str, str]] = set()
+        for attr_type in info.attr_types:
+            key = (attr_type.attr, attr_type.type_name)
+            if key in seen_attrs:
+                continue
+            seen_attrs.add(key)
+            chain = " -> ".join([*path, attr_type.attr])
+            if attr_type.kind in _KIND_DESCRIPTIONS:
+                yield self._finding(
+                    info, attr_type, chain, _KIND_DESCRIPTIONS[attr_type.kind]
+                )
+                continue
+            if attr_type.type_name in FORBIDDEN_TYPES:
+                yield self._finding(
+                    info, attr_type, chain, FORBIDDEN_TYPES[attr_type.type_name]
+                )
+                continue
+            nested = graph.classes.get(attr_type.type_name)
+            if nested is not None and nested.qualname not in visited:
+                yield from self._check_class(
+                    graph, nested, (*path, f"{attr_type.attr}: {nested.name}"), visited
+                )
+
+    def _finding(
+        self, info: ClassInfo, attr_type: AttrType, chain: str, what: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=info.ctx.display_path,
+            line=getattr(attr_type.node, "lineno", info.node.lineno),
+            col=getattr(attr_type.node, "col_offset", 0),
+            message=(
+                f"process-shared object holds {what} at `{chain}`; it cannot "
+                "cross a process boundary (pickle fails or the state silently "
+                "diverges after fork) — keep shared objects plain data"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _check_module_state(self, graph: ProjectGraph) -> Iterator[Finding]:
+        entries = [
+            qualname
+            for qualname in graph.functions
+            if qualname.endswith(".SizingEngine.size_batch")
+        ]
+        reachable: set[str] = set()
+        for entry in entries:
+            reachable |= graph.reachable_from(entry)
+        emitted: set[tuple[str, int, str]] = set()
+        for qualname in sorted(reachable):
+            summary = graph.functions.get(qualname)
+            if summary is None:
+                continue
+            for name, node in summary.global_mutations:
+                key = (summary.ctx.display_path, getattr(node, "lineno", 1), name)
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                yield Finding(
+                    rule=self.id,
+                    path=summary.ctx.display_path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0),
+                    severity="warning",
+                    message=(
+                        f"`{summary.name}` mutates module-level `{name}` and is "
+                        "reachable from `SizingEngine.size_batch`; fork-inherited "
+                        "module state diverges per worker — move it onto the "
+                        "engine or a shared cache"
+                    ),
+                )

@@ -1,0 +1,310 @@
+"""Rule ``lock-order``: deadlock-shaped acquisition across the project.
+
+The serve and service layers each grew a lock (``ServeStats._lock``,
+``EngineStats._lock``, ``ResultCache._lock``, ``SizingEngine._topologies_lock``)
+in separate PRs, and the sharding tentpole will add more.  Two threads
+acquiring two locks in opposite orders is the classic deadlock, and it
+is invisible to per-file analysis the moment one acquisition happens in
+a callee: ``A.method`` holds lock 1 and calls a helper that, two modules
+away, takes lock 2 while ``B.method`` nests them the other way round.
+
+Using the pass-1 call graph this rule:
+
+* builds the lock-acquisition graph — an edge ``L1 -> L2`` whenever a
+  ``with``-block holding ``L1`` acquires ``L2``, lexically or through
+  any chain of resolved calls — and flags every edge participating in a
+  cycle, with the acquisition path spelled out;
+* flags nested reacquisition of a non-reentrant ``threading.Lock``
+  (reentrant ``RLock`` self-edges, e.g. ``ResultCache``, are fine);
+* flags blocking work reachable while any lock is held — socket/file
+  I/O, ``time.sleep``, and ``size_batch`` (a SPICE solve under a stats
+  lock would serialize the entire server on one candidate's Newton
+  iteration).
+
+Locks are identified by role — ``(owning class, attribute)`` for
+``self._lock``-style locks, ``(module, name)`` for module-level locks —
+which is the granularity lock *ordering* is defined over.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from .core import Finding, ProjectContext, Rule
+from .project import FunctionSummary, ProjectGraph
+
+__all__ = ["LockOrderRule"]
+
+
+@dataclass
+class _Edge:
+    """One observed ``outer -> inner`` nested acquisition."""
+
+    outer: str
+    inner: str
+    summary: FunctionSummary
+    node: ast.AST
+    via: tuple[str, ...] = ()
+
+
+class LockOrderRule(Rule):
+    id = "lock-order"
+    summary = (
+        "nested lock acquisitions must form a consistent global order, "
+        "and no blocking work may run while a lock is held"
+    )
+
+    def check(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        edges: list[_Edge] = []
+        blocking: list[Finding] = []
+        for summary in graph.functions.values():
+            self._walk(graph, summary, summary.node, [], edges, blocking)
+        yield from blocking
+        yield from self._cycle_findings(graph, edges)
+
+    # ------------------------------------------------------------------
+    def _walk(
+        self,
+        graph: ProjectGraph,
+        summary: FunctionSummary,
+        node: ast.AST,
+        held: list[str],
+        edges: list[_Edge],
+        blocking: list[Finding],
+    ) -> None:
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+            and node is not summary.node
+        ):
+            return  # nested defs do not run while the lock is held
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            module = graph.module_for(summary)
+            acquired: list[str] = []
+            for item in node.items:
+                lock = graph.lock_id(module, summary, item.context_expr)
+                if lock is not None:
+                    for outer in held + acquired:
+                        edges.append(_Edge(outer, lock, summary, node))
+                    acquired.append(lock)
+            for stmt in node.body:
+                self._walk(graph, summary, stmt, held + acquired, edges, blocking)
+            return
+        if isinstance(node, ast.Call) and held:
+            self._check_call(graph, summary, node, held, edges, blocking)
+        for child in ast.iter_child_nodes(node):
+            self._walk(graph, summary, child, held, edges, blocking)
+
+    def _check_call(
+        self,
+        graph: ProjectGraph,
+        summary: FunctionSummary,
+        call: ast.Call,
+        held: list[str],
+        edges: list[_Edge],
+        blocking: list[Finding],
+    ) -> None:
+        direct = next(
+            (desc for desc, node in summary.blocking if node is call), None
+        )
+        if direct is not None:
+            blocking.append(self._blocking_finding(summary, call, direct, held, ()))
+            return
+        site = summary.calls_by_node.get(id(call))
+        if site is None or site.target is None:
+            return
+        callee = graph.functions.get(site.target)
+        if callee is None:
+            return
+        for lock, via in callee.t_locks.items():
+            for outer in held:
+                edges.append(
+                    _Edge(outer, lock, summary, call, via=(callee.qualname, *via))
+                )
+        for desc, via in callee.t_blocking.items():
+            blocking.append(
+                self._blocking_finding(
+                    summary, call, desc, held, (callee.qualname, *via)
+                )
+            )
+
+    def _blocking_finding(
+        self,
+        summary: FunctionSummary,
+        node: ast.AST,
+        desc: str,
+        held: list[str],
+        via: tuple[str, ...],
+    ) -> Finding:
+        route = f" (via {' -> '.join(_short(part) for part in via)})" if via else ""
+        locks = ", ".join(f"`{_short(lock)}`" for lock in held)
+        return Finding(
+            rule=self.id,
+            path=summary.ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=(
+                f"blocking operation {desc} reachable while holding {locks}{route}; "
+                "move I/O and solves out of the critical section — every other "
+                "thread contending on the lock stalls behind it"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _cycle_findings(
+        self, graph: ProjectGraph, edges: list[_Edge]
+    ) -> Iterator[Finding]:
+        adjacency: dict[str, set[str]] = {}
+        for edge in edges:
+            if edge.outer == edge.inner:
+                if not graph.lock_reentrant.get(edge.inner, False):
+                    route = (
+                        f" (via {' -> '.join(_short(p) for p in edge.via)})"
+                        if edge.via
+                        else ""
+                    )
+                    yield Finding(
+                        rule=self.id,
+                        path=edge.summary.ctx.display_path,
+                        line=getattr(edge.node, "lineno", 1),
+                        col=getattr(edge.node, "col_offset", 0),
+                        message=(
+                            f"non-reentrant lock `{_short(edge.inner)}` reacquired "
+                            f"while already held{route}; this deadlocks the calling "
+                            "thread against itself — use an RLock or restructure"
+                        ),
+                    )
+                continue
+            adjacency.setdefault(edge.outer, set()).add(edge.inner)
+            adjacency.setdefault(edge.inner, set())
+        cyclic = _nodes_in_cycles(adjacency)
+        emitted: set[tuple[str, int, str, str]] = set()
+        for edge in edges:
+            if edge.outer == edge.inner:
+                continue
+            if edge.outer in cyclic and edge.inner in cyclic[edge.outer]:
+                key = (
+                    edge.summary.ctx.display_path,
+                    getattr(edge.node, "lineno", 1),
+                    edge.outer,
+                    edge.inner,
+                )
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                cycle = _cycle_through(adjacency, edge.outer, edge.inner)
+                route = (
+                    f" via {' -> '.join(_short(p) for p in edge.via)}" if edge.via else ""
+                )
+                yield Finding(
+                    rule=self.id,
+                    path=edge.summary.ctx.display_path,
+                    line=getattr(edge.node, "lineno", 1),
+                    col=getattr(edge.node, "col_offset", 0),
+                    message=(
+                        f"lock-order cycle: `{_short(edge.inner)}` acquired while "
+                        f"holding `{_short(edge.outer)}`{route}, but elsewhere the "
+                        f"order is reversed (cycle: {cycle}); pick one global order"
+                    ),
+                )
+
+
+def _nodes_in_cycles(adjacency: dict[str, set[str]]) -> dict[str, set[str]]:
+    """For each node on a cycle, the successors that stay on a cycle.
+
+    Computed from strongly connected components: an edge lies on some
+    cycle iff both endpoints share an SCC (of size > 1, since self-edges
+    are handled separately).
+    """
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    component: dict[str, int] = {}
+    counter = [0]
+    comp_id = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(adjacency.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(adjacency.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component[member] = comp_id[0]
+                    if member == node:
+                        break
+                comp_id[0] += 1
+
+    for node in sorted(adjacency):
+        if node not in index:
+            strongconnect(node)
+
+    sizes: dict[int, int] = {}
+    for comp in component.values():
+        sizes[comp] = sizes.get(comp, 0) + 1
+    cyclic: dict[str, set[str]] = {}
+    for node, successors in adjacency.items():
+        for succ in successors:
+            if component.get(node) == component.get(succ) and sizes.get(
+                component.get(node, -1), 0
+            ) > 1:
+                cyclic.setdefault(node, set()).add(succ)
+    return cyclic
+
+
+def _cycle_through(adjacency: dict[str, set[str]], outer: str, inner: str) -> str:
+    """A readable ``A -> B -> ... -> A`` path witnessing the cycle."""
+    path = _shortest_path(adjacency, inner, outer)
+    if path is None:
+        return f"{_short(outer)} -> {_short(inner)} -> ... -> {_short(outer)}"
+    names = [outer, *path]
+    return " -> ".join(_short(name) for name in names)
+
+
+def _shortest_path(
+    adjacency: dict[str, set[str]], start: str, goal: str
+) -> list[str] | None:
+    frontier = [[start]]
+    seen = {start}
+    while frontier:
+        next_frontier = []
+        for path in frontier:
+            for succ in sorted(adjacency.get(path[-1], ())):
+                if succ == goal:
+                    return path + [succ]
+                if succ not in seen:
+                    seen.add(succ)
+                    next_frontier.append(path + [succ])
+        frontier = next_frontier
+    return None
+
+
+def _short(qualname: str) -> str:
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qualname

@@ -7,8 +7,11 @@ Each rule's module docstring cites the historical bug that motivates it;
 from __future__ import annotations
 
 from .core import Rule
+from .fork_safety import ForkSafetyRule
+from .hot_loop import HotLoopRule
 from .json_safety import JsonSafetyRule
 from .lock_discipline import LockDisciplineRule
+from .lock_order import LockOrderRule
 from .rng import RngDeterminismRule
 from .wire_format import WireFormatRule
 
@@ -16,6 +19,9 @@ __all__ = ["DEFAULT_RULES", "rule_by_id"]
 
 DEFAULT_RULES: tuple[Rule, ...] = (
     LockDisciplineRule(),
+    LockOrderRule(),
+    ForkSafetyRule(),
+    HotLoopRule(),
     WireFormatRule(),
     RngDeterminismRule(),
     JsonSafetyRule(),

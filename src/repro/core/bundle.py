@@ -27,8 +27,13 @@ __all__ = ["SizingModel"]
 
 
 @dataclass
-class SizingModel:
-    """Trained artifacts of Stages I-III."""
+class SizingModel:  # checks: process-shared
+    """Trained artifacts of Stages I-III.
+
+    Marked ``process-shared``: the ROADMAP's multiprocess sharding will
+    hand this bundle to worker processes, so the fork-safety rule keeps
+    it (transitively) free of locks, threads, files, and bound callables.
+    """
 
     transformer: Transformer
     bpe: RestrictedBPE

@@ -33,8 +33,13 @@ LUT_OUTPUTS = ("id", "gm", "gds", "cds", "cgs")
 ArrayLike = float | np.ndarray
 
 
-class LookupTable:
-    """Spline-interpolated per-unit-width device tables for one device type."""
+class LookupTable:  # checks: process-shared
+    """Spline-interpolated per-unit-width device tables for one device type.
+
+    Marked ``process-shared``: the gm/Id tables ship to sharding workers
+    alongside :class:`~repro.core.bundle.SizingModel`, so the fork-safety
+    rule keeps them plain data (grids, tables, splines).
+    """
 
     def __init__(self, characterization: CharacterizationResult):
         self.tech = characterization.tech

@@ -167,12 +167,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     checks = sub.add_parser(
         "checks",
-        help="run the repo-specific AST invariant linter (repro.checks)",
+        help="run the repo-specific two-pass static analyzer (repro.checks)",
         description=(
-            "Static analysis over the package sources: lock discipline on "
-            "thread-shared classes, wire-format/cache-key drift, RNG "
-            "determinism, JSON non-finite safety. Exit 0 when clean, 1 on "
-            "any finding. Equivalent to `python -m repro.checks`."
+            "Project-wide static analysis over the package sources: lock "
+            "discipline and lock ordering on thread-shared classes, "
+            "fork-safety of process-shared objects, hot-loop vectorization "
+            "discipline, wire-format/cache-key drift, RNG determinism, JSON "
+            "non-finite safety. Exit 0 when no error-severity finding "
+            "survives the baseline, 1 otherwise. Equivalent to "
+            "`python -m repro.checks`."
         ),
     )
     checks.add_argument("paths", nargs="*", type=Path,
@@ -182,6 +185,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stdout report format (default text)")
     checks.add_argument("--output", type=Path, default=None, metavar="FILE",
                         help="also write the JSON report to FILE")
+    checks.add_argument("--baseline", type=Path, default=None, metavar="FILE",
+                        help="JSON baseline of grandfathered findings")
+    checks.add_argument("--write-baseline", action="store_true",
+                        help="write the current findings to --baseline FILE and exit")
+    checks.add_argument("--changed-only", nargs="?", const="HEAD", default=None,
+                        metavar="REF",
+                        help="report findings only for files changed vs REF "
+                             "(default HEAD); the full tree is still parsed")
+    checks.add_argument("--fix", action="store_true",
+                        help="delete unused `# checks: ignore[...]` suppressions "
+                             "in place, then re-check")
+    checks.add_argument("--strict", action="store_true",
+                        help="fail on warning-severity findings too")
     checks.add_argument("--list-rules", action="store_true",
                         help="list rule ids and exit")
 
@@ -434,7 +450,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             for rule in DEFAULT_RULES:
                 print(f"{rule.id}: {rule.summary}")
             return 0
-        return run_checks_cli(args.paths, fmt=args.format, output=args.output)
+        return run_checks_cli(
+            args.paths,
+            fmt=args.format,
+            output=args.output,
+            baseline=args.baseline,
+            write_baseline_file=args.write_baseline,
+            changed_only=args.changed_only,
+            fix=args.fix,
+            strict=args.strict,
+        )
     if args.command == "topologies":
         for name in available_topologies():
             print(name)

@@ -196,7 +196,7 @@ def run_ac(
 _AC_CHUNK = 64
 
 
-def run_ac_many(
+def run_ac_many(  # checks: hot-path
     solutions: list,
     frequencies: np.ndarray | None = None,
 ) -> list:

@@ -126,10 +126,12 @@ class _MNASystem:
         def volt(idx: int | None) -> float:
             return 0.0 if idx is None else float(x[idx])
 
-        # gmin shunts keep floating subcircuits well-conditioned.
-        for idx in range(n):
-            f[idx] += gmin * x[idx]
-            jac[idx, idx] += gmin
+        # gmin shunts keep floating subcircuits well-conditioned.  Sliced
+        # elementwise ops are bit-identical to the former per-node loop.
+        if n:
+            f[:n] += gmin * x[:n]
+            diag = np.arange(n)
+            jac[diag, diag] += gmin
 
         for res in circuit.resistors:
             i1, i2 = self.node_index(res.node1), self.node_index(res.node2)
@@ -337,7 +339,7 @@ def _solve_with_continuation(
         ) from exc
 
 
-def solve_dc_many(
+def solve_dc_many(  # checks: hot-path
     circuits: list,
     initial_guess: dict[str, float] | Sequence[dict[str, float] | None] | None = None,
     max_iterations: int = 150,
@@ -600,6 +602,7 @@ def _residual_and_jacobian_batch(
     x: np.ndarray,
     source_scale: float,
     gmin: float,
+    out: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Vectorized counterpart of ``_MNASystem.residual_and_jacobian``.
 
@@ -609,12 +612,22 @@ def _residual_and_jacobian_batch(
     for operation; because numpy ufuncs are elementwise, each candidate's
     row is bit-identical to what the scalar assembly produces for that
     candidate alone.
+
+    ``out`` optionally supplies preallocated ``(f, jac)`` buffers of shape
+    ``(P, size)`` / ``(P, size, size)``; they are zero-filled before
+    assembly, so reuse across Newton iterations is bit-identical to fresh
+    allocation.
     """
     circuit = system.circuit
     n = system.n_nodes
     batch = x.shape[0]
-    f = np.zeros((batch, system.size))
-    jac = np.zeros((batch, system.size, system.size))
+    if out is None:
+        f = np.zeros((batch, system.size))
+        jac = np.zeros((batch, system.size, system.size))
+    else:
+        f, jac = out
+        f[:] = 0.0
+        jac[:] = 0.0
 
     def volt(idx: int | None):
         return 0.0 if idx is None else x[:, idx]
@@ -703,7 +716,7 @@ def _residual_and_jacobian_batch(
     return f, jac
 
 
-def _solve_newton_steps(jac: np.ndarray, f: np.ndarray) -> np.ndarray:
+def _solve_newton_steps(jac: np.ndarray, f: np.ndarray) -> np.ndarray:  # checks: hot-path
     """Stacked ``J dx = -f`` solve with the scalar path's lstsq fallback."""
     try:
         return np.linalg.solve(jac, -f[..., None])[..., 0]
@@ -717,7 +730,7 @@ def _solve_newton_steps(jac: np.ndarray, f: np.ndarray) -> np.ndarray:
         return dx
 
 
-def _newton_batch(
+def _newton_batch(  # checks: hot-path
     system: _MNASystem,
     stamps: _BatchStamps,
     x0s: np.ndarray,
@@ -741,10 +754,20 @@ def _newton_batch(
     iterations = np.zeros(batch, dtype=int)
     converged = np.zeros(batch, dtype=bool)
     active = np.arange(batch)
+    # Preallocated per-iteration workspace.  Assembly zero-fills the
+    # sliced views, a gathered stamp subset carries the same values, and
+    # the all-zero residual placeholder never changes -- so buffer reuse
+    # is bit-identical to the former fresh allocation every iteration.
+    active_stamps = stamps
+    f_buf = np.zeros((batch, system.size))
+    jac_buf = np.zeros((batch, system.size, system.size))
+    zero_residual = np.zeros(batch)
 
     for iteration in range(1, max_iterations + 1):
+        m = active.size
         f, jac = _residual_and_jacobian_batch(
-            system, stamps.take(active), x[active], source_scale, gmin
+            system, active_stamps, x[active], source_scale, gmin,
+            out=(f_buf[:m], jac_buf[:m]),
         )
         dx = _solve_newton_steps(jac, f)
         # Voltage-step damping: scale each candidate's update so no node
@@ -756,7 +779,7 @@ def _newton_batch(
                 dx[over] *= (MAX_STEP / v_step[over])[:, None]
         x[active] += dx
         node_residual = (
-            np.max(np.abs(f[:, :n]), axis=1) if n else np.zeros(len(active))
+            np.max(np.abs(f[:, :n]), axis=1) if n else zero_residual[:m]
         )
         done = (node_residual < abstol) & (np.max(np.abs(dx), axis=1) < reltol)
         if np.any(done):
@@ -767,6 +790,8 @@ def _newton_batch(
             active = active[~done]
             if active.size == 0:
                 break
+            # Re-gather stamps only when the active set shrinks.
+            active_stamps = stamps.take(active)
     return solutions, iterations, converged
 
 

@@ -349,7 +349,7 @@ def _tran_structure_key(circuit: Circuit):
     )
 
 
-def run_tran_many(
+def run_tran_many(  # checks: hot-path
     solutions: list,
     t_stop: float,
     n_steps: int = 160,
@@ -394,7 +394,7 @@ def run_tran_many(
     return results
 
 
-def _stamp_caps_batch(
+def _stamp_caps_batch(  # checks: hot-path
     f: np.ndarray,
     jac: np.ndarray,
     caps: list,
@@ -424,7 +424,7 @@ def _stamp_caps_batch(
                 jac[:, i2, i1] -= g
 
 
-def _tran_newton_batch(
+def _tran_newton_batch(  # checks: hot-path
     system: _MNASystem,
     stamps: _BatchStamps,
     caps: list,
@@ -434,6 +434,7 @@ def _tran_newton_batch(
     max_iterations: int,
     abstol: float = 1e-10,
     reltol: float = 1e-9,
+    work: tuple[np.ndarray, np.ndarray] | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One time step's damped Newton over a candidate batch.
 
@@ -441,6 +442,11 @@ def _tran_newton_batch(
     moment their own convergence criterion fires, so each trajectory
     reproduces the scalar :func:`_tran_newton` iteration exactly.
     Returns ``(solutions, iterations, converged)``.
+
+    ``work`` optionally carries preallocated ``(f, jac)`` buffers with
+    leading dimension >= ``batch`` (the time-step driver shares one pair
+    across every step); assembly zero-fills the sliced views, so reuse
+    is bit-identical to fresh allocation.
     """
     n = system.n_nodes
     batch = x_prev.shape[0]
@@ -449,12 +455,24 @@ def _tran_newton_batch(
     iterations = np.zeros(batch, dtype=int)
     converged = np.zeros(batch, dtype=bool)
     active = np.arange(batch)
+    # Preallocated per-iteration workspace; stamp/cap subsets are only
+    # re-gathered when the active set shrinks (gathered values are
+    # identical, so this is bit-identical to gathering every iteration).
+    active_stamps = stamps
+    active_caps = caps
+    if work is None:
+        f_buf = np.zeros((batch, system.size))
+        jac_buf = np.zeros((batch, system.size, system.size))
+    else:
+        f_buf, jac_buf = work
+    zero_residual = np.zeros(batch)
 
     for iteration in range(1, max_iterations + 1):
+        m = active.size
         f, jac = _residual_and_jacobian_batch(
-            system, stamps.take(active), x[active], 1.0, GMIN
+            system, active_stamps, x[active], 1.0, GMIN,
+            out=(f_buf[:m], jac_buf[:m]),
         )
-        active_caps = [(i1, i2, c[active]) for i1, i2, c in caps]
         _stamp_caps_batch(
             f, jac, active_caps, x[active], x_prev[active], hist[active], coef
         )
@@ -466,7 +484,7 @@ def _tran_newton_batch(
                 dx[over] *= (MAX_STEP / v_step[over])[:, None]
         x[active] += dx
         node_residual = (
-            np.max(np.abs(f[:, :n]), axis=1) if n else np.zeros(len(active))
+            np.max(np.abs(f[:, :n]), axis=1) if n else zero_residual[:m]
         )
         done = (node_residual < abstol) & (np.max(np.abs(dx), axis=1) < reltol)
         if np.any(done):
@@ -477,10 +495,12 @@ def _tran_newton_batch(
             active = active[~done]
             if active.size == 0:
                 break
+            active_stamps = stamps.take(active)
+            active_caps = [(i1, i2, c[active]) for i1, i2, c in caps]
     return solutions, iterations, converged
 
 
-def _tran_batch(
+def _tran_batch(  # checks: hot-path
     solutions: list,
     stepped: list,
     times: np.ndarray,
@@ -506,26 +526,32 @@ def _tran_batch(
     hist = np.zeros((batch, len(caps)))
     newton_totals = np.zeros(batch, dtype=int)
     alive = np.ones(batch, dtype=bool)
+    # Hoisted out of the time-step loop: the stamp/cap subsets change
+    # only when a candidate diverges, and the Newton work buffers are
+    # shared across every step (zero-filled per iteration inside the
+    # solver, so reuse is bit-identical to fresh allocation).
+    active = np.nonzero(alive)[0]
+    active_stamps = stamps
+    active_caps = caps
+    f_buf = np.zeros((batch, system.size))
+    jac_buf = np.zeros((batch, system.size, system.size))
 
     for step in range(1, n_steps + 1):
-        active = np.nonzero(alive)[0]
         if active.size == 0:
             break
         coef = _step_coef(method, dt, step)
-        active_caps = [(i1, i2, c[active]) for i1, i2, c in caps]
         x_new, iterations, converged = _tran_newton_batch(
             system,
-            stamps.take(active),
+            active_stamps,
             active_caps,
             x[active],
             hist[active],
             coef,
             max_newton_iterations,
+            work=(f_buf, jac_buf),
         )
         newton_totals[active] += iterations
         diverged = active[~converged]
-        if diverged.size:
-            alive[diverged] = False
         survivors = active[converged]
         if method == "trap":
             for e, (i1, i2, c) in enumerate(caps):
@@ -535,6 +561,12 @@ def _tran_batch(
                 hist[survivors, e] = updated[converged]
         x[survivors] = x_new[converged]
         waveforms[survivors, step, :] = x_new[converged][:, : system.n_nodes]
+        if diverged.size:
+            alive[diverged] = False
+            active = survivors
+            if active.size:
+                active_stamps = stamps.take(active)
+                active_caps = [(i1, i2, c[active]) for i1, i2, c in caps]
 
     outcomes: list = []
     for j in range(batch):

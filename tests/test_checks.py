@@ -8,17 +8,22 @@ is the same gate CI enforces.
 """
 
 import json
+import shutil
+import subprocess
 import textwrap
 from pathlib import Path
 
 import pytest
 
 import repro
-from repro.checks import DEFAULT_RULES, run_checks
+from repro.checks import DEFAULT_RULES, ProjectGraph, run_checks
 from repro.checks.cli import main as checks_main
-from repro.checks.core import UNUSED_SUPPRESSION
+from repro.checks.core import UNUSED_SUPPRESSION, FileContext, ProjectContext
+from repro.checks.fork_safety import ForkSafetyRule
+from repro.checks.hot_loop import HotLoopRule
 from repro.checks.json_safety import JsonSafetyRule
 from repro.checks.lock_discipline import LockDisciplineRule
+from repro.checks.lock_order import LockOrderRule
 from repro.checks.registry import rule_by_id
 from repro.checks.rng import RngDeterminismRule
 from repro.checks.wire_format import WireFormatRule
@@ -32,6 +37,32 @@ def check_source(tmp_path: Path, source: str, rules, name: str = "fixture.py"):
     return report.findings
 
 
+def write_package(tmp_path: Path, files: dict[str, str]) -> Path:
+    """Write a fixture package (``pkg/...`` relative paths) under tmp_path."""
+    for relative, source in files.items():
+        target = tmp_path / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def check_package(tmp_path: Path, files: dict[str, str], rules):
+    """Write a multi-module fixture package and run ``rules`` over it."""
+    write_package(tmp_path, files)
+    report = run_checks([tmp_path], list(rules), display_root=tmp_path)
+    return report.findings
+
+
+def build_graph(tmp_path: Path, files: dict[str, str]) -> ProjectGraph:
+    """Pass-1 symbol table / call graph of a fixture package."""
+    write_package(tmp_path, files)
+    contexts = [
+        FileContext.parse(path, display_path=str(path.relative_to(tmp_path)))
+        for path in sorted(tmp_path.rglob("*.py"))
+    ]
+    return ProjectContext(contexts).graph
+
+
 # ----------------------------------------------------------------------
 # Framework: suppressions, unused suppressions, report shape, CLI
 # ----------------------------------------------------------------------
@@ -39,6 +70,9 @@ class TestFramework:
     def test_rule_ids_registered(self):
         assert [rule.id for rule in DEFAULT_RULES] == [
             "lock-discipline",
+            "lock-order",
+            "fork-safety",
+            "hot-loop",
             "wire-format-drift",
             "rng-determinism",
             "json-safety",
@@ -499,6 +533,733 @@ class TestJsonSafety:
         # The convention the rule enforces actually catches the PR 3 bug.
         with pytest.raises(ValueError):
             json.dumps({"best": float("inf")}, allow_nan=False)
+
+
+# ----------------------------------------------------------------------
+# Pass 1: the project-wide symbol table / call graph
+# ----------------------------------------------------------------------
+class TestProjectGraph:
+    PKG = {
+        "pkg/__init__.py": """
+            from .solvers import dense_solve
+            """,
+        "pkg/solvers.py": """
+            import numpy as np
+
+            def dense_solve(matrix, rhs):
+                return np.linalg.solve(matrix, rhs)
+            """,
+        "pkg/callers.py": """
+            from pkg import dense_solve
+            from pkg import solvers as sv
+
+            class Runner:
+                def run(self, matrix, rhs):
+                    return self.helper(matrix, rhs)
+
+                def helper(self, matrix, rhs):
+                    return dense_solve(matrix, rhs)
+
+            def via_alias(matrix, rhs):
+                return sv.dense_solve(matrix, rhs)
+
+            def via_reexport(matrix, rhs):
+                return dense_solve(matrix, rhs)
+            """,
+    }
+
+    @staticmethod
+    def resolved_calls(graph, qualname):
+        summary = graph.functions[qualname]
+        return [site.target for site in summary.calls if site.target is not None]
+
+    def test_import_as_resolves_module_alias(self, tmp_path):
+        graph = build_graph(tmp_path, self.PKG)
+        assert self.resolved_calls(graph, "pkg.callers.via_alias") == [
+            "pkg.solvers.dense_solve"
+        ]
+
+    def test_reexport_resolves_through_package_init(self, tmp_path):
+        # `from pkg import dense_solve` must chase pkg/__init__.py back
+        # to the defining module, not invent a `pkg.dense_solve` symbol.
+        graph = build_graph(tmp_path, self.PKG)
+        assert self.resolved_calls(graph, "pkg.callers.via_reexport") == [
+            "pkg.solvers.dense_solve"
+        ]
+
+    def test_self_method_call_resolves_to_own_class(self, tmp_path):
+        graph = build_graph(tmp_path, self.PKG)
+        assert self.resolved_calls(graph, "pkg.callers.Runner.run") == [
+            "pkg.callers.Runner.helper"
+        ]
+
+    def test_transitive_solve_closure_crosses_modules(self, tmp_path):
+        graph = build_graph(tmp_path, self.PKG)
+        assert graph.functions["pkg.solvers.dense_solve"].t_solves == ()
+        # Runner.run -> Runner.helper -> dense_solve, two hops with the
+        # last one in another module.
+        assert graph.functions["pkg.callers.Runner.run"].t_solves == (
+            "pkg.callers.Runner.helper",
+            "pkg.solvers.dense_solve",
+        )
+
+
+# ----------------------------------------------------------------------
+# lock-order (cycles, reacquisition, blocking work under a lock)
+# ----------------------------------------------------------------------
+class TestLockOrder:
+    RULE = [LockOrderRule()]
+
+    def test_two_lock_cycle_flagged(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def backward(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """,
+            self.RULE,
+        )
+        assert len(findings) == 2  # one per conflicting site
+        assert all(finding.rule == "lock-order" for finding in findings)
+        assert all("cycle" in finding.message for finding in findings)
+
+    def test_consistent_order_clean(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def one(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def two(self):
+                    with self._a:
+                        with self._b:
+                            pass
+            """,
+            self.RULE,
+        )
+        assert findings == []
+
+    def test_interprocedural_cycle_two_calls_deep(self, tmp_path):
+        # The acceptance shape: the nested acquisition happens two
+        # resolved calls away from the `with` that holds the first lock.
+        findings = check_source(
+            tmp_path,
+            """
+            import threading
+
+            class Engine:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def outer(self):
+                    with self._a:
+                        self.mid()
+
+                def mid(self):
+                    self.deep()
+
+                def deep(self):
+                    with self._b:
+                        pass
+
+                def reversed_order(self):
+                    with self._b:
+                        with self._a:
+                            pass
+            """,
+            self.RULE,
+        )
+        cycles = [f for f in findings if "cycle" in f.message]
+        assert len(cycles) == 2
+        interprocedural = [f for f in cycles if "via" in f.message]
+        assert len(interprocedural) == 1
+        assert "Engine.mid -> Engine.deep" in interprocedural[0].message
+
+    def test_nonreentrant_reacquisition_flagged_rlock_clean(self, tmp_path):
+        source = """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.{lock_type}()
+
+            def get(self):
+                with self._lock:
+                    return self.peek()
+
+            def peek(self):
+                with self._lock:
+                    return 1
+        """
+        findings = check_source(tmp_path, source.format(lock_type="Lock"), self.RULE)
+        assert len(findings) == 1
+        assert "reacquired" in findings[0].message
+        assert check_source(tmp_path, source.format(lock_type="RLock"), self.RULE) == []
+
+    def test_blocking_call_under_lock_flagged(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import threading
+            import time
+
+            class Stats:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def snooze(self):
+                    with self._lock:
+                        time.sleep(0.1)
+            """,
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "time.sleep" in findings[0].message
+        assert "Stats._lock" in findings[0].message
+
+    def test_interprocedural_blocking_two_calls_deep(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import threading
+            import time
+
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def outer(self):
+                    with self._lock:
+                        self.mid()
+
+                def mid(self):
+                    self.deep()
+
+                def deep(self):
+                    time.sleep(0.1)
+            """,
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "via Engine.mid -> Engine.deep" in findings[0].message
+
+    def test_blocking_outside_lock_clean(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import threading
+            import time
+
+            class Stats:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def snooze(self):
+                    with self._lock:
+                        pending = True
+                    if pending:
+                        time.sleep(0.1)
+            """,
+            self.RULE,
+        )
+        assert findings == []
+
+    def test_suppressed_hit_and_unused_suppression(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import threading
+            import time
+
+            class Stats:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def snooze(self):
+                    with self._lock:
+                        time.sleep(0.1)  # checks: ignore[lock-order]
+
+                def fine(self):
+                    with self._lock:
+                        pass  # checks: ignore[lock-order]
+            """,
+            self.RULE,
+        )
+        assert [finding.rule for finding in findings] == [UNUSED_SUPPRESSION]
+
+
+# ----------------------------------------------------------------------
+# fork-safety (process-shared objects stay plain data)
+# ----------------------------------------------------------------------
+class TestForkSafety:
+    RULE = [ForkSafetyRule()]
+
+    def test_direct_lock_attribute_flagged(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import threading
+
+            class Bundle:  # checks: process-shared
+                def __init__(self):
+                    self._lock = threading.Lock()
+            """,
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "threading.Lock" in findings[0].message
+        assert "Bundle -> _lock" in findings[0].message
+
+    def test_transitive_attribute_typing_across_files(self, tmp_path):
+        # The lock hides one class and one module away from the marker.
+        findings = check_package(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/inner.py": """
+                    import threading
+
+                    class Inner:
+                        def __init__(self):
+                            self._guard = threading.Lock()
+                    """,
+                "pkg/outer.py": """
+                    from pkg.inner import Inner
+
+                    class Bundle:  # checks: process-shared
+                        def __init__(self):
+                            self.inner = Inner()
+                    """,
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "Bundle -> inner: Inner -> _guard" in findings[0].message
+
+    def test_bound_method_and_generator_flagged(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            class Model:  # checks: process-shared
+                def __init__(self, items):
+                    self.hook = self.step
+                    self.stream = (item for item in items)
+
+                def step(self):
+                    return 1
+            """,
+            self.RULE,
+        )
+        messages = " ".join(finding.message for finding in findings)
+        assert len(findings) == 2
+        assert "bound method" in messages
+        assert "generator" in messages
+
+    def test_plain_data_clean(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            class Tables:  # checks: process-shared
+                def __init__(self, grid):
+                    self.grid = np.asarray(grid)
+                    self.names = ("id", "gm")
+            """,
+            self.RULE,
+        )
+        assert findings == []
+
+    def test_module_state_under_size_batch_is_warning(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            _CACHE = {}
+
+            def remember(key, value):
+                _CACHE[key] = value
+
+            class SizingEngine:
+                def size_batch(self, requests):
+                    for request in requests:
+                        remember(request, 1)
+            """,
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert findings[0].severity == "warning"
+        assert "_CACHE" in findings[0].message
+        assert "size_batch" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# hot-loop (vectorization discipline in marked kernels)
+# ----------------------------------------------------------------------
+class TestHotLoop:
+    RULE = [HotLoopRule()]
+
+    def test_per_item_solve_in_loop_flagged(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def solve_each(mats, rhs):  # checks: hot-path
+                outs = []
+                for m, r in zip(mats, rhs):
+                    outs.append(np.linalg.solve(m, r))
+                return outs
+            """,
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "per-item" in findings[0].message
+
+    def test_chunked_stacked_solve_clean(self, tmp_path):
+        # The run_ac_many shape: a chunking loop whose solve consumes
+        # loop-invariant locals staged by gather ops must stay clean.
+        findings = check_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def solve_chunks(mats, rhs):  # checks: hot-path
+                outs = []
+                for start in range(0, len(mats), 64):
+                    m_stack = np.stack(mats[start : start + 64])
+                    r_stack = np.stack(rhs[start : start + 64])
+                    outs.append(np.linalg.solve(m_stack, r_stack))
+                return outs
+            """,
+            self.RULE,
+        )
+        assert findings == []
+
+    def test_allocation_inside_solve_loop_flagged(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def newton(mats, x):  # checks: hot-path
+                for _ in range(10):
+                    f = np.zeros(len(x))
+                    x = x - np.linalg.solve(mats, f)
+                return x
+            """,
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "np.zeros" in findings[0].message
+        assert "preallocate" in findings[0].message
+
+    def test_allocation_in_non_solving_loop_clean(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def stage(batches):  # checks: hot-path
+                staged = []
+                for batch in batches:
+                    staged.append(np.zeros(len(batch)))
+                return staged
+            """,
+            self.RULE,
+        )
+        assert findings == []
+
+    def test_interprocedural_per_item_solve_flagged(self, tmp_path):
+        findings = check_package(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/solvers.py": """
+                    import numpy as np
+
+                    def dense_solve(matrix, rhs):
+                        return np.linalg.solve(matrix, rhs)
+                    """,
+                "pkg/hot.py": """
+                    from pkg.solvers import dense_solve
+
+                    def drive(mats, rhs):  # checks: hot-path
+                        outs = []
+                        for m, r in zip(mats, rhs):
+                            outs.append(dense_solve(m, r))
+                        return outs
+                    """,
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "solvers.dense_solve" in findings[0].message
+        assert "reaches a dense solve" in findings[0].message
+
+    def test_except_handler_fallback_exempt(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def robust(mats, rhs):  # checks: hot-path
+                try:
+                    return np.linalg.solve(mats, rhs)
+                except np.linalg.LinAlgError:
+                    outs = []
+                    for m, r in zip(mats, rhs):
+                        outs.append(np.linalg.solve(m, r))
+                    return outs
+            """,
+            self.RULE,
+        )
+        assert findings == []
+
+    def test_unmarked_function_not_checked(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def reference(mats, rhs):
+                return [np.linalg.solve(m, r) for m, r in zip(mats, rhs)]
+            """,
+            self.RULE,
+        )
+        assert findings == []
+
+    def test_suppressed_hit_and_unused_suppression(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def solve_each(mats, rhs):  # checks: hot-path
+                outs = []
+                for m, r in zip(mats, rhs):
+                    outs.append(np.linalg.solve(m, r))  # checks: ignore[hot-loop]
+                return outs
+
+            def stacked(mats, rhs):  # checks: hot-path
+                return np.linalg.solve(mats, rhs)  # checks: ignore[hot-loop]
+            """,
+            self.RULE,
+        )
+        assert [finding.rule for finding in findings] == [UNUSED_SUPPRESSION]
+
+
+# ----------------------------------------------------------------------
+# Baseline, severities, --fix, --changed-only (the CLI workflow)
+# ----------------------------------------------------------------------
+class TestBaselineAndSeverity:
+    DIRTY = "import json\njson.dumps({})\n"
+
+    def test_write_then_apply_baseline_grandfathers(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(self.DIRTY)
+        baseline = tmp_path / "baseline.json"
+
+        assert checks_main([str(dirty)]) == 1
+        assert (
+            checks_main([str(dirty), "--baseline", str(baseline), "--write-baseline"])
+            == 0
+        )
+        assert checks_main([str(dirty), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr()
+        assert "1 grandfathered" in out.err
+
+    def test_new_finding_not_in_baseline_fails(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(self.DIRTY)
+        baseline = tmp_path / "baseline.json"
+        assert (
+            checks_main([str(dirty), "--baseline", str(baseline), "--write-baseline"])
+            == 0
+        )
+        dirty.write_text(self.DIRTY + "import random\n")
+        assert checks_main([str(dirty), "--baseline", str(baseline)]) == 1
+        capsys.readouterr()
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert checks_main([str(clean), "--baseline", str(tmp_path / "no.json")]) == 2
+        capsys.readouterr()
+
+    def test_warnings_pass_by_default_fail_under_strict(self, tmp_path, capsys):
+        fixture = tmp_path / "engine.py"
+        fixture.write_text(
+            textwrap.dedent(
+                """
+                _CACHE = {}
+
+                class SizingEngine:
+                    def size_batch(self, requests):
+                        _CACHE["latest"] = requests
+                """
+            )
+        )
+        assert checks_main([str(fixture)]) == 0
+        assert checks_main([str(fixture), "--strict"]) == 1
+        capsys.readouterr()
+
+    def test_report_severities_and_grandfathered_in_json(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(self.DIRTY)
+        out = tmp_path / "report.json"
+        assert checks_main([str(dirty), "--output", str(out)]) == 1
+        payload = json.loads(out.read_text())
+        assert payload["severities"] == {"error": 1}
+        assert payload["grandfathered"] == 0
+        assert payload["findings"][0]["severity"] == "error"
+        capsys.readouterr()
+
+
+class TestFix:
+    SOURCE = """
+    import json
+
+    def emit(payload):
+        return json.dumps(payload, allow_nan=False)  # checks: ignore[json-safety]
+
+    def bad(payload):
+        return json.dumps(payload)  # checks: ignore[json-safety]
+    """
+
+    def test_fix_removes_stale_keeps_live(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        fixture = tmp_path / "fixture.py"
+        fixture.write_text(textwrap.dedent(self.SOURCE))
+        assert checks_main([str(fixture), "--fix"]) == 0
+        text = fixture.read_text()
+        # The stale ignore on the allow_nan=False line is deleted; the
+        # ignore still excusing a real finding survives.
+        lines = text.splitlines()
+        assert lines[4] == "    return json.dumps(payload, allow_nan=False)"
+        assert "# checks: ignore[json-safety]" in lines[7]
+        capsys.readouterr()
+
+    def test_default_is_check_only(self, tmp_path, capsys):
+        fixture = tmp_path / "fixture.py"
+        original = textwrap.dedent(self.SOURCE)
+        fixture.write_text(original)
+        assert checks_main([str(fixture)]) == 1  # the unused suppression
+        assert fixture.read_text() == original
+        capsys.readouterr()
+
+
+@pytest.mark.skipif(shutil.which("git") is None, reason="git not available")
+class TestChangedOnly:
+    def _git(self, cwd, *argv):
+        subprocess.run(
+            ["git", *argv],
+            cwd=cwd,
+            check=True,
+            capture_output=True,
+            env={
+                "GIT_AUTHOR_NAME": "t",
+                "GIT_AUTHOR_EMAIL": "t@t",
+                "GIT_COMMITTER_NAME": "t",
+                "GIT_COMMITTER_EMAIL": "t@t",
+                "HOME": str(cwd),
+                "PATH": "/usr/bin:/bin:/usr/local/bin",
+            },
+        )
+
+    def test_changed_file_uses_full_symbol_table(self, tmp_path, capsys, monkeypatch):
+        # The finding in the changed file is interprocedural: it needs
+        # `dense_solve` resolved from the *unchanged* module, proving the
+        # symbol table still covers the full tree.  The unchanged module
+        # carries its own finding, which must NOT be reported.
+        write_package(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/solvers.py": """
+                    import json
+                    import numpy as np
+
+                    def dense_solve(matrix, rhs):
+                        return np.linalg.solve(matrix, rhs)
+
+                    def emit(payload):
+                        return json.dumps(payload)
+                    """,
+                "pkg/hot.py": """
+                    from pkg.solvers import dense_solve
+
+                    def drive(mats, rhs):
+                        return dense_solve(mats, rhs)
+                    """,
+            },
+        )
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+
+        (tmp_path / "pkg" / "hot.py").write_text(
+            textwrap.dedent(
+                """
+                from pkg.solvers import dense_solve
+
+                def drive(mats, rhs):  # checks: hot-path
+                    outs = []
+                    for m, r in zip(mats, rhs):
+                        outs.append(dense_solve(m, r))
+                    return outs
+                """
+            )
+        )
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "report.json"
+        code = checks_main(
+            [str(tmp_path / "pkg"), "--changed-only", "HEAD", "--output", str(out)]
+        )
+        capsys.readouterr()
+        assert code == 1
+        payload = json.loads(out.read_text())
+        paths = {finding["path"] for finding in payload["findings"]}
+        assert paths == {str(Path("pkg") / "hot.py")}
+        assert payload["counts"] == {"hot-loop": 1}
+        # The interprocedural message proves cross-module resolution.
+        assert "solvers.dense_solve" in payload["findings"][0]["message"]
+
+    def test_unchanged_tree_reports_nothing(self, tmp_path, capsys, monkeypatch):
+        write_package(
+            tmp_path,
+            {"pkg/__init__.py": "", "pkg/mod.py": "import json\njson.dumps({})\n"},
+        )
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        monkeypatch.chdir(tmp_path)
+        assert checks_main([str(tmp_path / "pkg"), "--changed-only", "HEAD"]) == 0
+        assert checks_main([str(tmp_path / "pkg")]) == 1
+        capsys.readouterr()
 
 
 # ----------------------------------------------------------------------
