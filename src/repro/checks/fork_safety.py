@@ -15,7 +15,12 @@ Classes opt in with a marker on their ``class`` line::
 and the rule *transitively* verifies — descending through annotated and
 constructor-inferred attribute types via the pass-1 symbol table — that
 no reachable attribute holds a lock, thread, socket, open file, queue,
-generator, lambda, or bound method.
+generator, lambda, or bound method.  Parent *serving* state is forbidden
+too: an HTTP/TCP server (its listener socket), an sqlite connection, or
+any ``multiprocessing`` primitive — the things a shard-pool worker
+entrypoint must never inherit from the serving parent.  Project classes
+that wrap these (``SizingServer``, ``MicroBatcher``) are caught by the
+same transitive descent without being named here.
 
 Severity ``warning``, second check: module-level mutable state mutated
 by any function reachable (through the call graph) from
@@ -54,6 +59,30 @@ FORBIDDEN_TYPES = {
     "io.open": "an open file handle",
     "io.FileIO": "an open file handle",
     "tempfile.NamedTemporaryFile": "an open temporary file",
+    # Parent serving state: a worker entrypoint must never inherit the
+    # HTTP listener socket or the micro-batcher's queue.  The shard pool
+    # pins spawn-start at runtime (tests/test_shard.py); this rule pins
+    # it statically — nothing marked process-shared may even *hold* one.
+    "http.server.HTTPServer": "a listening HTTP server (socket)",
+    "http.server.ThreadingHTTPServer": "a listening HTTP server (socket)",
+    "socketserver.TCPServer": "a listening TCP server (socket)",
+    "socketserver.ThreadingTCPServer": "a listening TCP server (socket)",
+    "socketserver.UDPServer": "a bound UDP server (socket)",
+    # sqlite connections are documented as non-portable across processes;
+    # SharedResultCache opens one per operation instead of caching one.
+    "sqlite3.connect": "an sqlite3 connection",
+    "sqlite3.Connection": "an sqlite3 connection",
+    # multiprocessing primitives wrap OS pipes and locks whose duplication
+    # semantics under spawn are exactly the bug class this rule exists for.
+    "multiprocessing.Queue": "a multiprocessing.Queue (holds pipes and locks)",
+    "multiprocessing.JoinableQueue": "a multiprocessing.JoinableQueue",
+    "multiprocessing.SimpleQueue": "a multiprocessing.SimpleQueue",
+    "multiprocessing.Pipe": "a multiprocessing pipe connection",
+    "multiprocessing.Lock": "a multiprocessing.Lock",
+    "multiprocessing.RLock": "a multiprocessing.RLock",
+    "multiprocessing.Event": "a multiprocessing.Event",
+    "multiprocessing.Process": "a process handle",
+    "multiprocessing.connection.Connection": "a multiprocessing pipe connection",
 }
 
 _KIND_DESCRIPTIONS = {

@@ -181,6 +181,29 @@ class SizingModel:  # checks: process-shared
         for tech_name, lut in self.luts.items():
             lut.save(path / f"lut_{tech_name}.npz")
 
+    def export_shared_artifact(self, directory: str | Path):
+        """Export a mmap-friendly artifact (see :mod:`repro.shard.artifact`).
+
+        Unlike :meth:`save`'s ``.npz`` bundles (zip archives, which
+        ``np.load`` cannot memory-map), the shared artifact is a single
+        raw buffer that N sharding workers map read-only at ~1x total
+        model memory.
+        """
+        from ..shard.artifact import export_artifact
+
+        return export_artifact(self, directory)
+
+    @classmethod
+    def load_shared(cls, directory: str | Path) -> SizingModel:
+        """Load a model whose arrays are read-only mmap views.
+
+        Counterpart of :meth:`export_shared_artifact`; see
+        :func:`repro.shard.artifact.load_shared_model`.
+        """
+        from ..shard.artifact import load_shared_model
+
+        return load_shared_model(directory)
+
     @classmethod
     def load(cls, directory: str | Path) -> SizingModel:
         path = Path(directory)

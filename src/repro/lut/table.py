@@ -136,16 +136,44 @@ class LookupTable:  # checks: process-shared
         """Load a table saved by :meth:`save`."""
         data = np.load(path)
         tech_name = str(data["tech_name"])
-        tech = _TECH_BY_NAME.get(tech_name)
-        if tech is None:
-            raise ValueError(f"unknown technology {tech_name!r} in {path}")
-        characterization = CharacterizationResult(
-            tech=tech,
+        return cls.from_arrays(
+            tech_name,
             length=float(data["length"]),
             reference_width=float(data["reference_width"]),
             vgs_grid=data["vgs_grid"],
             vds_grid=data["vds_grid"],
             tables={name: data[f"table_{name}"] for name in LUT_OUTPUTS},
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        tech_name: str,
+        *,
+        length: float,
+        reference_width: float,
+        vgs_grid: np.ndarray,
+        vds_grid: np.ndarray,
+        tables: dict[str, np.ndarray],
+    ) -> LookupTable:
+        """Build a table directly from grid arrays.
+
+        The arrays are adopted as-is (``np.asarray`` in ``__init__`` is a
+        no-copy view for ndarray subclasses), so memory-mapped read-only
+        views from a shared artifact stay mmap-backed — the basis of the
+        sharded engine's N-workers-for-1x-model-memory property.  Only
+        the spline coefficients are computed (and owned) privately.
+        """
+        tech = _TECH_BY_NAME.get(tech_name)
+        if tech is None:
+            raise ValueError(f"unknown technology {tech_name!r}")
+        characterization = CharacterizationResult(
+            tech=tech,
+            length=float(length),
+            reference_width=float(reference_width),
+            vgs_grid=vgs_grid,
+            vds_grid=vds_grid,
+            tables=dict(tables),
         )
         return cls(characterization)
 

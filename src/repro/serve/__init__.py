@@ -21,7 +21,7 @@ real service in front of :class:`~repro.service.SizingEngine`:
 from .app import SizingServer, create_server, serve_forever_in_thread
 from .batcher import BatcherClosedError, MicroBatcher, QueueFullError, Ticket
 from .protocol import RequestError, error_response, invalid_request_response
-from .stats import ServeStats
+from .stats import ServeStats, aggregate_counter_payloads
 
 __all__ = [
     "BatcherClosedError",
@@ -31,6 +31,7 @@ __all__ = [
     "ServeStats",
     "SizingServer",
     "Ticket",
+    "aggregate_counter_payloads",
     "create_server",
     "error_response",
     "invalid_request_response",

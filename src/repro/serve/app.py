@@ -50,7 +50,7 @@ from ..service.requests import SizingRequest, SizingResponse
 from ..topologies import available_topologies
 from .batcher import BatcherClosedError, MicroBatcher, QueueFullError
 from .protocol import RequestError, error_response, invalid_request_response, parse_request_text
-from .stats import ServeStats
+from .stats import ServeStats, aggregate_counter_payloads
 
 __all__ = ["SizingServer", "create_server"]
 
@@ -84,8 +84,7 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler contract
         if self.path == "/healthz":
-            status = "draining" if self.server.batcher.closed else "ok"
-            self._send_json(200, {"status": status})
+            self._send_json(200, self.server.health_payload())
         elif self.path == "/stats":
             self._send_json(200, self.server.stats_payload())
         elif self.path == "/topologies":
@@ -195,10 +194,16 @@ class SizingServer(ThreadingHTTPServer):
         max_wait_ms: float = 20.0,
         queue_depth: int = 256,
         retry_after_s: int = 1,
+        concurrent_batches: int = 1,
         handler: Callable[[list[SizingRequest]], Sequence[SizingResponse]] | None = None,
         log: Callable[[str], None] | None = None,
     ):
         super().__init__(address, _Handler)
+        #: ``engine`` is duck-typed: anything with ``size_batch`` /
+        #: ``stats`` / ``cache`` serves — notably a
+        #: :class:`~repro.shard.ShardedEngine`, whose ``health()`` and
+        #: ``workers_payload()`` additionally light up pool status in
+        #: ``/healthz`` and ``/stats``.
         self.engine = engine
         self.retry_after_s = retry_after_s
         self.log = log
@@ -211,14 +216,36 @@ class SizingServer(ThreadingHTTPServer):
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
             queue_depth=queue_depth,
+            concurrent_batches=concurrent_batches,
             stats=self.serve_stats,
         )
 
     # ------------------------------------------------------------------
+    def health_payload(self) -> dict[str, Any]:
+        """The ``GET /healthz`` document, pool-aware for sharded engines.
+
+        ``draining`` during shutdown; otherwise a sharded engine's
+        ``health()`` verdict (``degraded`` while any worker is down or
+        restarting, with the per-worker states inline) or plain ``ok``.
+        """
+        if self.batcher.closed:
+            return {"status": "draining"}
+        health = getattr(self.engine, "health", None)
+        if health is not None:
+            return health()
+        return {"status": "ok"}
+
     def stats_payload(self) -> dict[str, Any]:
-        """The ``GET /stats`` document: engine + cache + server counters."""
+        """The ``GET /stats`` document: engine + cache + server counters.
+
+        For a sharded engine the ``engine`` block is already the
+        pool-wide aggregate (summed worker counters); ``workers`` adds
+        the per-worker breakdown — batch counts, restart counts, live
+        cache view — plus a ``total`` row merged with
+        :func:`~repro.serve.stats.aggregate_counter_payloads`.
+        """
         cache = self.engine.cache
-        return {
+        payload = {
             "engine": self.engine.stats.as_dict(),
             "cache": cache.as_dict() if cache is not None else None,
             "server": self.serve_stats.as_dict(
@@ -226,6 +253,17 @@ class SizingServer(ThreadingHTTPServer):
                 queue_capacity=self.batcher.queue_capacity,
             ),
         }
+        workers_payload = getattr(self.engine, "workers_payload", None)
+        if workers_payload is not None:
+            workers = workers_payload()
+            summable = ("requests", "batches", "cache_hits", "restarts")
+            payload["workers"] = {
+                "workers": workers,
+                "total": aggregate_counter_payloads(
+                    [{key: worker[key] for key in summable} for worker in workers]
+                ),
+            }
+        return payload
 
     def shutdown_gracefully(self, timeout: float | None = None) -> None:
         """Stop accepting, drain the queue, then close the socket.

@@ -95,6 +95,7 @@ class MicroBatcher(Generic[RequestT, ResponseT]):
         max_batch_size: int = 16,
         max_wait_ms: float = 20.0,
         queue_depth: int = 256,
+        concurrent_batches: int = 1,
         stats: ServeStats | None = None,
         name: str = "repro-serve-dispatcher",
     ):
@@ -104,12 +105,26 @@ class MicroBatcher(Generic[RequestT, ResponseT]):
             raise ValueError("max_wait_ms must be non-negative")
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
+        if concurrent_batches < 1:
+            raise ValueError("concurrent_batches must be >= 1")
         self._handler = handler
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_ms / 1e3
+        #: With the default of 1, the dispatcher runs each batch inline —
+        #: the engine sees strictly serialized ``size_batch`` calls.
+        #: Above 1 (the sharded pool: one slot per worker), the
+        #: dispatcher keeps gathering while up to this many batches run
+        #: on short-lived dispatch threads, so batch *k+1* forms while
+        #: batch *k* executes and the worker pool stays busy.
+        self.concurrent_batches = concurrent_batches
         self.stats = stats if stats is not None else ServeStats()
         self._queue: queue.Queue[Ticket[RequestT, ResponseT]] = queue.Queue(maxsize=queue_depth)
         self._closing = threading.Event()
+        self._slots = threading.Semaphore(concurrent_batches)
+        self._inflight: set[threading.Thread] = set()
+        # Guards ``_inflight`` (dispatcher thread adds, dispatch threads
+        # discard themselves).
+        self._lock = threading.Lock()
         self._thread = threading.Thread(target=self._loop, name=name, daemon=True)
         self._thread.start()
 
@@ -172,11 +187,41 @@ class MicroBatcher(Generic[RequestT, ResponseT]):
                 first = self._queue.get(timeout=self._IDLE_POLL_S)
             except queue.Empty:
                 if self._closing.is_set():
+                    self._join_inflight()
                     return
                 continue
             batch = [first]
             reason = self._gather(batch)
+            if self.concurrent_batches == 1:
+                self._dispatch(batch, reason)
+            else:
+                self._slots.acquire()
+                thread = threading.Thread(
+                    target=self._dispatch_concurrent,
+                    args=(batch, reason),
+                    name=f"{self._thread.name}-batch",
+                    daemon=True,
+                )
+                with self._lock:
+                    self._inflight.add(thread)
+                thread.start()
+
+    def _dispatch_concurrent(
+        self, batch: list[Ticket[RequestT, ResponseT]], reason: str
+    ) -> None:
+        try:
             self._dispatch(batch, reason)
+        finally:
+            self._slots.release()
+            with self._lock:
+                self._inflight.discard(threading.current_thread())
+
+    def _join_inflight(self) -> None:
+        """Drain: wait for concurrently dispatched batches to resolve."""
+        with self._lock:
+            inflight = list(self._inflight)
+        for thread in inflight:
+            thread.join()
 
     def _gather(self, batch: list[Ticket[RequestT, ResponseT]]) -> str:
         """Grow the batch until a flush condition holds; returns the reason."""

@@ -21,13 +21,14 @@ the unified solver API and returns the same response schema, so the
 copilot and the SPICE-in-the-loop baselines are served by one endpoint.
 """
 
-from .cache import ResultCache
+from .cache import ResultCache, SharedResultCache
 from .engine import EngineStats, SizingEngine
 from .requests import SizingRequest, SizingResponse
 
 __all__ = [
     "EngineStats",
     "ResultCache",
+    "SharedResultCache",
     "SizingEngine",
     "SizingRequest",
     "SizingResponse",

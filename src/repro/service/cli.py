@@ -34,6 +34,14 @@ Subcommands:
         python -m repro serve --bundle path/to/bundle --port 8080 \
             --max-batch-size 16 --max-wait-ms 20 --queue-depth 256
 
+    ``--workers N`` shards the engine across N spawn-based worker
+    processes sharing one memory-mapped model artifact; ``--cache-dir``
+    makes the result cache cross-process so any worker's result is a
+    hit everywhere (see :mod:`repro.shard`)::
+
+        python -m repro serve --bundle path/to/bundle --workers 4 \
+            --cache-dir /tmp/sizing-cache
+
     Ctrl-C / SIGTERM shut down gracefully: the queue drains and every
     accepted request still gets its response.
 
@@ -94,6 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="requests per engine batch (default 64)")
     size.add_argument("--cache-size", type=int, default=256,
                       help="LRU result-cache entries, 0 disables (default 256)")
+    size.add_argument("--cache-dir", type=Path, default=None,
+                      help="use a disk-backed cross-process result cache in this "
+                           "directory instead of the in-memory LRU (shared with "
+                           "'serve --cache-dir' and across runs)")
     size.add_argument("--method", default=None, metavar="SOLVER",
                       help="dispatch every request to this registered solver "
                            "(overrides the per-request 'method' field; "
@@ -145,6 +157,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "503 + Retry-After (default 256)")
     serve.add_argument("--cache-size", type=int, default=256,
                        help="LRU result-cache entries, 0 disables (default 256)")
+    serve.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="shard size_batch across N spawn-based worker "
+                            "processes (0 = single-process, the default); the "
+                            "model is shared zero-copy via a memory-mapped "
+                            "artifact exported next to the bundle")
+    serve.add_argument("--cache-dir", type=Path, default=None,
+                       help="disk-backed cross-process result cache directory: "
+                            "a spec sized by any worker (or a previous run) is "
+                            "a cache hit everywhere; without it each worker "
+                            "keeps a private in-memory LRU")
+    serve.add_argument("--shard-by", choices=("spec", "topology", "round-robin"),
+                       default="spec",
+                       help="request routing across workers: 'spec' (default) "
+                            "hashes the quantized cache key for worker "
+                            "affinity, 'topology' pins each topology to one "
+                            "worker, 'round-robin' spreads uniformly")
     serve.add_argument("--retry-after", type=int, default=1, metavar="SECONDS",
                        help="Retry-After hint on 503 responses (default 1)")
     serve.add_argument("--quiet", action="store_true",
@@ -281,7 +309,9 @@ def _run_size(args: argparse.Namespace) -> int:
     model = _load_bundle(args.bundle)
     if model is None:
         return 2
-    engine = SizingEngine(model, cache_size=args.cache_size)
+    engine = SizingEngine(
+        model, cache_size=args.cache_size, cache=_shared_cache(args.cache_dir)
+    )
 
     overrides = {}
     if args.method is not None:
@@ -350,6 +380,39 @@ def _run_size(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # serve
 # ----------------------------------------------------------------------
+def _shared_cache(cache_dir: Path | None):
+    """A :class:`SharedResultCache` for ``--cache-dir``, or ``None``."""
+    if cache_dir is None:
+        return None
+    from .cache import SharedResultCache
+
+    return SharedResultCache(cache_dir)
+
+
+def _build_serve_engine(args: argparse.Namespace, model):
+    """The serving engine: sharded pool when ``--workers N`` is given.
+
+    Sharding exports the bundle once as a mmap-friendly artifact (under
+    ``<bundle>/shared_artifact``) so the N spawn workers map one shared
+    copy of the weights and LUT grids instead of loading N private ones.
+    """
+    if args.workers <= 0:
+        return SizingEngine(
+            model, cache_size=args.cache_size, cache=_shared_cache(args.cache_dir)
+        )
+    from ..shard import ShardedEngine
+
+    artifact_dir = args.bundle / "shared_artifact"
+    model.export_shared_artifact(artifact_dir)
+    return ShardedEngine.from_artifact(
+        artifact_dir,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        cache_size=args.cache_size,
+        shard_by=args.shard_by,
+    )
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     import signal
 
@@ -358,7 +421,11 @@ def _run_serve(args: argparse.Namespace) -> int:
     model = _load_bundle(args.bundle)
     if model is None:
         return 2
-    engine = SizingEngine(model, cache_size=args.cache_size)
+    try:
+        engine = _build_serve_engine(args, model)
+    except (OSError, ValueError, RuntimeError) as error:
+        print(f"error: cannot start worker pool: {error}", file=sys.stderr)
+        return 2
     log = None if args.quiet else (lambda message: print(message, file=sys.stderr))
     try:
         server = create_server(
@@ -369,9 +436,14 @@ def _run_serve(args: argparse.Namespace) -> int:
             max_wait_ms=args.max_wait_ms,
             queue_depth=args.queue_depth,
             retry_after_s=args.retry_after,
+            # Pipeline batches across the worker pool: batch k+1 forms
+            # while batch k runs, one in-flight batch per worker.
+            concurrent_batches=max(1, args.workers),
             log=log,
         )
     except (OSError, ValueError) as error:
+        if hasattr(engine, "close"):
+            engine.close()
         print(f"error: cannot start server: {error}", file=sys.stderr)
         return 2
 
@@ -380,10 +452,11 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     previous = signal.signal(signal.SIGTERM, _terminate)
     host, port = server.server_address[:2]
+    workers_note = f", workers={args.workers}" if args.workers > 0 else ""
     print(
         f"serving on http://{host}:{port} "
         f"(max_batch_size={args.max_batch_size}, max_wait_ms={args.max_wait_ms:g}, "
-        f"queue_depth={args.queue_depth}); Ctrl-C to drain and stop",
+        f"queue_depth={args.queue_depth}{workers_note}); Ctrl-C to drain and stop",
         file=sys.stderr,
     )
     try:
@@ -393,9 +466,12 @@ def _run_serve(args: argparse.Namespace) -> int:
     finally:
         signal.signal(signal.SIGTERM, previous)
         # Stop accepting, flush every queued request (their handler
-        # threads write the responses), then close the listener.
+        # threads write the responses), then close the listener and the
+        # worker pool.
         server.batcher.close()
         server.server_close()
+        if hasattr(engine, "close"):
+            engine.close()
     print("serve: shutdown complete", file=sys.stderr)
     return 0
 

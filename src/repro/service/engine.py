@@ -165,6 +165,7 @@ class SizingEngine:
         width_bounds: tuple[float, float] = (0.1e-6, 200e-6),
         max_candidate_spread: float = 5.0,
         backend: EvalBackend | None = None,
+        cache: object | None = None,
     ):
         self.model = model
         self.width_bounds = width_bounds
@@ -176,7 +177,15 @@ class SizingEngine:
         #: parameters cannot describe any physical device, so re-inferring
         #: beats verifying a garbage design.
         self.max_candidate_spread = max_candidate_spread
-        self.cache: ResultCache | None = ResultCache(cache_size) if cache_size else None
+        #: ``cache=`` injects any object with the ``ResultCache`` get/put
+        #: protocol — notably a :class:`SharedResultCache` so sharding
+        #: workers (and single-process engines pointed at the same
+        #: ``--cache-dir``) share one cross-process store.  Default: a
+        #: private in-memory LRU, or none when ``cache_size`` is 0.
+        if cache is not None:
+            self.cache = cache
+        else:
+            self.cache = ResultCache(cache_size) if cache_size else None
         self.stats = EngineStats()
         self._topologies: dict[str, OTATopology] = {}
         # Lazy topology construction may race under concurrent callers;

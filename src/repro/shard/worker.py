@@ -1,0 +1,110 @@
+"""Worker-process side of the sharded engine.
+
+Each worker is a fresh ``spawn`` interpreter: nothing from the parent —
+no ``ThreadingHTTPServer`` socket, no ``MicroBatcher`` queue, no lock in
+a half-held state — crosses the boundary except the pickled
+``engine_factory`` argument (fork-safety test pins this).  The factory
+must therefore be a picklable callable (a module-level function or a
+``functools.partial`` over one); :func:`engine_from_artifact` is the
+production factory, building a :class:`~repro.service.SizingEngine` over
+the mmap-shared model artifact and the cross-process result cache.
+
+Protocol over the duplex pipe (parent → worker / worker → parent):
+
+* ``("ready", pid)`` — sent once after the engine is built.
+* ``("init-error", message, traceback)`` — the factory raised; the
+  worker exits and the parent marks it failed.
+* ``("size", job_id, requests)`` → ``("result", job_id, responses,
+  engine_stats, cache_stats)`` — one batch; the worker piggybacks its
+  cumulative :class:`~repro.service.EngineStats` snapshot on every
+  result so the parent can aggregate ``/stats`` without extra round
+  trips.
+* ``("size", ...)`` → ``("job-error", job_id, message, traceback)`` —
+  the batch raised (a bug, not a bad request: per-request problems come
+  back as error *responses*).
+* ``("ping", token)`` → ``("pong", token, pid)`` — liveness probe.
+* ``("stop",)`` — clean exit.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import traceback
+from collections.abc import Callable
+from typing import Any
+
+from ..service.engine import SizingEngine
+
+__all__ = ["engine_from_artifact", "worker_main"]
+
+
+def engine_from_artifact(
+    artifact_dir: str,
+    cache_dir: str | None = None,
+    cache_size: int = 256,
+    shared_cache_maxsize: int = 4096,
+) -> SizingEngine:
+    """Build a worker engine over the shared artifact (picklable factory).
+
+    The model's weight arrays and LUT grids come back as read-only mmap
+    views (:func:`repro.shard.artifact.load_shared_model`), so every
+    worker shares one physical copy; with ``cache_dir`` the engine uses
+    the cross-process :class:`~repro.service.SharedResultCache` instead
+    of a private LRU.
+    """
+    from ..service.cache import SharedResultCache
+    from .artifact import load_shared_model
+
+    model = load_shared_model(artifact_dir)
+    cache = (
+        SharedResultCache(cache_dir, maxsize=shared_cache_maxsize)
+        if cache_dir
+        else None
+    )
+    return SizingEngine(model, cache_size=cache_size, cache=cache)
+
+
+def _describe(error: BaseException) -> str:
+    return f"{type(error).__name__}: {error}"
+
+
+def worker_main(conn: Any, engine_factory: Callable[[], SizingEngine]) -> None:
+    """Entry point of one shard worker process (``spawn`` target)."""
+    # A foreground Ctrl-C hits the whole process group; the parent owns
+    # worker lifetime via the pipe ("stop") and kill(), so workers must
+    # sit out the SIGINT instead of dying mid-drain with a traceback.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        engine = engine_factory()
+    except BaseException as error:  # noqa: BLE001 — report, then exit
+        try:
+            conn.send(("init-error", _describe(error), traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+    conn.send(("ready", os.getpid()))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "ping":
+            conn.send(("pong", message[1], os.getpid()))
+            continue
+        if kind != "size":
+            conn.send(("job-error", None, f"unknown message kind {kind!r}", ""))
+            continue
+        job_id, requests = message[1], message[2]
+        try:
+            responses = engine.size_batch(requests)
+            cache_stats = engine.cache.as_dict() if engine.cache is not None else None
+            conn.send(
+                ("result", job_id, list(responses), engine.stats.as_dict(), cache_stats)
+            )
+        except BaseException as error:  # noqa: BLE001 — a batch bug must not kill the worker
+            conn.send(("job-error", job_id, _describe(error), traceback.format_exc()))
+    conn.close()

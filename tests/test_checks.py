@@ -894,6 +894,88 @@ class TestForkSafety:
         )
         assert findings == []
 
+    def test_http_server_socket_flagged(self, tmp_path):
+        # A worker entrypoint must never inherit the parent's listener.
+        findings = check_source(
+            tmp_path,
+            """
+            from http.server import ThreadingHTTPServer
+
+            class WorkerContext:  # checks: process-shared
+                def __init__(self, handler):
+                    self.server = ThreadingHTTPServer(("", 0), handler)
+            """,
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "listening HTTP server" in findings[0].message
+        assert "WorkerContext -> server" in findings[0].message
+
+    def test_sqlite_connection_flagged(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import sqlite3
+
+            class Cache:  # checks: process-shared
+                def __init__(self, path):
+                    self._conn = sqlite3.connect(path)
+            """,
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "sqlite3 connection" in findings[0].message
+
+    def test_multiprocessing_queue_flagged(self, tmp_path):
+        findings = check_source(
+            tmp_path,
+            """
+            import multiprocessing
+
+            class Pool:  # checks: process-shared
+                def __init__(self):
+                    self.inbox = multiprocessing.Queue()
+            """,
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "multiprocessing.Queue" in findings[0].message
+
+    def test_batcher_queue_flagged_transitively(self, tmp_path):
+        # The satellite pin: parent's MicroBatcher-shaped object (its
+        # internal queue.Queue and dispatcher thread) caught through the
+        # project-class descent, not by naming the class in the rule.
+        findings = check_package(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/batcher.py": """
+                    import queue
+                    import threading
+
+                    class MicroBatcher:
+                        def __init__(self):
+                            self._queue = queue.Queue()
+                            self._thread = threading.Thread(target=self._loop)
+
+                        def _loop(self):
+                            pass
+                    """,
+                "pkg/worker.py": """
+                    from pkg.batcher import MicroBatcher
+
+                    class WorkerContext:  # checks: process-shared
+                        def __init__(self):
+                            self.batcher = MicroBatcher()
+                    """,
+            },
+            self.RULE,
+        )
+        messages = " ".join(finding.message for finding in findings)
+        assert len(findings) == 2
+        assert "WorkerContext -> batcher: MicroBatcher -> _queue" in messages
+        assert "WorkerContext -> batcher: MicroBatcher -> _thread" in messages
+
     def test_module_state_under_size_batch_is_warning(self, tmp_path):
         findings = check_source(
             tmp_path,
