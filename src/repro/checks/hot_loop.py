@@ -28,6 +28,13 @@ Inside a marked function the rule flags, through the pass-1 call graph:
 ``except`` handler bodies are exempt end to end: the singular-matrix
 fallback in ``_solve_newton_steps`` deliberately drops to a per-item
 solve, and that is the correct shape for a rarely-taken recovery path.
+
+The pluggable linear-solve layer is *sanctioned*: hot-path loops call
+:func:`repro.spice.linsolve.solve_stacked` once per structure group or
+frequency chunk by design (the stack lives inside the call), so the
+transitive-solve finding skips call sites that target it.  Its loops
+still count as "solving" for the work-array allocation check — the
+engines must keep preallocating around it.
 """
 
 from __future__ import annotations
@@ -45,7 +52,16 @@ from .project import (
     ProjectGraph,
 )
 
-__all__ = ["HotLoopRule"]
+__all__ = ["SANCTIONED_SOLVERS", "HotLoopRule"]
+
+#: Project functions that *are* the stacked-solve layer: a hot-path loop
+#: handing them loop-dependent chunk arrays is the intended shape (one
+#: stacked/structure-grouped solve per call), not a per-item regression.
+SANCTIONED_SOLVERS = frozenset(
+    {
+        "repro.spice.linsolve.solve_stacked",
+    }
+)
 
 
 @dataclass
@@ -141,6 +157,7 @@ class HotLoopRule(Rule):
             site is not None
             and site.target is not None
             and site.target != summary.qualname
+            and site.target not in SANCTIONED_SOLVERS
             and _args_depend_on(call, loop_targets)
         ):
             callee = graph.functions.get(site.target)

@@ -28,6 +28,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..devices import EKVModel, OperatingPoint
+from . import linsolve
 from .netlist import GROUND, Circuit
 
 __all__ = ["DCSolution", "ConvergenceError", "solve_dc", "solve_dc_many"]
@@ -537,7 +538,10 @@ def _solve_batch(circuits: list, guesses: list, max_iterations: int) -> list:
         x0s = np.tile(_initial_point(system, first_guess), (len(circuits), 1))
     else:
         x0s = _initial_points_batch(system, stamps, guesses, len(circuits))
-    xs, iters, converged = _newton_batch(system, stamps, x0s, 1.0, GMIN, max_iterations)
+    pattern = _structure_pattern(system)
+    xs, iters, converged = _newton_batch(
+        system, stamps, x0s, 1.0, GMIN, max_iterations, pattern=pattern
+    )
     outcomes: list = []
     for j, circuit in enumerate(circuits):
         # _finalize extracts operating points from the candidate's *own*
@@ -716,18 +720,78 @@ def _residual_and_jacobian_batch(
     return f, jac
 
 
-def _solve_newton_steps(jac: np.ndarray, f: np.ndarray) -> np.ndarray:  # checks: hot-path
-    """Stacked ``J dx = -f`` solve with the scalar path's lstsq fallback."""
-    try:
-        return np.linalg.solve(jac, -f[..., None])[..., 0]
-    except np.linalg.LinAlgError:
-        dx = np.empty_like(f)
-        for k in range(f.shape[0]):
-            try:
-                dx[k] = np.linalg.solve(jac[k], -f[k])
-            except np.linalg.LinAlgError:
-                dx[k] = np.linalg.lstsq(jac[k], -f[k], rcond=None)[0]
-        return dx
+def _jacobian_coords(
+    system: _MNASystem, cap_pairs: Sequence[tuple[int | None, int | None]] = ()
+) -> tuple[np.ndarray, np.ndarray]:
+    """Structural ``(row, col)`` coordinates of every Jacobian entry.
+
+    The symbolic input of :func:`repro.spice.linsolve.factorize_structure`:
+    walks the same element lists as the assembly and records which matrix
+    entries any iterate can touch — a superset of every single iterate's
+    numeric nonzeros, shared by the whole structure-key group (all
+    candidates, Newton iterations and, with ``cap_pairs``, every
+    transient time step).  Duplicates are fine; the pattern deduplicates.
+    """
+    n = system.n_nodes
+    rows: list[int] = list(range(n))  # gmin shunt diagonal
+    cols: list[int] = list(range(n))
+
+    def entry(r: int | None, c: int | None) -> None:
+        if r is not None and c is not None:
+            rows.append(r)
+            cols.append(c)
+
+    def admittance(i1: int | None, i2: int | None) -> None:
+        entry(i1, i1)
+        entry(i1, i2)
+        entry(i2, i1)
+        entry(i2, i2)
+
+    circuit = system.circuit
+    for res in circuit.resistors:
+        admittance(system.node_index(res.node1), system.node_index(res.node2))
+    for i1, i2 in cap_pairs:
+        admittance(i1, i2)
+    for mosfet in circuit.mosfets:
+        id_, ig, is_ = (
+            system.node_index(mosfet.drain),
+            system.node_index(mosfet.gate),
+            system.node_index(mosfet.source),
+        )
+        for r in (id_, is_):
+            for c in (id_, ig, is_):
+                entry(r, c)
+    for k, src in enumerate(circuit.vsources):
+        row = n + k
+        ip, in_ = system.node_index(src.pos), system.node_index(src.neg)
+        entry(ip, row)
+        entry(row, ip)
+        entry(in_, row)
+        entry(row, in_)
+    return np.asarray(rows, dtype=np.intp), np.asarray(cols, dtype=np.intp)
+
+
+def _structure_pattern(
+    system: _MNASystem, cap_pairs: Sequence[tuple[int | None, int | None]] = ()
+) -> linsolve.StructurePattern:
+    """Symbolic solve pattern of one structure-key group (built once)."""
+    rows, cols = _jacobian_coords(system, cap_pairs)
+    return linsolve.factorize_structure(rows, cols, system.size)
+
+
+def _solve_newton_steps(  # checks: hot-path
+    jac: np.ndarray,
+    f: np.ndarray,
+    pattern: linsolve.StructurePattern | None = None,
+) -> np.ndarray:
+    """Stacked ``J dx = -f`` through the pluggable linsolve layer.
+
+    The dense backend reproduces the historical arithmetic bit for bit
+    (one stacked ``np.linalg.solve`` with the scalar path's per-item
+    lstsq fallback); structures at or above the sparse threshold ride
+    SuperLU via the group's precomputed symbolic ``pattern``.
+    """
+    return linsolve.solve_stacked(jac, -f, pattern=pattern)
 
 
 def _newton_batch(  # checks: hot-path
@@ -739,6 +803,7 @@ def _newton_batch(  # checks: hot-path
     max_iterations: int = 150,
     abstol: float = 1e-10,
     reltol: float = 1e-9,
+    pattern: linsolve.StructurePattern | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Damped Newton over one candidate group; per-candidate convergence.
 
@@ -746,6 +811,9 @@ def _newton_batch(  # checks: hot-path
     Candidates freeze the moment their own convergence criterion fires, so
     each trajectory reproduces the scalar ``_newton`` iteration for that
     candidate exactly.  Returns ``(solutions, iterations, converged)``.
+
+    ``pattern`` is the group's symbolic solve structure (built once by
+    the caller); every iteration's stacked solve reuses it.
     """
     n = system.n_nodes
     batch = x0s.shape[0]
@@ -769,7 +837,7 @@ def _newton_batch(  # checks: hot-path
             system, active_stamps, x[active], source_scale, gmin,
             out=(f_buf[:m], jac_buf[:m]),
         )
-        dx = _solve_newton_steps(jac, f)
+        dx = _solve_newton_steps(jac, f, pattern)
         # Voltage-step damping: scale each candidate's update so no node
         # moves more than MAX_STEP volts in one iteration.
         if n:

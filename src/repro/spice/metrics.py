@@ -122,17 +122,23 @@ def crossing_frequency(
         raise ValueError("frequencies and magnitude_db must be 1-D and equal length")
     # Vectorized sign-change scan (this runs once per metric per candidate
     # on the Stage IV hot path): a crossing is a grid interval whose left
-    # edge is at-or-above the level and whose right edge is below.
-    above = mags >= level_db
-    crossings = np.nonzero(above[:-1] & ~above[1:])[0]
+    # edge is at-or-above the level and whose right edge is below, OR one
+    # that lands grid-exactly on the level from strictly above (the second
+    # term keeps a crossing whose exact hit is the *final* sample, which
+    # the right-edge-below test alone misses).
+    down = ((mags[:-1] >= level_db) & (mags[1:] < level_db)) | (
+        (mags[:-1] > level_db) & (mags[1:] == level_db)
+    )
+    crossings = np.nonzero(down)[0]
     if crossings.size == 0:
         return float("nan")
     i = int(crossings[0])
-    # Linear interpolation in (log f, dB) space.
+    # Linear interpolation in (log f, dB) space.  Both predicate branches
+    # guarantee m1 > m2, so the interpolation is always well-defined: an
+    # exact hit on the left edge gives frac = 0 (returns freqs[i]), one on
+    # the right edge gives frac = 1 (returns freqs[i + 1]).
     log_f1, log_f2 = np.log10(freqs[i]), np.log10(freqs[i + 1])
     m1, m2 = mags[i], mags[i + 1]
-    if m1 == m2:
-        return float(freqs[i])
     frac = (m1 - level_db) / (m1 - m2)
     return float(10.0 ** (log_f1 + frac * (log_f2 - log_f1)))
 
@@ -158,7 +164,11 @@ def extract_tran_metrics(
     value, ``vf`` the final sample, ``delta = vf - v0`` the output step):
 
     * **slew rate**: the peak ``|dv/dt|`` over the waveform's finite
-      differences, in V/s;
+      differences in V/s, *excluding* the first interval: the input step
+      at ``t = 0+`` feeds through the compensation/load capacitances as a
+      discontinuity, so the first finite difference measures the input
+      edge (damped by the backward-Euler startup step), not the
+      amplifier.  On the golden designs it inflates slew by 1--3 %;
     * **settling time**: the earliest time from which every later sample
       stays within ``settle_tol * |delta|`` of ``vf`` (0.0 when the
       response never leaves the band, including the degenerate
@@ -178,7 +188,10 @@ def extract_tran_metrics(
         raise ValueError(f"settle_tol must be positive, got {settle_tol}")
     v = np.asarray(tran.voltage(output_node), dtype=float)
     times = np.asarray(tran.times, dtype=float)
-    slew = float(np.max(np.abs(np.diff(v) / np.diff(times))))
+    rates = np.abs(np.diff(v) / np.diff(times))
+    # Skip the t = 0+ feedthrough interval (see the docstring) whenever a
+    # later interval exists; a two-sample waveform keeps its only rate.
+    slew = float(np.max(rates[1:])) if rates.size > 1 else float(np.max(rates))
     v_final = float(v[-1])
     delta = v_final - float(v[0])
     band = settle_tol * abs(delta)

@@ -1,9 +1,10 @@
-"""OTA topologies of Fig. 6 and the active-inductor example of Fig. 2.
+"""OTA topologies of Fig. 6, larger cascode OTAs, and the Fig. 2 example.
 
 Topologies self-register with the pluggable registry (see
 :mod:`repro.topologies.registry`); importing this package registers the
-three paper circuits.  New circuits only need a ``@register`` decorator —
-no dispatch table to edit.
+three paper circuits plus the folded-cascode and telescopic OTAs that
+exercise the sparse MNA path.  New circuits only need a ``@register``
+decorator — no dispatch table to edit.
 """
 
 from .active_inductor import build_active_inductor
@@ -20,6 +21,7 @@ from .base import (
 )
 from .current_mirror import CurrentMirrorOTA
 from .five_t import FiveTransistorOTA
+from .folded_cascode import FoldedCascodeOTA
 from .registry import (
     available_topologies,
     register,
@@ -27,6 +29,7 @@ from .registry import (
     topology_factory,
     unregister,
 )
+from .telescopic import TelescopicOTA
 from .two_stage import TwoStageOTA
 
 __all__ = [
@@ -42,6 +45,8 @@ __all__ = [
     "OTATopology",
     "CurrentMirrorOTA",
     "FiveTransistorOTA",
+    "FoldedCascodeOTA",
+    "TelescopicOTA",
     "TwoStageOTA",
     "ALL_TOPOLOGIES",
     "available_topologies",

@@ -55,6 +55,13 @@ GOOD_WIDTHS = {
     "5T-OTA": {"M1": 1.2e-6, "M3": 15e-6, "M5": 4e-6},
     "CM-OTA": {"M1": 1.0e-6, "M3": 15e-6, "M5": 4e-6, "M6": 2.0e-6, "M8": 0.8e-6},
     "2S-OTA": {"M1": 1.2e-6, "M3": 15e-6, "M5": 4e-6, "M6": 5e-6, "M7": 2.8e-6},
+    "FC-OTA": {
+        "M1": 15.8e-6, "M0": 2.9e-6, "M3": 8e-6,
+        "M5": 4.5e-6, "M7": 2.9e-6, "M9": 5.5e-6,
+    },
+    "TELE-OTA": {
+        "M1": 15.8e-6, "M0": 2.9e-6, "M3": 2.9e-6, "M5": 6e-6, "M7": 3e-6,
+    },
 }
 
 

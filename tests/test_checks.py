@@ -1102,6 +1102,68 @@ class TestHotLoop:
         assert "solvers.dense_solve" in findings[0].message
         assert "reaches a dense solve" in findings[0].message
 
+    def test_sanctioned_solve_layer_call_clean(self, tmp_path):
+        # The linsolve entry point is the blessed stacked-solve layer:
+        # handing it per-group chunk arrays from a hot-path loop is the
+        # intended shape, not a per-item regression.
+        findings = check_package(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/spice/__init__.py": "",
+                "repro/spice/linsolve.py": """
+                    import numpy as np
+
+                    def solve_stacked(jac, rhs, pattern=None):
+                        return np.linalg.solve(jac, rhs[..., None])[..., 0]
+                    """,
+                "repro/spice/dc.py": """
+                    from repro.spice.linsolve import solve_stacked
+
+                    def newton_groups(groups):  # checks: hot-path
+                        outs = []
+                        for jac, rhs in groups:
+                            outs.append(solve_stacked(jac, rhs))
+                        return outs
+                    """,
+            },
+            self.RULE,
+        )
+        assert findings == []
+
+    def test_sanctioned_loop_still_counts_for_allocations(self, tmp_path):
+        # The sanction only silences the transitive-solve finding: a loop
+        # around solve_stacked is still a solve loop, so fresh work-array
+        # allocations inside it keep getting flagged.
+        findings = check_package(
+            tmp_path,
+            {
+                "repro/__init__.py": "",
+                "repro/spice/__init__.py": "",
+                "repro/spice/linsolve.py": """
+                    import numpy as np
+
+                    def solve_stacked(jac, rhs, pattern=None):
+                        return np.linalg.solve(jac, rhs[..., None])[..., 0]
+                    """,
+                "repro/spice/dc.py": """
+                    import numpy as np
+
+                    from repro.spice.linsolve import solve_stacked
+
+                    def newton_groups(groups):  # checks: hot-path
+                        outs = []
+                        for jac, rhs in groups:
+                            scratch = np.empty(rhs.shape)
+                            outs.append(solve_stacked(jac, rhs + scratch))
+                        return outs
+                    """,
+            },
+            self.RULE,
+        )
+        assert len(findings) == 1
+        assert "np.empty" in findings[0].message
+
     def test_except_handler_fallback_exempt(self, tmp_path):
         findings = check_source(
             tmp_path,

@@ -144,18 +144,39 @@ class TestMetricExtraction:
         mags = np.array([20.0, 20.0, 0.0])
         assert crossing_frequency(freqs, mags, 20.0) == 10.0
 
+    def test_grid_exact_crossing_at_final_sample(self):
+        """Regression: a response that lands grid-exactly on the level at
+        the *last* grid point is a crossing (the old right-edge-below scan
+        returned nan because no interval had a below-level right edge)."""
+        freqs = np.array([1.0, 10.0, 100.0])
+        mags = np.array([20.0, 12.0, 10.0])
+        assert crossing_frequency(freqs, mags, 10.0) == 100.0
+
+    def test_grid_exact_touch_mid_grid(self):
+        """A grid-exact hit from strictly above mid-grid resolves to that
+        grid point, even when the response recovers afterwards."""
+        freqs = np.array([1.0, 10.0, 100.0, 1000.0])
+        mags = np.array([20.0, 10.0, 15.0, 5.0])
+        assert crossing_frequency(freqs, mags, 10.0) == 10.0
+
+    def test_flat_at_level_plateau_is_not_a_crossing(self):
+        """Riding *along* the level never counts as crossing it from
+        above; the interpolation therefore never sees m1 == m2."""
+        freqs = np.array([1.0, 10.0, 100.0])
+        mags = np.array([10.0, 10.0, 10.0])
+        assert np.isnan(crossing_frequency(freqs, mags, 10.0))
+
     def test_vectorized_scan_matches_reference_loop(self):
-        """Bit-identity pin of the numpy sign-change scan against the
-        original pure-Python loop, over random grids (NaN tails included)."""
+        """Bit-identity pin of the numpy sign-change scan against a
+        pure-Python loop, over random grids (NaN tails included)."""
 
         def reference(freqs, mags, level_db):
-            above = mags >= level_db
             for i in range(len(freqs) - 1):
-                if above[i] and not above[i + 1]:
+                m1, m2 = mags[i], mags[i + 1]
+                if (m1 >= level_db and m2 < level_db) or (
+                    m1 > level_db and m2 == level_db
+                ):
                     log_f1, log_f2 = np.log10(freqs[i]), np.log10(freqs[i + 1])
-                    m1, m2 = mags[i], mags[i + 1]
-                    if m1 == m2:
-                        return float(freqs[i])
                     frac = (m1 - level_db) / (m1 - m2)
                     return float(10.0 ** (log_f1 + frac * (log_f2 - log_f1)))
             return float("nan")

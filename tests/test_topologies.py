@@ -1,13 +1,20 @@
-"""Tests of the OTA topology generators (Fig. 6)."""
+"""Tests of the OTA topology generators (Fig. 6) and the cascode OTAs."""
 
 import pytest
 
 from repro.topologies import (
     ALL_TOPOLOGIES,
+    FoldedCascodeOTA,
+    TelescopicOTA,
+    available_topologies,
     topology_by_name,
 )
 
 from tests.conftest import GOOD_WIDTHS
+
+#: The two sparse-solver-scale cascode topologies (not part of the
+#: paper's Fig. 6 trio, so they stay out of ALL_TOPOLOGIES).
+CASCODE_TOPOLOGIES = (FoldedCascodeOTA, TelescopicOTA)
 
 
 class TestRegistry:
@@ -70,6 +77,66 @@ class TestStructure:
     def test_nonpositive_width_rejected(self, five_t):
         with pytest.raises(ValueError):
             five_t.build({"M1": -1e-6, "M3": 1e-5, "M5": 1e-6})
+
+
+class TestCascodeTopologies:
+    """The folded-cascode and telescopic OTAs: registry, structure, and
+    known-good operating points (their golden step responses are pinned
+    in test_tran.py alongside the paper trio's)."""
+
+    def test_registered(self):
+        for factory in CASCODE_TOPOLOGIES:
+            assert factory.name in available_topologies()
+            assert topology_by_name(factory.name).name == factory.name
+
+    @pytest.mark.parametrize("factory", CASCODE_TOPOLOGIES, ids=lambda f: f.name)
+    def test_device_counts(self, factory):
+        topology = factory()
+        circuit = topology.build(topology.nominal_widths())
+        expected = {"FC-OTA": 11, "TELE-OTA": 9}[topology.name]
+        assert len(circuit.mosfets) == expected
+
+    @pytest.mark.parametrize("factory", CASCODE_TOPOLOGIES, ids=lambda f: f.name)
+    def test_matching_and_testbench_structure(self, factory):
+        topology = factory()
+        circuit = topology.build(topology.nominal_widths())
+        for group in topology.groups:
+            assert len({circuit.mosfet(d).width for d in group.devices}) == 1
+        cl = [c for c in circuit.capacitors if c.name == "CL"]
+        assert len(cl) == 1 and cl[0].capacitance == pytest.approx(500e-15)
+        assert circuit.vsource("VINP").ac == pytest.approx(0.5)
+        assert circuit.vsource("VINN").ac == pytest.approx(-0.5)
+
+    @pytest.mark.parametrize("factory", CASCODE_TOPOLOGIES, ids=lambda f: f.name)
+    def test_mna_larger_than_paper_trio(self, factory):
+        """The point of these circuits: a deeper MNA system than any of
+        the paper's three topologies (the sparse-solver workload)."""
+        topology = factory()
+        circuit = topology.build(topology.nominal_widths())
+        largest_paper = max(
+            len(f().build(f().nominal_widths()).nodes()) for f in ALL_TOPOLOGIES
+        )
+        assert len(circuit.nodes()) > largest_paper
+
+    @pytest.mark.parametrize("factory", CASCODE_TOPOLOGIES, ids=lambda f: f.name)
+    def test_good_widths_pass_regions(self, factory):
+        topology = factory()
+        result = topology.measure(GOOD_WIDTHS[topology.name])
+        assert topology.regions_ok(result.dc)
+
+    @pytest.mark.parametrize("factory", CASCODE_TOPOLOGIES, ids=lambda f: f.name)
+    def test_cascode_gain_exceeds_paper_trio(self, factory):
+        """Cascoding buys the extra gain the paper trio can't reach."""
+        topology = factory()
+        metrics = topology.measure(GOOD_WIDTHS[topology.name]).metrics
+        assert metrics.gain_db > 35.0
+
+    @pytest.mark.parametrize("factory", CASCODE_TOPOLOGIES, ids=lambda f: f.name)
+    def test_dpsfg_paths_enumerable(self, factory):
+        topology = factory()
+        inventory = topology.path_inventory()
+        assert inventory.n_forward_paths > 0
+        assert inventory.n_cycles > 0
 
 
 class TestMeasurement:

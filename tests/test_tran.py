@@ -346,6 +346,24 @@ class TestTranMetricExtraction:
         metrics = extract_tran_metrics(tran, "out")
         assert metrics.slew_v_per_s == pytest.approx(2e6)
 
+    def test_slew_excludes_first_interval_feedthrough(self):
+        """Regression: the t = 0+ step feeds through the load cap as a
+        spike in the very first finite difference.  Before the fix the
+        spike *was* the reported slew; now the first interval is excluded
+        and the amplifier's own steepest interval wins."""
+        times = np.linspace(0.0, 1e-6, 11)
+        values = times * 2e6
+        values[0] = -0.3  # feedthrough discontinuity: first diff = 5e6 V/s
+        metrics = extract_tran_metrics(_FakeTran(times, values), "out")
+        first_rate = abs(values[1] - values[0]) / (times[1] - times[0])
+        assert first_rate > 2e6  # the contaminated rate the fix discards
+        assert metrics.slew_v_per_s == pytest.approx(2e6)
+
+    def test_slew_two_sample_waveform_keeps_only_rate(self):
+        """With a single finite difference there is nothing to exclude."""
+        metrics = extract_tran_metrics(_FakeTran([0.0, 1e-6], [0.0, 1.0]), "out")
+        assert metrics.slew_v_per_s == pytest.approx(1e6)
+
     def test_exponential_settling_and_no_overshoot(self):
         tau = 1e-7
         times = np.linspace(0.0, 10 * tau, 1001)
